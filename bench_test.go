@@ -1,0 +1,543 @@
+package chainchaos_test
+
+// One benchmark per paper table/figure (see DESIGN.md's experiment index)
+// plus ablation benchmarks for the design choices the paper's findings hinge
+// on. Kernels are benchmarked per chain; matrix-level experiments per full
+// run.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/bettertls"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainfix"
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/difftest"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/population"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/tlsserve"
+	"chainchaos/internal/topo"
+)
+
+const benchPopSize = 20000
+
+var (
+	benchOnce   sync.Once
+	benchPop    *population.Population
+	benchGraphs []*topo.Graph
+	benchBad    []*population.Domain // non-compliant (by ground truth)
+)
+
+func benchSetup(b *testing.B) (*population.Population, []*topo.Graph) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchPop = population.Generate(population.Config{Size: benchPopSize, Seed: 1})
+		benchGraphs = make([]*topo.Graph, len(benchPop.Domains))
+		for i, d := range benchPop.Domains {
+			benchGraphs[i] = topo.Build(d.List)
+			if d.Truth.NonCompliant() {
+				benchBad = append(benchBad, d)
+			}
+		}
+	})
+	return benchPop, benchGraphs
+}
+
+// --- Workload generation ---
+
+func BenchmarkPopulationGenerate1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		population.Generate(population.Config{Size: 1000, Seed: int64(i)})
+	}
+}
+
+// --- Table 3: leaf placement kernel ---
+
+func BenchmarkTable3LeafPlacement(b *testing.B) {
+	pop, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := pop.Domains[i%len(pop.Domains)]
+		compliance.ClassifyLeafPlacement(d.List, d.Name)
+	}
+}
+
+// --- Table 5: topology build + order analysis kernel ---
+
+func BenchmarkTable5IssuanceOrder(b *testing.B) {
+	pop, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := pop.Domains[i%len(pop.Domains)]
+		compliance.AnalyzeOrder(topo.Build(d.List))
+	}
+}
+
+// --- Table 7: completeness kernel (union store + AIA) ---
+
+func BenchmarkTable7Completeness(b *testing.B) {
+	pop, graphs := benchSetup(b)
+	cfg := compliance.CompletenessConfig{Roots: pop.Roots(), Fetcher: pop.Repo}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compliance.AnalyzeCompleteness(graphs[i%len(graphs)], cfg)
+	}
+}
+
+// --- Table 8: completeness kernel, single store, no AIA ---
+
+func BenchmarkTable8RootStoreAIA(b *testing.B) {
+	pop, graphs := benchSetup(b)
+	cfg := compliance.CompletenessConfig{Roots: pop.Vendors.Mozilla}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compliance.AnalyzeCompleteness(graphs[i%len(graphs)], cfg)
+	}
+}
+
+// --- Table 9: full client capability matrix ---
+
+func BenchmarkTable9ClientCapabilities(b *testing.B) {
+	runner, err := clients.NewRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tables 10/11: grouping non-compliant chains by server and CA ---
+
+func BenchmarkTable10ServerBreakdown(b *testing.B) {
+	pop, graphs := benchSetup(b)
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: pop.Roots(), Fetcher: pop.Repo}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byServer := map[string]int{}
+		for j, d := range pop.Domains {
+			rep := an.Analyze(d.Name, graphs[j])
+			if !rep.Compliant() {
+				byServer[d.Server]++
+			}
+		}
+	}
+}
+
+func BenchmarkTable11CABreakdown(b *testing.B) {
+	pop, graphs := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byCA := map[string]int{}
+		for j, d := range pop.Domains {
+			if compliance.AnalyzeOrder(graphs[j]).NonCompliant() {
+				byCA[d.CA]++
+			}
+		}
+	}
+}
+
+// --- Figure 2: topology graph construction ---
+
+func BenchmarkFigure2TopologyBuild(b *testing.B) {
+	pop, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Build(pop.Domains[i%len(pop.Domains)].List)
+	}
+}
+
+// --- Figures 3/4: the case-study chains ---
+
+func benchCaseChains(b *testing.B) ([]*certmodel.Certificate, *rootstore.Store) {
+	b.Helper()
+	root, err := certgen.NewRoot("Bench Case Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid, _ := root.NewIntermediate("Bench Mid CA")
+	issuing, _ := mid.NewIntermediate("Bench Issuing CA")
+	leaf, _ := issuing.NewLeaf("bench.case.example")
+	list := make([]*certmodel.Certificate, 0, 17)
+	list = append(list, leaf.Cert)
+	for len(list) < 14 {
+		stale, _ := issuing.NewLeaf("bench.case.example",
+			certgen.WithValidity(certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
+		list = append(list, stale.Cert)
+	}
+	list = append(list, mid.Cert, issuing.Cert, root.Cert)
+	return list, rootstore.NewWith("bench", root.Cert)
+}
+
+func BenchmarkFigure3LongChain(b *testing.B) {
+	list, roots := benchCaseChains(b)
+	builder := &pathbuild.Builder{Policy: clients.Chrome().Policy, Roots: roots, Now: certgen.Reference}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Build(list, "bench.case.example")
+	}
+}
+
+func BenchmarkFigure4Backtracking(b *testing.B) {
+	trusted, err := certgen.NewRoot("Bench F4 Trusted")
+	if err != nil {
+		b.Fatal(err)
+	}
+	topSelf, _ := certgen.NewRoot("Bench F4 Gov CA")
+	cross, _ := trusted.CrossSign(topSelf)
+	issuing, _ := topSelf.NewIntermediate("Bench F4 Issuing")
+	leaf, _ := issuing.NewLeaf("bench.f4.example")
+	list := []*certmodel.Certificate{leaf.Cert, topSelf.Cert, issuing.Cert, cross, trusted.Cert}
+	roots := rootstore.NewWith("bench", trusted.Cert)
+	builder := &pathbuild.Builder{Policy: clients.CryptoAPI().Policy, Roots: roots, Now: certgen.Reference}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := builder.Build(list, "bench.f4.example")
+		if !out.OK() {
+			b.Fatal("backtracking build should succeed")
+		}
+	}
+}
+
+// --- §5.2 differential testing ---
+
+func BenchmarkDifferentialPerChain(b *testing.B) {
+	pop, _ := benchSetup(b)
+	if len(benchBad) == 0 {
+		b.Skip("no non-compliant chains in bench population")
+	}
+	profiles := clients.All()
+	builders := make([]*pathbuild.Builder, len(profiles))
+	for i, p := range profiles {
+		builders[i] = &pathbuild.Builder{Policy: p.Policy, Roots: pop.Roots(), Fetcher: pop.Repo, Now: pop.Cfg.Base}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := benchBad[i%len(benchBad)]
+		for _, bd := range builders {
+			bd.Build(d.List, "")
+		}
+	}
+}
+
+func BenchmarkDifferentialHarness2k(b *testing.B) {
+	pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&difftest.Harness{}).Run(pop)
+	}
+}
+
+// --- Path building per client model on a reversed chain ---
+
+func BenchmarkPathBuildPerClient(b *testing.B) {
+	root, err := certgen.NewRoot("Bench PB Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca2, _ := root.NewIntermediate("Bench PB CA2")
+	ca1, _ := ca2.NewIntermediate("Bench PB CA1")
+	leaf, _ := ca1.NewLeaf("bench.pb.example")
+	reversed := []*certmodel.Certificate{leaf.Cert, root.Cert, ca2.Cert, ca1.Cert}
+	roots := rootstore.NewWith("bench", root.Cert)
+	for _, p := range clients.All() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: p.Policy, Roots: roots, Now: certgen.Reference}
+			for i := 0; i < b.N; i++ {
+				builder.Build(reversed, "bench.pb.example")
+			}
+		})
+	}
+}
+
+// --- AIA recursive chase ---
+
+func BenchmarkAIAChase(b *testing.B) {
+	pop, _ := benchSetup(b)
+	var tail *certmodel.Certificate
+	for _, d := range pop.Domains {
+		if d.Truth.Incomplete && !d.Truth.AIAMissing && !d.Truth.AIADead && !d.Truth.AIAWrong {
+			tail = d.List[len(d.List)-1]
+			break
+		}
+	}
+	if tail == nil {
+		b.Skip("no AIA-recoverable incomplete chain in population")
+	}
+	chaser := &aia.Chaser{Fetcher: pop.Repo}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !chaser.Chase(tail).Completed() {
+			b.Fatal("chase should reach the root")
+		}
+	}
+}
+
+// --- TLS loopback scan (the ZGrab2-equivalent data path) ---
+
+func BenchmarkTLSScanLoopback(b *testing.B) {
+	root, err := certgen.NewRoot("Bench Scan Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, _ := root.NewIntermediate("Bench Scan CA")
+	leaf, _ := inter.NewLeaf("bench.scan.example")
+	srv, err := tlsserve.Start(tlsserve.Config{
+		List:   []*certmodel.Certificate{leaf.Cert, inter.Cert, root.Cert},
+		Key:    leaf.Key,
+		Domain: "bench.scan.example",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	scanner := &tlsscan.Scanner{Timeout: 5 * time.Second}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := scanner.Scan(ctx, tlsscan.Target{Addr: srv.Addr(), Domain: "bench.scan.example"})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md "design choices worth ablating") ---
+
+// Backtracking on vs off over the Figure 4 multi-path chain: cost and
+// success trade-off.
+func BenchmarkAblationBacktracking(b *testing.B) {
+	trusted, err := certgen.NewRoot("Abl BT Trusted")
+	if err != nil {
+		b.Fatal(err)
+	}
+	topSelf, _ := certgen.NewRoot("Abl BT Gov")
+	cross, _ := trusted.CrossSign(topSelf)
+	issuing, _ := topSelf.NewIntermediate("Abl BT Issuing")
+	leaf, _ := issuing.NewLeaf("abl.bt.example")
+	list := []*certmodel.Certificate{leaf.Cert, topSelf.Cert, issuing.Cert, cross, trusted.Cert}
+	roots := rootstore.NewWith("abl", trusted.Cert)
+	for _, bt := range []bool{true, false} {
+		name := "off"
+		if bt {
+			name = "on"
+		}
+		policy := clients.CryptoAPI().Policy
+		policy.Backtrack = bt
+		b.Run(name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: policy, Roots: roots, Now: certgen.Reference}
+			ok := 0
+			for i := 0; i < b.N; i++ {
+				if builder.Build(list, "abl.bt.example").OK() {
+					ok++
+				}
+			}
+			b.ReportMetric(float64(ok)/float64(b.N), "success-rate")
+		})
+	}
+}
+
+// Duplicate elimination on vs off over a duplicate-heavy list (MbedTLS keeps
+// duplicates and pays for rescanning them).
+func BenchmarkAblationDuplicateElimination(b *testing.B) {
+	root, err := certgen.NewRoot("Abl Dup Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, _ := root.NewIntermediate("Abl Dup CA")
+	leaf, _ := inter.NewLeaf("abl.dup.example")
+	list := []*certmodel.Certificate{leaf.Cert}
+	for i := 0; i < 12; i++ { // the ns3.link shape: the same pair repeated
+		list = append(list, inter.Cert, root.Cert)
+	}
+	roots := rootstore.NewWith("abl", root.Cert)
+	for _, elim := range []bool{true, false} {
+		name := "off"
+		if elim {
+			name = "on"
+		}
+		policy := pathbuild.DefaultPolicy()
+		policy.EliminateDuplicates = elim
+		policy.AIA = false
+		b.Run(name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: policy, Roots: roots, Now: certgen.Reference}
+			considered := 0
+			for i := 0; i < b.N; i++ {
+				out := builder.Build(list, "abl.dup.example")
+				considered += out.CandidatesConsidered
+			}
+			b.ReportMetric(float64(considered)/float64(b.N), "candidates/op")
+		})
+	}
+}
+
+// KID priority (recommended match>absent>mismatch) vs none over the Table 2
+// KID scenario.
+func BenchmarkAblationKIDPriority(b *testing.B) {
+	runner, err := clients.NewRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := runner.Set.KID
+	for _, mode := range []struct {
+		name string
+		pref pathbuild.KIDPolicy
+	}{{"kp2", pathbuild.KIDMatchFirst}, {"none", pathbuild.KIDNone}} {
+		policy := pathbuild.DefaultPolicy()
+		policy.KIDPref = mode.pref
+		policy.AIA = false
+		b.Run(mode.name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: policy, Roots: sc.Roots, Now: certgen.Reference}
+			for i := 0; i < b.N; i++ {
+				builder.Build(sc.List, sc.Domain)
+			}
+		})
+	}
+}
+
+// Issuance-rule variants: the paper's flexible rule vs the strict
+// all-criteria rule.
+func BenchmarkAblationIssuanceRule(b *testing.B) {
+	pop, _ := benchSetup(b)
+	d := pop.Domains[0]
+	parent, child := d.List[len(d.List)-1], d.List[0]
+	b.Run("flexible", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			certmodel.Issued(parent, child)
+		}
+	})
+	b.Run("strict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			certmodel.IssuedStrict(parent, child)
+		}
+	})
+}
+
+// Synthetic vs real certificate creation: the population-scale trade-off.
+func BenchmarkAblationCertBackend(b *testing.B) {
+	base := time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+	parent := certmodel.SyntheticRoot("Abl Backend Root", base)
+	b.Run("synthetic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			certmodel.SyntheticLeaf("abl.backend.example", "s", parent, base, base.AddDate(1, 0, 0))
+		}
+	})
+	realRoot, err := certgen.NewRoot("Abl Backend Real Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("real", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := realRoot.NewLeaf("abl.backend.example"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// GnuTLS-style input-list limit vs constructed-path limit on a padded list.
+func BenchmarkAblationLengthSemantics(b *testing.B) {
+	root, err := certgen.NewRoot("Abl Len Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, _ := root.NewIntermediate("Abl Len CA")
+	leaf, _ := inter.NewLeaf("abl.len.example")
+	list := []*certmodel.Certificate{leaf.Cert, inter.Cert, root.Cert}
+	for i := 0; i < 20; i++ {
+		pad, _ := certgen.NewRoot("Abl Len Pad")
+		list = append(list, pad.Cert)
+	}
+	roots := rootstore.NewWith("abl", root.Cert)
+	for _, mode := range []struct {
+		name   string
+		policy pathbuild.Policy
+	}{
+		{"input-list-16", func() pathbuild.Policy { p := pathbuild.DefaultPolicy(); p.AIA = false; p.MaxInputList = 16; return p }()},
+		{"path-16", func() pathbuild.Policy { p := pathbuild.DefaultPolicy(); p.AIA = false; p.MaxPathLen = 16; return p }()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: mode.policy, Roots: roots, Now: certgen.Reference}
+			ok := 0
+			for i := 0; i < b.N; i++ {
+				if builder.Build(list, "abl.len.example").OK() {
+					ok++
+				}
+			}
+			b.ReportMetric(float64(ok)/float64(b.N), "success-rate")
+		})
+	}
+}
+
+// --- Extensions beyond the paper ---
+
+// BenchmarkChainFix measures the §6-recommendations repair engine over the
+// population's non-compliant chains.
+func BenchmarkChainFix(b *testing.B) {
+	pop, _ := benchSetup(b)
+	if len(benchBad) == 0 {
+		b.Skip("no non-compliant chains")
+	}
+	fixer := &chainfix.Fixer{Roots: pop.Roots(), Fetcher: pop.Repo}
+	b.ResetTimer()
+	fixed := 0
+	for i := 0; i < b.N; i++ {
+		d := benchBad[i%len(benchBad)]
+		if _, err := fixer.Fix(d.List, d.Name); err == nil {
+			fixed++
+		}
+	}
+	b.ReportMetric(float64(fixed)/float64(b.N), "fixed-rate")
+}
+
+// BenchmarkTable1BetterTLS runs the full BetterTLS-style validation
+// correctness suite across all eight client models.
+func BenchmarkTable1BetterTLS(b *testing.B) {
+	suite, err := bettertls.NewSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.RunAll()
+	}
+}
+
+// BenchmarkAblationTraceOverhead measures the cost of recording the
+// construction trace.
+func BenchmarkAblationTraceOverhead(b *testing.B) {
+	root, err := certgen.NewRoot("Abl Trace Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca2, _ := root.NewIntermediate("Abl Trace CA2")
+	ca1, _ := ca2.NewIntermediate("Abl Trace CA1")
+	leaf, _ := ca1.NewLeaf("abl.trace.example")
+	list := []*certmodel.Certificate{leaf.Cert, root.Cert, ca2.Cert, ca1.Cert}
+	roots := rootstore.NewWith("abl", root.Cert)
+	pol := clients.Chrome().Policy
+	b.Run("off", func(b *testing.B) {
+		builder := &pathbuild.Builder{Policy: pol, Roots: roots, Now: certgen.Reference}
+		for i := 0; i < b.N; i++ {
+			builder.Build(list, "abl.trace.example")
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			builder := &pathbuild.Builder{Policy: pol, Roots: roots, Now: certgen.Reference, Trace: &pathbuild.Trace{}}
+			builder.Build(list, "abl.trace.example")
+		}
+	})
+}

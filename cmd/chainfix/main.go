@@ -1,0 +1,101 @@
+// chainfix repairs a non-compliant certificate bundle into a compliant
+// deployment (the paper's §6 recommendations automated): duplicates removed,
+// irrelevant certificates dropped, issuance order restored, missing
+// intermediates fetched through AIA, root stripped (or kept with -keep-root).
+//
+// Usage:
+//
+//	chainfix -bundle chain.pem [-roots roots.pem] [-keep-root] [-aia] [-o fixed.pem]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainfix"
+	"chainchaos/internal/rootstore"
+)
+
+func main() {
+	bundle := flag.String("bundle", "", "PEM bundle to repair (required)")
+	rootsFile := flag.String("roots", "", "PEM trust anchors (defaults to self-signed certs in the bundle)")
+	keepRoot := flag.Bool("keep-root", false, "retain the root certificate in the output")
+	useAIA := flag.Bool("aia", false, "allow live HTTP AIA fetching to complete the chain")
+	out := flag.String("o", "", "write the repaired PEM here (default: stdout)")
+	domain := flag.String("domain", "", "domain for the final compliance report")
+	flag.Parse()
+
+	if *bundle == "" {
+		fmt.Fprintln(os.Stderr, "usage: chainfix -bundle chain.pem [flags]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*bundle)
+	if err != nil {
+		fatal(err)
+	}
+	list, err := certmodel.ParsePEMBundle(data)
+	if err != nil {
+		fatal(err)
+	}
+	roots := rootstore.New("cli")
+	if *rootsFile != "" {
+		anchors, err := os.ReadFile(*rootsFile)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := certmodel.ParsePEMBundle(anchors)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range parsed {
+			roots.Add(c)
+		}
+	} else {
+		for _, c := range list {
+			if c.SelfSigned() {
+				roots.Add(c)
+			}
+		}
+	}
+
+	fixer := &chainfix.Fixer{Roots: roots, KeepRoot: *keepRoot}
+	if *useAIA {
+		fixer.Fetcher = &aia.HTTPFetcher{Client: &http.Client{Timeout: 10 * time.Second}}
+	}
+	d := *domain
+	if d == "" {
+		d = list[0].Subject.CommonName
+	}
+	res, err := fixer.Fix(list, d)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, a := range res.Actions {
+		fmt.Fprintln(os.Stderr, "chainfix:", a)
+	}
+	fmt.Fprintf(os.Stderr, "chainfix: %d -> %d certificates, compliant: %v\n",
+		len(list), len(res.List), res.Report.Compliant())
+
+	pemOut, err := certmodel.EncodePEM(res.List)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(pemOut)
+		return
+	}
+	if err := os.WriteFile(*out, pemOut, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chainfix:", err)
+	os.Exit(1)
+}

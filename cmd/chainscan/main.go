@@ -1,0 +1,163 @@
+// chainscan captures the certificate list presented by TLS endpoints (or
+// reads PEM bundles) and reports structural compliance: leaf placement,
+// issuance order, and chain completeness — the paper's server-side analysis
+// for arbitrary targets.
+//
+// Usage:
+//
+//	chainscan [-tls12] [-timeout 5s] host[:port] ...
+//	chainscan -pem bundle.pem -domain example.com
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/report"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/topo"
+)
+
+func main() {
+	pemFile := flag.String("pem", "", "analyze a PEM bundle instead of scanning")
+	rootsFile := flag.String("roots", "", "PEM trust anchors for completeness analysis")
+	domain := flag.String("domain", "", "expected domain (defaults to the target host)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-target connection timeout")
+	tls12 := flag.Bool("tls12", false, "cap the handshake at TLS 1.2 (the paper's primary dataset)")
+	rate := flag.Int("rate", 500<<10, "aggregate certificate bytes per second (0 = unlimited)")
+	flag.Parse()
+
+	anchors := loadRoots(*rootsFile)
+	if *pemFile != "" {
+		if err := analyzePEM(*pemFile, *domain, anchors); err != nil {
+			fmt.Fprintln(os.Stderr, "chainscan:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: chainscan [flags] host[:port] ...  (or -pem bundle.pem)")
+		os.Exit(2)
+	}
+
+	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate}
+	if *tls12 {
+		scanner.MaxVersion = tls.VersionTLS12
+	}
+	var targets []tlsscan.Target
+	for _, arg := range flag.Args() {
+		addr := arg
+		if !strings.Contains(addr, ":") {
+			addr += ":443"
+		}
+		host := strings.Split(arg, ":")[0]
+		targets = append(targets, tlsscan.Target{Addr: addr, Domain: host})
+	}
+	results := scanner.ScanAll(context.Background(), targets)
+	exit := 0
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "chainscan: %s: %v\n", res.Target.Addr, res.Err)
+			exit = 1
+			continue
+		}
+		d := *domain
+		if d == "" {
+			d = res.Target.Domain
+		}
+		printReport(d, res.List, anchors)
+	}
+	os.Exit(exit)
+}
+
+// loadRoots reads the optional trust-anchor bundle; nil means "no anchors
+// supplied" and downgrades completeness analysis to unknown.
+func loadRoots(path string) *rootstore.Store {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainscan:", err)
+		os.Exit(1)
+	}
+	parsed, err := certmodel.ParsePEMBundle(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainscan:", err)
+		os.Exit(1)
+	}
+	return rootstore.NewWith("cli", parsed...)
+}
+
+func analyzePEM(path, domain string, anchors *rootstore.Store) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	list, err := certmodel.ParsePEMBundle(data)
+	if err != nil {
+		return err
+	}
+	if domain == "" {
+		domain = list[0].Subject.CommonName
+	}
+	printReport(domain, list, anchors)
+	return nil
+}
+
+func printReport(domain string, list []*certmodel.Certificate, anchors *rootstore.Store) {
+	g := topo.Build(list)
+	// Without a supplied trust store, fall back to the self-signed
+	// certificates in the list itself; completeness then only
+	// distinguishes with-root from everything else.
+	completenessKnown := anchors != nil
+	roots := anchors
+	if roots == nil {
+		roots = rootstore.New("ad-hoc")
+		for _, c := range list {
+			if c.SelfSigned() {
+				roots.Add(c)
+			}
+		}
+	}
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots}}
+	rep := an.Analyze(domain, g)
+
+	t := report.New(fmt.Sprintf("chain report — %s (%d certificates)", domain, len(list)),
+		"Check", "Result")
+	t.Add("topology", g.String())
+	t.Add("leaf placement", rep.Leaf.String())
+	t.Add("sequential order (TLS 1.2 rule)", report.Mark(rep.Order.SequentialOK))
+	t.Add("duplicates", report.Mark(!rep.Order.HasDuplicates))
+	t.Add("irrelevant certificates", fmt.Sprintf("%d", rep.Order.IrrelevantTotal))
+	t.Add("certification paths", fmt.Sprintf("%d", rep.Order.PathCount))
+	t.Add("reversed sequence", report.Mark(!rep.Order.ReversedAny))
+	completeness := rep.Completeness.Class.String()
+	if !completenessKnown && rep.Completeness.Class != compliance.CompleteWithRoot {
+		completeness = "unknown (supply -roots to check)"
+	}
+	t.Add("completeness", completeness)
+	verdict := "COMPLIANT"
+	if !rep.Compliant() {
+		verdict = "NON-COMPLIANT"
+	}
+	if !completenessKnown && rep.Completeness.Class == compliance.Incomplete &&
+		rep.Leaf.CorrectlyPlaced() && !rep.Order.NonCompliant() {
+		verdict = "COMPLIANT (completeness unknown)"
+	}
+	t.Add("verdict", verdict)
+	fmt.Println(t)
+
+	for i, c := range list {
+		fmt.Printf("  [%d] subject=%q issuer=%q\n", i, c.Subject, c.Issuer)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,77 @@
+// experiments regenerates every table and figure of the paper's evaluation
+// over the synthetic population.
+//
+// Usage:
+//
+//	experiments [-size 100000] [-seed 1] [-run t3,t9,d1]
+//
+// Experiment ids: t1 t3 t4 t5 t6 t7 t8 t9 t10 t11 f2 f3 f4 f5 d1 d2 d3 (default:
+// all, in paper order).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chainchaos/internal/experiments"
+)
+
+func main() {
+	size := flag.Int("size", 100000, "population size (906336 = paper scale)")
+	seed := flag.Int64("seed", 1, "population seed")
+	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	env := experiments.NewEnv(*size, *seed)
+	type exp struct {
+		id string
+		fn func() (fmt.Stringer, error)
+	}
+	str := func(f func() fmt.Stringer) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) { return f(), nil }
+	}
+	all := []exp{
+		{"t1", func() (fmt.Stringer, error) { return env.CapabilityComparison() }},
+		{"t3", str(func() fmt.Stringer { return env.LeafPlacement() })},
+		{"t4", str(func() fmt.Stringer { return env.HTTPServerCharacteristics() })},
+		{"t5", str(func() fmt.Stringer { return env.IssuanceOrder() })},
+		{"t6", str(func() fmt.Stringer { return env.CADeliveryCharacteristics() })},
+		{"t7", str(func() fmt.Stringer { return env.Completeness() })},
+		{"t8", str(func() fmt.Stringer { return env.RootStoreAIA() })},
+		{"t9", func() (fmt.Stringer, error) { return env.ClientCapabilities() }},
+		{"t10", str(func() fmt.Stringer { return env.HTTPServerBreakdown() })},
+		{"t11", str(func() fmt.Stringer { return env.CABreakdown() })},
+		{"f2", str(func() fmt.Stringer { return env.TopologyGallery() })},
+		{"f3", func() (fmt.Stringer, error) { return env.CaseLongChain() }},
+		{"f4", func() (fmt.Stringer, error) { return env.CaseBacktracking() }},
+		{"f5", func() (fmt.Stringer, error) { return env.CaseValidityPriority() }},
+		{"d1", str(func() fmt.Stringer { return env.DifferentialOverview() })},
+		{"d2", str(func() fmt.Stringer { return env.PrioritizationStats() })},
+		{"d3", str(func() fmt.Stringer { return env.CapabilityAblation() })},
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	fmt.Printf("population: %d domains, seed %d\n\n", *size, *seed)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Printf("[%s took %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

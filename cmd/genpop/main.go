@@ -1,0 +1,99 @@
+// genpop generates a synthetic web population and emits a per-domain
+// inventory (TSV) with its ground-truth defect labels, for external analysis
+// or as a workload for other tools.
+//
+// Usage:
+//
+//	genpop -size 10000 -seed 1 > population.tsv
+//	genpop -size 10000 -summary
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"chainchaos/internal/population"
+)
+
+func main() {
+	size := flag.Int("size", 10000, "number of domains")
+	seed := flag.Int64("seed", 1, "generator seed")
+	summary := flag.Bool("summary", false, "print aggregate statistics instead of the TSV")
+	flag.Parse()
+
+	pop := population.Generate(population.Config{Size: *size, Seed: *seed})
+
+	if *summary {
+		printSummary(pop)
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "rank\tdomain\tca\tserver\tcerts\tdup\tirrelevant\tmultipath\treversed\tincomplete\tleaf_mismatch")
+	for _, d := range pop.Domains {
+		t := d.Truth
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+			d.Rank, d.Name, d.CA, d.Server, len(d.List),
+			t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot,
+			t.Irrelevant != population.IrrelevantNone,
+			t.MultiplePaths, t.Reversed, t.Incomplete, t.LeafMismatch)
+	}
+}
+
+func printSummary(pop *population.Population) {
+	var dup, irr, multi, rev, inc, mismatch, other, nc int
+	byCA := map[string]int{}
+	byServer := map[string]int{}
+	for _, d := range pop.Domains {
+		t := d.Truth
+		byCA[d.CA]++
+		byServer[d.Server]++
+		if t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot {
+			dup++
+		}
+		if t.Irrelevant != population.IrrelevantNone {
+			irr++
+		}
+		if t.MultiplePaths {
+			multi++
+		}
+		if t.Reversed {
+			rev++
+		}
+		if t.Incomplete {
+			inc++
+		}
+		if t.LeafMismatch {
+			mismatch++
+		}
+		if t.LeafOther {
+			other++
+		}
+		if t.NonCompliant() {
+			nc++
+		}
+	}
+	n := len(pop.Domains)
+	pct := func(v int) string { return fmt.Sprintf("%d (%.2f%%)", v, 100*float64(v)/float64(n)) }
+	fmt.Printf("domains:              %d\n", n)
+	fmt.Printf("non-compliant:        %s\n", pct(nc))
+	fmt.Printf("  duplicates:         %s\n", pct(dup))
+	fmt.Printf("  irrelevant:         %s\n", pct(irr))
+	fmt.Printf("  multiple paths:     %s\n", pct(multi))
+	fmt.Printf("  reversed:           %s\n", pct(rev))
+	fmt.Printf("  incomplete:         %s\n", pct(inc))
+	fmt.Printf("leaf mismatch:        %s\n", pct(mismatch))
+	fmt.Printf("leaf 'other':         %s\n", pct(other))
+	fmt.Printf("issuer hierarchies:   %d, AIA repository entries: %d\n", len(pop.Issuers), pop.Repo.Len())
+	fmt.Printf("union root store:     %d roots\n", pop.Roots().Len())
+	fmt.Println("\nby CA:")
+	for name, c := range byCA {
+		fmt.Printf("  %-22s %s\n", name, pct(c))
+	}
+	fmt.Println("by server:")
+	for name, c := range byServer {
+		fmt.Printf("  %-38s %s\n", name, pct(c))
+	}
+}

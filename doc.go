@@ -1,0 +1,12 @@
+// Package chainchaos is a from-scratch reproduction of "Chaos in the Chain:
+// Evaluate Deployment and Construction Compliance of Web PKI Certificate
+// Chain" (IMC 2025): a measurement and testing toolkit for X.509 certificate
+// chain deployment (server side) and certificate path construction (client
+// side).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the executables under cmd/ and the runnable walkthroughs under
+// examples/ are the public surface. bench_test.go in this directory holds
+// one benchmark per paper table and figure plus ablations of the design
+// choices called out in DESIGN.md.
+package chainchaos

@@ -1,0 +1,88 @@
+// Quickstart: build a certification path out of a messy server-provided
+// certificate list.
+//
+// The example creates a real PKI (root -> two intermediates -> leaf), shuffles
+// the chain the way misconfigured servers do — leaf first, then the bundle
+// pasted in reverse — and lets the recommended path-building policy sort it
+// out, printing each construction decision.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/topo"
+)
+
+func main() {
+	// A small real PKI: Example Root -> Example CA 2 -> Example CA 1 ->
+	// quickstart.example.
+	root, err := certgen.NewRoot("Example Root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("Example CA 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca1, err := ca2.NewIntermediate("Example CA 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaf, err := ca1.NewLeaf("quickstart.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What a GoGetSSL-style delivery plus a naive merge produces: the leaf
+	// followed by the ca-bundle in top-down (reversed) order.
+	deployed := []*certmodel.Certificate{leaf.Cert, root.Cert, ca2.Cert, ca1.Cert}
+
+	fmt.Println("deployed list (wire order):")
+	for i, c := range deployed {
+		fmt.Printf("  [%d] %s\n", i, c.Subject)
+	}
+
+	// Server-side view: is this list structurally compliant?
+	g := topo.Build(deployed)
+	order := compliance.AnalyzeOrder(g)
+	fmt.Printf("\ntopology: %s\n", g)
+	fmt.Printf("sequential order OK: %v, reversed: %v\n", order.SequentialOK, order.ReversedAny)
+
+	// Client-side view: construct a path anyway.
+	builder := &pathbuild.Builder{
+		Policy: pathbuild.DefaultPolicy(),
+		Roots:  rootstore.NewWith("demo", root.Cert),
+		Now:    certgen.Reference,
+	}
+	out := builder.Build(deployed, "quickstart.example")
+	if out.Err != nil {
+		log.Fatalf("construction failed: %v", out.Err)
+	}
+
+	fmt.Println("\nconstructed certification path:")
+	for i, c := range out.Path {
+		fmt.Printf("  path[%d] %s\n", i, c.Subject)
+	}
+	fmt.Printf("candidates considered: %d, validation OK: %v\n",
+		out.CandidatesConsidered, out.Validation.OK)
+
+	// The same list defeats a client that cannot reorder (MbedTLS's
+	// forward-only scan).
+	mbed := builder
+	mbedPolicy := pathbuild.Policy{Name: "forward-only"}
+	mbed = &pathbuild.Builder{Policy: mbedPolicy, Roots: builder.Roots, Now: builder.Now}
+	out2 := mbed.Build(deployed, "quickstart.example")
+	fmt.Printf("\nforward-only client validation OK: %v", out2.Validation.OK)
+	if !out2.Validation.OK && len(out2.Validation.Findings) > 0 {
+		fmt.Printf(" (%s)", out2.Validation.Findings[0])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module chainchaos
+
+go 1.22

@@ -1,0 +1,233 @@
+package chainchaos_test
+
+// End-to-end integration: the paper's whole pipeline on real sockets and
+// real certificates. A miniature web population is deployed through the
+// HTTP-server models onto loopback TLS listeners, scanned from two
+// "vantages" ZGrab2-style, graded for structural compliance, differentially
+// tested across the eight client models, repaired with the §6 fixer, and
+// re-served — after which every client accepts every chain.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainfix"
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/httpserver"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/tlsserve"
+	"chainchaos/internal/topo"
+)
+
+// miniSite is one deployment in the integration population.
+type miniSite struct {
+	domain        string
+	leaf          *certgen.Leaf
+	wire          []*certmodel.Certificate
+	wantCompliant bool
+	wantDefect    string // informal label for error messages
+}
+
+// buildMiniPopulation creates one real PKI and five deployments spanning the
+// paper's defect taxonomy, pushed through actual server deployment models.
+func buildMiniPopulation(t *testing.T) ([]*miniSite, *rootstore.Store, *aia.Repository) {
+	t.Helper()
+	root, err := certgen.NewRoot("Integration Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("Integration CA 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const aiaURI = "http://repo.integration.example/ca2.der"
+	ca1, err := ca2.NewIntermediate("Integration CA 1", certgen.WithAIA(aiaURI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray, err := certgen.NewRoot("Integration Stray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := aia.NewRepository()
+	repo.Put(aiaURI, ca2.Cert)
+	roots := rootstore.NewWith("integration", root.Cert)
+
+	mkLeaf := func(domain string) *certgen.Leaf {
+		leaf, err := ca1.NewLeaf(domain, certgen.WithAIA("http://repo.integration.example/ca1.der"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return leaf
+	}
+	repoPutCA1 := func() { repo.Put("http://repo.integration.example/ca1.der", ca1.Cert) }
+	repoPutCA1()
+
+	deploy := func(model httpserver.Model, leaf *certgen.Leaf, chainFile []*certmodel.Certificate) []*certmodel.Certificate {
+		in := httpserver.ConfigInput{
+			CertFile:      []*certmodel.Certificate{leaf.Cert},
+			ChainFile:     chainFile,
+			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chainFile...),
+			PrivateKeyFor: leaf.Cert,
+		}
+		wire, err := model.Deploy(in)
+		if err != nil {
+			t.Fatalf("deploy on %s: %v", model.Name, err)
+		}
+		return wire
+	}
+
+	var sites []*miniSite
+	// 1. A compliant Nginx deployment.
+	l1 := mkLeaf("good.int.example")
+	sites = append(sites, &miniSite{
+		domain: "good.int.example", leaf: l1,
+		wire:          deploy(httpserver.Nginx(), l1, []*certmodel.Certificate{ca1.Cert, ca2.Cert}),
+		wantCompliant: true,
+	})
+	// 2. Reversed bundle merged verbatim (the GoGetSSL story).
+	l2 := mkLeaf("reversed.int.example")
+	sites = append(sites, &miniSite{
+		domain: "reversed.int.example", leaf: l2,
+		wire:       deploy(httpserver.Nginx(), l2, []*certmodel.Certificate{root.Cert, ca2.Cert, ca1.Cert}),
+		wantDefect: "reversed",
+	})
+	// 3. Duplicate leaf via Apache's split files.
+	l3 := mkLeaf("duplicate.int.example")
+	sites = append(sites, &miniSite{
+		domain: "duplicate.int.example", leaf: l3,
+		wire:       deploy(httpserver.ApacheOld(), l3, []*certmodel.Certificate{l3.Cert, ca1.Cert, ca2.Cert}),
+		wantDefect: "duplicate leaf",
+	})
+	// 4. Missing intermediate (AIA-recoverable).
+	l4 := mkLeaf("incomplete.int.example")
+	sites = append(sites, &miniSite{
+		domain: "incomplete.int.example", leaf: l4,
+		wire:       deploy(httpserver.Nginx(), l4, []*certmodel.Certificate{ca1.Cert}),
+		wantDefect: "incomplete",
+	})
+	// 5. An irrelevant stray root appended.
+	l5 := mkLeaf("irrelevant.int.example")
+	sites = append(sites, &miniSite{
+		domain: "irrelevant.int.example", leaf: l5,
+		wire:       deploy(httpserver.AWSELB(), l5, []*certmodel.Certificate{ca1.Cert, ca2.Cert, stray.Cert}),
+		wantDefect: "irrelevant certificate",
+	})
+	return sites, roots, repo
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	sites, roots, repo := buildMiniPopulation(t)
+
+	// Serve everything over real TLS.
+	farm := tlsserve.NewFarm()
+	defer farm.Close()
+	var targets []tlsscan.Target
+	for _, s := range sites {
+		srv, err := farm.Add(tlsserve.Config{List: s.wire, Key: s.leaf.Key, Domain: s.domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: s.domain})
+	}
+
+	// Scan from two vantages and merge, like the paper's US/AU pair.
+	scanner := &tlsscan.Scanner{Timeout: 3 * time.Second, Concurrency: 4}
+	merged := tlsscan.MergeVantages(
+		scanner.ScanAll(context.Background(), targets),
+		scanner.ScanAll(context.Background(), targets),
+	)
+
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
+	fixer := &chainfix.Fixer{Roots: roots, Fetcher: repo}
+
+	for _, s := range sites {
+		results := merged[s.domain]
+		if len(results) != 1 {
+			t.Fatalf("%s: %d merged captures, want 1", s.domain, len(results))
+		}
+		captured := results[0].List
+
+		// The wire preserved the deployment bit for bit.
+		if len(captured) != len(s.wire) {
+			t.Fatalf("%s: captured %d certs, deployed %d", s.domain, len(captured), len(s.wire))
+		}
+		for i := range captured {
+			if !captured[i].Equal(s.wire[i]) {
+				t.Errorf("%s: wire position %d differs", s.domain, i)
+			}
+		}
+
+		// Compliance grading matches the injected defect.
+		rep := analyzer.Analyze(s.domain, topo.Build(captured))
+		if rep.Compliant() != s.wantCompliant {
+			t.Errorf("%s: compliant=%v, want %v (%s)", s.domain, rep.Compliant(), s.wantCompliant, s.wantDefect)
+		}
+		if s.wantCompliant {
+			continue
+		}
+
+		// Differential testing: at least one client model must diverge
+		// from another on defective chains OR all handle it (duplicates,
+		// irrelevant certs are harmless to every model).
+		verdicts := map[string]bool{}
+		for _, p := range clients.All() {
+			b := &pathbuild.Builder{
+				Policy: p.Policy, Roots: roots, Fetcher: repo,
+				Cache: rootstore.New("cache"), Now: certgen.Reference,
+			}
+			verdicts[p.Name] = b.Build(captured, s.domain).OK()
+		}
+		switch s.wantDefect {
+		case "reversed":
+			if verdicts["MbedTLS"] {
+				t.Errorf("%s: MbedTLS accepted a reversed chain", s.domain)
+			}
+			if !verdicts["Chrome"] || !verdicts["OpenSSL"] {
+				t.Errorf("%s: reordering clients should accept (%v)", s.domain, verdicts)
+			}
+		case "incomplete":
+			if verdicts["OpenSSL"] || verdicts["GnuTLS"] {
+				t.Errorf("%s: AIA-less libraries accepted an incomplete chain", s.domain)
+			}
+			if !verdicts["CryptoAPI"] || !verdicts["Chrome"] {
+				t.Errorf("%s: AIA clients should recover (%v)", s.domain, verdicts)
+			}
+		}
+
+		// Repair, re-serve, re-scan: the fixed deployment must be
+		// compliant on the wire and accepted by every client model.
+		fixed, err := fixer.Fix(captured, s.domain)
+		if err != nil {
+			t.Fatalf("%s: fix: %v", s.domain, err)
+		}
+		srv, err := farm.Add(tlsserve.Config{List: fixed.List, Key: s.leaf.Key, Domain: s.domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := scanner.Scan(context.Background(), tlsscan.Target{Addr: srv.Addr(), Domain: s.domain})
+		if res.Err != nil {
+			t.Fatalf("%s: rescan: %v", s.domain, res.Err)
+		}
+		rep2 := analyzer.Analyze(s.domain, topo.Build(res.List))
+		if !rep2.Compliant() {
+			t.Errorf("%s: repaired deployment still non-compliant", s.domain)
+		}
+		for _, p := range clients.All() {
+			b := &pathbuild.Builder{
+				Policy: p.Policy, Roots: roots, Fetcher: repo,
+				Cache: rootstore.New("cache"), Now: certgen.Reference,
+			}
+			if !b.Build(res.List, s.domain).OK() {
+				t.Errorf("%s: %s rejected the repaired chain", s.domain, p.Name)
+			}
+		}
+	}
+}

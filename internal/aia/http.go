@@ -1,0 +1,76 @@
+package aia
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Handler serves a Repository over HTTP: GET <prefix>/<name> answers with
+// the DER bytes of the certificate published at the request URL. It lets the
+// AIA code path run over a real network socket in the examples and
+// integration tests — the transport the paper notes is plain HTTP, with the
+// MITM and privacy caveats that entails.
+func Handler(repo *Repository, baseURL string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		uri := strings.TrimSuffix(baseURL, "/") + req.URL.Path
+		cert, err := repo.Fetch(uri)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if cert.X509 == nil {
+			http.Error(w, "certificate has no DER form", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/pkix-cert")
+		w.Write(cert.Raw)
+	})
+}
+
+// HTTPFetcher fetches issuer certificates over real HTTP. Rewrite, when
+// non-nil, maps the URI embedded in the certificate to the URL actually
+// requested — tests use it to point fixed in-cert URIs at an ephemeral
+// localhost listener.
+type HTTPFetcher struct {
+	Client  *http.Client
+	Rewrite func(uri string) string
+}
+
+// Fetch implements Fetcher over HTTP. The response body is limited to 64 KiB
+// (no legitimate certificate is larger).
+func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
+	target := uri
+	if f.Rewrite != nil {
+		target = f.Rewrite(uri)
+	}
+	if _, err := url.Parse(target); err != nil {
+		return nil, fmt.Errorf("aia: bad URI %q: %w", target, err)
+	}
+	client := f.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(target)
+	if err != nil {
+		return nil, fmt.Errorf("aia: GET %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("aia: GET %s: status %d", target, resp.StatusCode)
+	}
+	der, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return nil, fmt.Errorf("aia: read %s: %w", target, err)
+	}
+	cert, err := certmodel.ParseDER(der)
+	if err != nil {
+		return nil, fmt.Errorf("aia: parse %s: %w", target, err)
+	}
+	return cert, nil
+}

@@ -1,0 +1,95 @@
+package aia
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chainchaos/internal/certgen"
+)
+
+// TestHTTPRoundTrip serves a repository over a real loopback HTTP listener
+// and drives the HTTPFetcher and Chaser across it — the full AIA data path
+// on actual sockets.
+func TestHTTPRoundTrip(t *testing.T) {
+	root, err := certgen.NewRoot("HTTP AIA Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("HTTP AIA CA2", certgen.WithAIA("http://aia.example/root.der"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca1, err := root.NewIntermediate("HTTP AIA CA1") // placeholder for chain building below
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ca1
+
+	repo := NewRepository()
+	const base = "http://aia.example"
+	repo.Put(base+"/ca2.der", ca2.Cert)
+	repo.Put(base+"/root.der", root.Cert)
+
+	srv := httptest.NewServer(Handler(repo, base))
+	defer srv.Close()
+
+	fetcher := &HTTPFetcher{
+		Client: srv.Client(),
+		Rewrite: func(uri string) string {
+			return srv.URL + strings.TrimPrefix(uri, base)
+		},
+	}
+
+	got, err := fetcher.Fetch(base + "/ca2.der")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ca2.Cert) {
+		t.Error("fetched certificate differs")
+	}
+
+	// Missing path: 404 surfaces as an error.
+	if _, err := fetcher.Fetch(base + "/nope.der"); err == nil {
+		t.Error("404 fetch succeeded")
+	}
+
+	// A leaf whose AIA chases over real HTTP up to the root.
+	leaf, err := ca2.NewLeaf("http-aia.example", certgen.WithAIA(base+"/ca2.der"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaser := &Chaser{Fetcher: fetcher}
+	res := chaser.Chase(leaf.Cert)
+	if !res.Completed() {
+		t.Fatalf("HTTP chase = %+v (err=%v)", res.Terminal, res.Err)
+	}
+	if len(res.Fetched) != 2 {
+		t.Errorf("fetched %d certs, want 2", len(res.Fetched))
+	}
+}
+
+func TestHandlerRejectsSynthetic(t *testing.T) {
+	repo := NewRepository()
+	_, _, ca1 := chain(repo) // synthetic certs
+	srv := httptest.NewServer(Handler(repo, "http://repo"))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/ca2.der")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("synthetic cert served with status %d", resp.StatusCode)
+	}
+	_ = ca1
+}
+
+func TestHTTPFetcherBadURI(t *testing.T) {
+	f := &HTTPFetcher{}
+	if _, err := f.Fetch("http://127.0.0.1:1/dead.der"); err == nil {
+		t.Error("connection-refused fetch succeeded")
+	}
+}

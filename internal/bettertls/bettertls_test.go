@@ -1,0 +1,118 @@
+package bettertls
+
+import (
+	"testing"
+
+	"chainchaos/internal/clients"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cases) != len(Kinds()) {
+		t.Fatalf("case count = %d", len(s.Cases))
+	}
+	for _, c := range s.Cases {
+		if len(c.List) != 4 {
+			t.Errorf("%v: list length = %d", c.Kind, len(c.List))
+		}
+		if c.Poison.Subject != c.Healthy.Subject {
+			t.Errorf("%v: poison/healthy subjects differ", c.Kind)
+		}
+		if string(c.Poison.PublicKeyID) != string(c.Healthy.PublicKeyID) {
+			t.Errorf("%v: poison/healthy keys differ", c.Kind)
+		}
+		// The poisoned variant must be presented before the healthy one.
+		if !c.List[1].Equal(c.Poison) || !c.List[2].Equal(c.Healthy) {
+			t.Errorf("%v: presentation order wrong", c.Kind)
+		}
+	}
+}
+
+// TestValidationCorrectnessMatrix pins the expected Table 1-style outcomes
+// for each client model: backtracking clients always recover onto the
+// healthy chain; BP-capable clients dodge the BasicConstraints poisons
+// up front; validity-prioritizing clients dodge the expired poison; plain
+// positional clients (GnuTLS) fall for everything.
+func TestValidationCorrectnessMatrix(t *testing.T) {
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := s.RunAll()
+
+	pass := func(client string, kind TestKind) bool {
+		return results[client][kind].Pass
+	}
+
+	// Backtracking clients (CryptoAPI + all browsers) pass every test.
+	for _, client := range []string{"CryptoAPI", "Chrome", "Edge", "Safari", "Firefox"} {
+		for _, kind := range Kinds() {
+			if !pass(client, kind) {
+				t.Errorf("%s should pass %v", client, kind)
+			}
+		}
+	}
+
+	// OpenSSL: VP1 dodges the expired poison, but nothing helps against
+	// the semantic poisons and it cannot backtrack.
+	if !pass("OpenSSL", Expired) {
+		t.Error("OpenSSL should dodge the expired candidate (VP1)")
+	}
+	for _, kind := range []TestKind{NameConstraintsViolation, BadEKU} {
+		if pass("OpenSSL", kind) {
+			t.Errorf("OpenSSL should fail %v (no priority, no backtracking)", kind)
+		}
+	}
+
+	// GnuTLS has no validity priority and no backtracking: it falls for
+	// every poison.
+	for _, kind := range Kinds() {
+		if pass("GnuTLS", kind) {
+			t.Errorf("GnuTLS should fail %v", kind)
+		}
+	}
+
+	// MbedTLS: construction-time validity filtering dodges EXPIRED, and
+	// its BasicConstraints priority dodges the BC poisons; the NC and EKU
+	// poisons defeat it. So does DEPRECATED_CRYPTO: the weak signature
+	// sits on the candidate itself and only fails one level up (verifying
+	// root->poison), after the forward-only scan has committed — exactly
+	// why only backtracking clients recover.
+	if !pass("MbedTLS", Expired) {
+		t.Error("MbedTLS should dodge the expired candidate (partial validation)")
+	}
+	for _, c := range []string{"MbedTLS", "GnuTLS", "OpenSSL"} {
+		if pass(c, DeprecatedCrypto) {
+			t.Errorf("%s should fail DEPRECATED_CRYPTO (no backtracking)", c)
+		}
+	}
+	if !pass("MbedTLS", MissingBasicConstraints) || !pass("MbedTLS", NotACA) {
+		t.Error("MbedTLS should dodge BasicConstraints poisons (BP)")
+	}
+	if pass("MbedTLS", NameConstraintsViolation) || pass("MbedTLS", BadEKU) {
+		t.Error("MbedTLS should fail the NC/EKU poisons")
+	}
+
+	// And the recommended policy (not in the matrix) must pass everything.
+	rec := clients.Profile{Name: "recommended"}
+	rec.Policy = recommendedPolicy()
+	for _, r := range s.Run(rec) {
+		if !r.Pass {
+			t.Errorf("recommended policy failed %v", r.Kind)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d renders empty", int(k))
+		}
+	}
+	if TestKind(99).String() != "TEST(99)" {
+		t.Error("unknown kind rendering")
+	}
+}

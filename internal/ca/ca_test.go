@@ -1,0 +1,221 @@
+package ca
+
+import (
+	"testing"
+	"time"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/topo"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func profileByName(t *testing.T, name string) Profile {
+	t.Helper()
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no profile %q", name)
+	return Profile{}
+}
+
+func TestProfileCatalog(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) != 9 {
+		t.Fatalf("profile count = %d", len(profiles))
+	}
+	var share float64
+	for _, p := range profiles {
+		share += p.MarketShare
+		if p.Name == "" {
+			t.Error("unnamed profile")
+		}
+	}
+	if share < 0.95 || share > 1.05 {
+		t.Errorf("market shares sum to %.3f, want ~1", share)
+	}
+	// The reversed-bundle trio.
+	for _, name := range []string{"GoGetSSL", "cyber_Folks S.A.", "Trustico"} {
+		p := profileByName(t, name)
+		if !p.BundleReversed || !p.ProvidesRoot {
+			t.Errorf("%s should deliver a reversed bundle including the root", name)
+		}
+		if p.Rates.Reversed < 0.07 {
+			t.Errorf("%s reversed rate = %v", name, p.Rates.Reversed)
+		}
+	}
+	le := profileByName(t, "Let's Encrypt")
+	if !le.AutomaticManagement || !le.ProvidesFullchain || le.InstallGuide != GuideFull {
+		t.Error("Let's Encrypt profile wrong")
+	}
+	if le.Rates.Reversed > 0.001 {
+		t.Error("Let's Encrypt reversed rate should be negligible")
+	}
+	tw := profileByName(t, "TAIWAN-CA")
+	if !tw.OmitsIntermediate || tw.Rates.Incomplete < 0.3 {
+		t.Error("TAIWAN-CA must omit an intermediate with a high incomplete rate")
+	}
+}
+
+func TestIssuerHierarchyShape(t *testing.T) {
+	iss := NewSyntheticIssuer(IssuerConfig{Profile: profileByName(t, "DigiCert"), Base: base, Tag: "t"})
+	if !iss.Root.SelfSigned() {
+		t.Error("root not self-signed")
+	}
+	if len(iss.Intermediates) != 2 {
+		t.Fatalf("intermediates = %d", len(iss.Intermediates))
+	}
+	top, issuing := iss.Intermediates[0], iss.Intermediates[1]
+	if !certmodel.Issued(iss.Root, top) || !certmodel.Issued(top, issuing) {
+		t.Error("hierarchy links broken")
+	}
+	if !certmodel.Issued(iss.CrossRoot, iss.CrossSigned) {
+		t.Error("cross-signed link broken")
+	}
+	if iss.CrossSigned.Subject != top.Subject {
+		t.Error("cross-signed cert must share the top subject")
+	}
+	if !certmodel.Issued(iss.CrossRoot, iss.RootCrossSigned) {
+		t.Error("root-cross link broken")
+	}
+	if iss.RootCrossSigned.Subject != iss.Root.Subject {
+		t.Error("root-cross subject mismatch")
+	}
+	leaf := iss.IssueLeaf("shape.example", base, base.AddDate(1, 0, 0), LeafOptions{})
+	if !certmodel.Issued(issuing, leaf) {
+		t.Error("leaf issuance broken")
+	}
+	// Both the direct and cross-signed top variant must verify issuing.
+	if !certmodel.Issued(iss.CrossSigned, issuing) {
+		t.Error("cross-signed top does not verify the issuing CA")
+	}
+}
+
+func TestAIAWiring(t *testing.T) {
+	published := map[string]*certmodel.Certificate{}
+	iss := NewSyntheticIssuer(IssuerConfig{
+		Profile: profileByName(t, "Sectigo Limited"), Base: base, Tag: "w",
+		AIABase: "http://aia.test",
+	})
+	iss.RegisterAIA(func(uri string, cert *certmodel.Certificate) { published[uri] = cert })
+	if len(published) != 3 {
+		t.Fatalf("published %d certs, want 3", len(published))
+	}
+	leaf := iss.IssueLeaf("wire.example", base, base.AddDate(1, 0, 0), LeafOptions{})
+	if len(leaf.AIAIssuerURLs) != 1 {
+		t.Fatalf("leaf AIA = %v", leaf.AIAIssuerURLs)
+	}
+	if got := published[leaf.AIAIssuerURLs[0]]; got == nil || !got.Equal(iss.IssuingCA()) {
+		t.Error("leaf AIA does not resolve to the issuing CA")
+	}
+	issuing := iss.IssuingCA()
+	if got := published[issuing.AIAIssuerURLs[0]]; got == nil || !got.Equal(iss.Intermediates[0]) {
+		t.Error("issuing CA AIA does not resolve to the top CA")
+	}
+
+	// Leaf options.
+	noAIA := iss.IssueLeaf("wire2.example", base, base.AddDate(1, 0, 0), LeafOptions{OmitAIA: true})
+	if len(noAIA.AIAIssuerURLs) != 0 {
+		t.Error("OmitAIA ignored")
+	}
+	override := iss.IssueLeaf("wire3.example", base, base.AddDate(1, 0, 0), LeafOptions{AIAOverride: "http://dead"})
+	if len(override.AIAIssuerURLs) != 1 || override.AIAIssuerURLs[0] != "http://dead" {
+		t.Error("AIAOverride ignored")
+	}
+
+	// An AIA-less hierarchy publishes nothing and issues AIA-less certs.
+	silent := NewSyntheticIssuer(IssuerConfig{Profile: profileByName(t, "Other"), Base: base, Tag: "s"})
+	count := 0
+	silent.RegisterAIA(func(string, *certmodel.Certificate) { count++ })
+	if count != 0 {
+		t.Error("AIA-less hierarchy published certs")
+	}
+	if l := silent.IssueLeaf("s.example", base, base.AddDate(1, 0, 0), LeafOptions{}); len(l.AIAIssuerURLs) != 0 {
+		t.Error("AIA-less hierarchy issued AIA URLs")
+	}
+}
+
+func TestTopNoAKID(t *testing.T) {
+	iss := NewSyntheticIssuer(IssuerConfig{Profile: profileByName(t, "Other"), Base: base, Tag: "na", TopNoAKID: true})
+	if iss.Intermediates[0].AuthorityKeyID != nil {
+		t.Error("TopNoAKID ignored")
+	}
+	// The link must still hold through DN + signature.
+	if !certmodel.Issued(iss.Root, iss.Intermediates[0]) {
+		t.Error("AKID-less top no longer linked to the root")
+	}
+}
+
+func TestDeliveryShapes(t *testing.T) {
+	issue := func(name string) Delivery {
+		iss := NewSyntheticIssuer(IssuerConfig{Profile: profileByName(t, name), Base: base, Tag: "d"})
+		return iss.Issue("delivery.example", base, base.AddDate(1, 0, 0), LeafOptions{})
+	}
+
+	le := issue("Let's Encrypt")
+	if len(le.Fullchain) == 0 || len(le.Bundle) == 0 {
+		t.Error("Let's Encrypt delivery missing files")
+	}
+	if !topo.SequentialOrderOK(le.Fullchain) {
+		t.Error("fullchain not in issuance order")
+	}
+	if !topo.SequentialOrderOK(append([]*certmodel.Certificate{le.Leaf}, le.Bundle...)) {
+		t.Error("LE bundle not in issuance order")
+	}
+
+	gg := issue("GoGetSSL")
+	if gg.Fullchain != nil {
+		t.Error("GoGetSSL should not deliver a fullchain")
+	}
+	if topo.SequentialOrderOK(append([]*certmodel.Certificate{gg.Leaf}, gg.Bundle...)) {
+		t.Error("GoGetSSL bundle should be reversed")
+	}
+	// Reversing it back must restore compliance.
+	rev := append([]*certmodel.Certificate(nil), gg.Bundle...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if !topo.SequentialOrderOK(append([]*certmodel.Certificate{gg.Leaf}, rev...)) {
+		t.Error("un-reversed GoGetSSL bundle still out of order")
+	}
+	// Root included.
+	foundRoot := false
+	for _, c := range gg.Bundle {
+		if c.SelfSigned() {
+			foundRoot = true
+		}
+	}
+	if !foundRoot {
+		t.Error("GoGetSSL bundle should include the root")
+	}
+
+	tw := issue("TAIWAN-CA")
+	// The omitted intermediate leaves a one-cert bundle that cannot reach
+	// the root.
+	if len(tw.Bundle) != 1 {
+		t.Errorf("TAIWAN-CA bundle = %d certs, want 1 (top omitted)", len(tw.Bundle))
+	}
+}
+
+func TestIssueLeafSerialsUnique(t *testing.T) {
+	iss := NewSyntheticIssuer(IssuerConfig{Profile: profileByName(t, "ZeroSSL"), Base: base, Tag: "u"})
+	a := iss.IssueLeaf("u.example", base, base.AddDate(1, 0, 0), LeafOptions{})
+	b := iss.IssueLeaf("u.example", base, base.AddDate(1, 0, 0), LeafOptions{})
+	if a.Equal(b) {
+		t.Error("two issuances produced identical certificates")
+	}
+	if a.SerialNumber == b.SerialNumber {
+		t.Error("serials repeat")
+	}
+}
+
+func TestGuideLevelStrings(t *testing.T) {
+	if GuideNone.String() != "none" || GuidePartial.String() != "partial" || GuideFull.String() != "full" {
+		t.Error("guide level strings wrong")
+	}
+	if GuideLevel(7).String() != "unknown" {
+		t.Error("unknown guide level rendering")
+	}
+}

@@ -1,0 +1,348 @@
+// Package certgen creates real, cryptographically signed X.509 certificates
+// for the client-capability tests and the TLS scan substrate.
+//
+// It contains its own DER encoder rather than using x509.CreateCertificate,
+// because the paper's test chains require malformed shapes the stdlib
+// constructor refuses to emit: CA certificates without a Subject Key
+// Identifier (Table 2 test 5), mismatching Authority Key Identifiers, absent
+// KeyUsage extensions, and incorrect pathLenConstraints. The encoder produces
+// standard DER that crypto/x509 parses and verifies normally, so everything
+// downstream — including the real TLS handshakes in internal/tlsserve — works
+// with these certificates.
+package certgen
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Object identifiers used in certificate construction.
+var (
+	oidSignatureECDSAWithSHA256 = asn1.ObjectIdentifier{1, 2, 840, 10045, 4, 3, 2}
+	oidSignatureECDSAWithSHA1   = asn1.ObjectIdentifier{1, 2, 840, 10045, 4, 1}
+	oidExtBasicConstraints      = asn1.ObjectIdentifier{2, 5, 29, 19}
+	oidExtKeyUsage              = asn1.ObjectIdentifier{2, 5, 29, 15}
+	oidExtSubjectKeyID          = asn1.ObjectIdentifier{2, 5, 29, 14}
+	oidExtAuthorityKeyID        = asn1.ObjectIdentifier{2, 5, 29, 35}
+	oidExtSubjectAltName        = asn1.ObjectIdentifier{2, 5, 29, 17}
+	oidExtAIA                   = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 1, 1}
+	oidAIACAIssuers             = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 48, 2}
+	oidExtExtendedKeyUsage      = asn1.ObjectIdentifier{2, 5, 29, 37}
+	oidExtNameConstraints       = asn1.ObjectIdentifier{2, 5, 29, 30}
+
+	oidEKUServerAuth      = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 1}
+	oidEKUClientAuth      = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 2}
+	oidEKUCodeSigning     = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 3}
+	oidEKUEmailProtection = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 4}
+	oidEKUOCSPSigning     = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 9}
+	oidEKUAny             = asn1.ObjectIdentifier{2, 5, 29, 37, 0}
+)
+
+// Template fully describes a certificate to encode. Zero values mean
+// "absent": no BasicConstraints unless IncludeBasicConstraints, no KeyUsage
+// unless IncludeKeyUsage, no pathLenConstraint unless HasPathLen, and no
+// SKID/AKID unless the respective byte slices are non-nil.
+type Template struct {
+	Subject certmodel.Name
+	Issuer  certmodel.Name
+	Serial  *big.Int
+
+	NotBefore time.Time
+	NotAfter  time.Time
+
+	IncludeBasicConstraints bool
+	IsCA                    bool
+	HasPathLen              bool
+	MaxPathLen              int
+
+	IncludeKeyUsage bool
+	KeyUsage        certmodel.KeyUsage
+
+	// SKID and AKID extension values; nil omits the extension.
+	SKID []byte
+	AKID []byte
+
+	DNSNames    []string
+	IPAddresses []net.IP
+
+	AIAIssuerURLs []string
+
+	// ExtKeyUsages adds an Extended Key Usage extension when non-empty.
+	ExtKeyUsages []certmodel.ExtKeyUsage
+
+	// Name Constraints (dNSName form); the extension is emitted when
+	// either list is non-empty.
+	PermittedDNSDomains []string
+	ExcludedDNSDomains  []string
+
+	// WeakSignature signs the certificate with ECDSA-SHA1, an algorithm
+	// modern verifiers refuse — the DEPRECATED_CRYPTO test material.
+	// crypto/x509 parses such certificates but rejects their signatures.
+	WeakSignature bool
+}
+
+type tbsCertificate struct {
+	Version            int `asn1:"optional,explicit,default:0,tag:0"`
+	SerialNumber       *big.Int
+	SignatureAlgorithm pkix.AlgorithmIdentifier
+	Issuer             asn1.RawValue
+	Validity           validity
+	Subject            asn1.RawValue
+	PublicKey          asn1.RawValue
+	Extensions         []pkix.Extension `asn1:"optional,explicit,tag:3,omitempty"`
+}
+
+type validity struct {
+	NotBefore, NotAfter time.Time
+}
+
+type certificate struct {
+	TBSCertificate     asn1.RawValue
+	SignatureAlgorithm pkix.AlgorithmIdentifier
+	SignatureValue     asn1.BitString
+}
+
+type basicConstraintsWithLen struct {
+	IsCA bool `asn1:"optional"`
+	// default:-1 forces a pathLenConstraint of zero to be encoded rather
+	// than elided as an optional zero value.
+	MaxPathLen int `asn1:"optional,default:-1"`
+}
+
+type basicConstraintsNoLen struct {
+	IsCA bool `asn1:"optional"`
+}
+
+type authorityKeyID struct {
+	ID []byte `asn1:"optional,tag:0"`
+}
+
+type accessDescription struct {
+	Method   asn1.ObjectIdentifier
+	Location asn1.RawValue
+}
+
+type nameConstraints struct {
+	Permitted []generalSubtree `asn1:"optional,tag:0"`
+	Excluded  []generalSubtree `asn1:"optional,tag:1"`
+}
+
+type generalSubtree struct {
+	Base string `asn1:"tag:2"` // dNSName
+}
+
+// Encode builds and signs the certificate described by tpl. The subject's
+// public key is pub; signer is the issuer's private key (the subject's own
+// key for self-signed certificates). It returns the DER encoding.
+func Encode(tpl Template, pub *ecdsa.PublicKey, signer *ecdsa.PrivateKey) ([]byte, error) {
+	if tpl.Serial == nil {
+		return nil, fmt.Errorf("certgen: template for %q has no serial", tpl.Subject)
+	}
+	spki, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal public key: %w", err)
+	}
+	issuerDER, err := asn1.Marshal(tpl.Issuer.ToPKIXName().ToRDNSequence())
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal issuer: %w", err)
+	}
+	subjectDER, err := asn1.Marshal(tpl.Subject.ToPKIXName().ToRDNSequence())
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal subject: %w", err)
+	}
+	exts, err := buildExtensions(tpl)
+	if err != nil {
+		return nil, err
+	}
+
+	algo := pkix.AlgorithmIdentifier{Algorithm: oidSignatureECDSAWithSHA256}
+	if tpl.WeakSignature {
+		algo = pkix.AlgorithmIdentifier{Algorithm: oidSignatureECDSAWithSHA1}
+	}
+	tbs := tbsCertificate{
+		Version:            2, // X.509 v3
+		SerialNumber:       tpl.Serial,
+		SignatureAlgorithm: algo,
+		Issuer:             asn1.RawValue{FullBytes: issuerDER},
+		Validity:           validity{tpl.NotBefore.UTC(), tpl.NotAfter.UTC()},
+		Subject:            asn1.RawValue{FullBytes: subjectDER},
+		PublicKey:          asn1.RawValue{FullBytes: spki},
+		Extensions:         exts,
+	}
+	tbsDER, err := asn1.Marshal(tbs)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal TBS: %w", err)
+	}
+
+	var digest []byte
+	if tpl.WeakSignature {
+		sum := sha1.Sum(tbsDER)
+		digest = sum[:]
+	} else {
+		sum := sha256.Sum256(tbsDER)
+		digest = sum[:]
+	}
+	sig, err := ecdsa.SignASN1(rand.Reader, signer, digest)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: sign: %w", err)
+	}
+
+	der, err := asn1.Marshal(certificate{
+		TBSCertificate:     asn1.RawValue{FullBytes: tbsDER},
+		SignatureAlgorithm: algo,
+		SignatureValue:     asn1.BitString{Bytes: sig, BitLength: len(sig) * 8},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal certificate: %w", err)
+	}
+	return der, nil
+}
+
+// EncodeToModel encodes the template and returns it parsed into the unified
+// certificate model.
+func EncodeToModel(tpl Template, pub *ecdsa.PublicKey, signer *ecdsa.PrivateKey) (*certmodel.Certificate, error) {
+	der, err := Encode(tpl, pub, signer)
+	if err != nil {
+		return nil, err
+	}
+	return certmodel.ParseDER(der)
+}
+
+func buildExtensions(tpl Template) ([]pkix.Extension, error) {
+	var exts []pkix.Extension
+	add := func(oid asn1.ObjectIdentifier, critical bool, value interface{}) error {
+		der, err := asn1.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("certgen: marshal extension %v: %w", oid, err)
+		}
+		exts = append(exts, pkix.Extension{Id: oid, Critical: critical, Value: der})
+		return nil
+	}
+
+	if tpl.IncludeKeyUsage {
+		bits := keyUsageBits(tpl.KeyUsage)
+		if err := add(oidExtKeyUsage, true, bits); err != nil {
+			return nil, err
+		}
+	}
+	if tpl.IncludeBasicConstraints {
+		var err error
+		if tpl.HasPathLen {
+			err = add(oidExtBasicConstraints, true, basicConstraintsWithLen{tpl.IsCA, tpl.MaxPathLen})
+		} else {
+			err = add(oidExtBasicConstraints, true, basicConstraintsNoLen{tpl.IsCA})
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tpl.SKID != nil {
+		if err := add(oidExtSubjectKeyID, false, tpl.SKID); err != nil {
+			return nil, err
+		}
+	}
+	if tpl.AKID != nil {
+		if err := add(oidExtAuthorityKeyID, false, authorityKeyID{ID: tpl.AKID}); err != nil {
+			return nil, err
+		}
+	}
+	if len(tpl.DNSNames) > 0 || len(tpl.IPAddresses) > 0 {
+		san, err := marshalSAN(tpl.DNSNames, tpl.IPAddresses)
+		if err != nil {
+			return nil, err
+		}
+		exts = append(exts, pkix.Extension{Id: oidExtSubjectAltName, Value: san})
+	}
+	if len(tpl.ExtKeyUsages) > 0 {
+		var oids []asn1.ObjectIdentifier
+		for _, e := range tpl.ExtKeyUsages {
+			switch e {
+			case certmodel.EKUServerAuth:
+				oids = append(oids, oidEKUServerAuth)
+			case certmodel.EKUClientAuth:
+				oids = append(oids, oidEKUClientAuth)
+			case certmodel.EKUCodeSigning:
+				oids = append(oids, oidEKUCodeSigning)
+			case certmodel.EKUEmailProtection:
+				oids = append(oids, oidEKUEmailProtection)
+			case certmodel.EKUOCSPSigning:
+				oids = append(oids, oidEKUOCSPSigning)
+			case certmodel.EKUAny:
+				oids = append(oids, oidEKUAny)
+			}
+		}
+		if err := add(oidExtExtendedKeyUsage, false, oids); err != nil {
+			return nil, err
+		}
+	}
+	if len(tpl.PermittedDNSDomains) > 0 || len(tpl.ExcludedDNSDomains) > 0 {
+		var nc nameConstraints
+		for _, d := range tpl.PermittedDNSDomains {
+			nc.Permitted = append(nc.Permitted, generalSubtree{Base: d})
+		}
+		for _, d := range tpl.ExcludedDNSDomains {
+			nc.Excluded = append(nc.Excluded, generalSubtree{Base: d})
+		}
+		if err := add(oidExtNameConstraints, true, nc); err != nil {
+			return nil, err
+		}
+	}
+	if len(tpl.AIAIssuerURLs) > 0 {
+		var ads []accessDescription
+		for _, u := range tpl.AIAIssuerURLs {
+			ads = append(ads, accessDescription{
+				Method:   oidAIACAIssuers,
+				Location: asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 6, Bytes: []byte(u)},
+			})
+		}
+		if err := add(oidExtAIA, false, ads); err != nil {
+			return nil, err
+		}
+	}
+	return exts, nil
+}
+
+// keyUsageBits converts the KeyUsage bitmask to the ASN.1 BIT STRING layout,
+// where bit 0 (digitalSignature) is the most significant bit of the first
+// byte.
+func keyUsageBits(ku certmodel.KeyUsage) asn1.BitString {
+	var buf [2]byte
+	highest := -1
+	for bit := 0; bit < 9; bit++ {
+		if ku&(1<<bit) != 0 {
+			buf[bit/8] |= 0x80 >> (bit % 8)
+			highest = bit
+		}
+	}
+	if highest < 0 {
+		return asn1.BitString{Bytes: []byte{0}, BitLength: 1}
+	}
+	n := highest/8 + 1
+	return asn1.BitString{Bytes: buf[:n], BitLength: highest + 1}
+}
+
+func marshalSAN(dnsNames []string, ips []net.IP) ([]byte, error) {
+	var raw []asn1.RawValue
+	for _, name := range dnsNames {
+		raw = append(raw, asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 2, Bytes: []byte(name)})
+	}
+	for _, ip := range ips {
+		b := ip.To4()
+		if b == nil {
+			b = ip.To16()
+		}
+		raw = append(raw, asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 7, Bytes: b})
+	}
+	return asn1.Marshal(raw)
+}

@@ -1,0 +1,214 @@
+package certgen
+
+import (
+	"bytes"
+	"crypto/x509"
+	"testing"
+
+	"chainchaos/internal/certmodel"
+)
+
+func TestRootParsesAndSelfVerifies(t *testing.T) {
+	root, err := NewRoot("Test Root CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := root.Cert
+	if c.X509 == nil {
+		t.Fatal("root has no parsed x509 backing")
+	}
+	if !c.IsCA || !c.BasicConstraintsValid {
+		t.Errorf("root basic constraints: IsCA=%v valid=%v", c.IsCA, c.BasicConstraintsValid)
+	}
+	if !c.SelfSigned() {
+		t.Error("root does not verify as self-signed")
+	}
+	if c.Subject.CommonName != "Test Root CA" {
+		t.Errorf("subject CN = %q", c.Subject.CommonName)
+	}
+	if !c.HasKeyUsage || c.KeyUsage&certmodel.KeyUsageCertSign == 0 {
+		t.Errorf("root key usage: has=%v ku=%b", c.HasKeyUsage, c.KeyUsage)
+	}
+	if len(c.SubjectKeyID) != 20 {
+		t.Errorf("SKID length = %d, want 20", len(c.SubjectKeyID))
+	}
+	// The stdlib verifier must accept a chain anchored at this root.
+	pool := x509.NewCertPool()
+	pool.AddCert(c.X509)
+	inter, err := root.NewIntermediate("Test Issuing CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := inter.NewLeaf("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inters := x509.NewCertPool()
+	inters.AddCert(inter.Cert.X509)
+	if _, err := leaf.Cert.X509.Verify(x509.VerifyOptions{
+		Roots:         pool,
+		Intermediates: inters,
+		CurrentTime:   Reference,
+		DNSName:       "example.com",
+	}); err != nil {
+		t.Fatalf("stdlib verification of generated chain failed: %v", err)
+	}
+}
+
+func TestIssuanceEvidence(t *testing.T) {
+	root, _ := NewRoot("Evidence Root")
+	inter, _ := root.NewIntermediate("Evidence CA")
+	leaf, _ := inter.NewLeaf("evidence.example")
+
+	if !certmodel.Issued(root.Cert, inter.Cert) {
+		t.Error("root should issue intermediate")
+	}
+	if !certmodel.Issued(inter.Cert, leaf.Cert) {
+		t.Error("intermediate should issue leaf")
+	}
+	if certmodel.Issued(root.Cert, leaf.Cert) {
+		t.Error("root should not directly issue leaf")
+	}
+	ev := certmodel.CheckIssuance(inter.Cert, leaf.Cert)
+	if !ev.Signature || !ev.NameMatch || !ev.KIDComparable || !ev.KIDMatch {
+		t.Errorf("issuance evidence incomplete: %+v", ev)
+	}
+}
+
+func TestMalformedShapes(t *testing.T) {
+	root, _ := NewRoot("Malformed Root")
+
+	t.Run("CAWithoutSKID", func(t *testing.T) {
+		inter, err := root.NewIntermediate("No SKID CA", WithoutSKID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Cert.SubjectKeyID != nil {
+			t.Errorf("SKID present: %x", inter.Cert.SubjectKeyID)
+		}
+	})
+	t.Run("MismatchedAKID", func(t *testing.T) {
+		bad := bytes.Repeat([]byte{0xab}, 20)
+		inter, err := root.NewIntermediate("Bad AKID CA", WithAKID(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(inter.Cert.AuthorityKeyID, bad) {
+			t.Errorf("AKID = %x, want %x", inter.Cert.AuthorityKeyID, bad)
+		}
+		// Signature still verifies: the AKID lies but the crypto is real.
+		if !inter.Cert.SignatureVerifiedBy(root.Cert) {
+			t.Error("signature should still verify despite bad AKID")
+		}
+	})
+	t.Run("NoKeyUsage", func(t *testing.T) {
+		inter, err := root.NewIntermediate("No KU CA", WithoutKeyUsage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Cert.HasKeyUsage {
+			t.Error("KeyUsage extension should be absent")
+		}
+	})
+	t.Run("PathLenZero", func(t *testing.T) {
+		inter, err := root.NewIntermediate("PathLen0 CA", WithPathLen(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Cert.MaxPathLen != 0 {
+			t.Errorf("MaxPathLen = %d, want 0", inter.Cert.MaxPathLen)
+		}
+	})
+	t.Run("PathLenUnset", func(t *testing.T) {
+		inter, err := root.NewIntermediate("PathLenUnset CA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Cert.MaxPathLen != certmodel.MaxPathLenUnset {
+			t.Errorf("MaxPathLen = %d, want unset", inter.Cert.MaxPathLen)
+		}
+	})
+	t.Run("AIAURLs", func(t *testing.T) {
+		leaf, err := root.NewLeaf("aia.example", WithAIA("http://repo.example/ca.der"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(leaf.Cert.AIAIssuerURLs) != 1 || leaf.Cert.AIAIssuerURLs[0] != "http://repo.example/ca.der" {
+			t.Errorf("AIA URLs = %v", leaf.Cert.AIAIssuerURLs)
+		}
+	})
+}
+
+func TestCrossSignSharesSubjectAndSKID(t *testing.T) {
+	rootA, _ := NewRoot("Root A")
+	rootB, _ := NewRoot("Root B")
+	inter, _ := rootA.NewIntermediate("Shared CA")
+	cross, err := rootB.CrossSign(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Subject != inter.Cert.Subject {
+		t.Errorf("cross subject %v != %v", cross.Subject, inter.Cert.Subject)
+	}
+	if !bytes.Equal(cross.SubjectKeyID, inter.Cert.SubjectKeyID) {
+		t.Error("cross-signed cert must keep the SKID")
+	}
+	if cross.Issuer != rootB.Cert.Subject {
+		t.Errorf("cross issuer = %v", cross.Issuer)
+	}
+	// Both parents must verify a child of the shared key.
+	leaf, _ := inter.NewLeaf("cross.example")
+	if !certmodel.Issued(inter.Cert, leaf.Cert) {
+		t.Error("original intermediate should issue leaf")
+	}
+	if !certmodel.Issued(cross, leaf.Cert) {
+		t.Error("cross-signed intermediate should also issue leaf (same key)")
+	}
+}
+
+func TestReissueIntermediate(t *testing.T) {
+	root, _ := NewRoot("Reissue Root")
+	inter, _ := root.NewIntermediate("Reissued CA")
+	newer, err := root.ReissueIntermediate(inter,
+		WithValidity(Reference.AddDate(-1, 0, 0), Reference.AddDate(9, 0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newer.Subject != inter.Cert.Subject {
+		t.Error("reissued cert subject changed")
+	}
+	if !bytes.Equal(newer.SubjectKeyID, inter.Cert.SubjectKeyID) {
+		t.Error("reissued cert must keep the SKID")
+	}
+	if newer.Equal(inter.Cert) {
+		t.Error("reissued cert should not be bit-identical (serial/validity differ)")
+	}
+	leaf, _ := inter.NewLeaf("reissue.example")
+	if !certmodel.Issued(newer, leaf.Cert) {
+		t.Error("reissued intermediate must verify the same leaves")
+	}
+}
+
+func TestPEMRoundTrip(t *testing.T) {
+	root, _ := NewRoot("PEM Root")
+	inter, _ := root.NewIntermediate("PEM CA")
+	leaf, _ := inter.NewLeaf("pem.example")
+	list := []*certmodel.Certificate{leaf.Cert, inter.Cert, root.Cert}
+
+	pemBytes, err := certmodel.EncodePEM(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := certmodel.ParsePEMBundle(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round-trip count = %d", len(back))
+	}
+	for i := range list {
+		if !back[i].Equal(list[i]) {
+			t.Errorf("cert %d not identical after PEM round trip", i)
+		}
+	}
+}

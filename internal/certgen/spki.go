@@ -1,0 +1,12 @@
+package certgen
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+)
+
+// marshalPKIX wraps x509.MarshalPKIXPublicKey so the SKID derivation in
+// authority.go and the encoder in der.go share one SPKI encoding.
+func marshalPKIX(pub *ecdsa.PublicKey) ([]byte, error) {
+	return x509.MarshalPKIXPublicKey(pub)
+}

@@ -1,0 +1,211 @@
+// Package certmodel defines the certificate abstraction shared by every
+// subsystem in this repository: the server-side compliance analyzers, the
+// client-side path-building engine, the CA issuance simulator, and the
+// synthetic population generator.
+//
+// The model deliberately carries exactly the fields that the paper identifies
+// as relevant to chain construction (RFC 5280 §4.2): subject and issuer
+// distinguished names, the Subject and Authority Key Identifiers, validity,
+// KeyUsage, Basic Constraints (CA flag and path-length), Subject Alternative
+// Names, and Authority Information Access caIssuers URIs.
+//
+// A Certificate can be backed by a real DER-encoded X.509 certificate
+// (constructed by internal/certgen through crypto/x509) or by a synthetic
+// record whose "signature" is simulated through key identity (see
+// synthetic.go). Both back ends answer the same issuance predicate, so all
+// analyzers work unchanged on either representation. Real certificates are
+// used wherever the code path matters bit-for-bit (the TLS scanner, the
+// client capability tests); synthetic ones make million-domain populations
+// tractable.
+package certmodel
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// KeyUsage is a bitmask of X.509 key usage purposes, mirroring the subset of
+// crypto/x509's KeyUsage that chain construction cares about. The zero value
+// combined with HasKeyUsage=false models a certificate that omits the
+// KeyUsage extension entirely — a state the paper's KeyUsage-priority test
+// (Table 2, type 6) distinguishes from an incorrect KeyUsage.
+type KeyUsage uint16
+
+const (
+	KeyUsageDigitalSignature KeyUsage = 1 << iota
+	KeyUsageContentCommitment
+	KeyUsageKeyEncipherment
+	KeyUsageDataEncipherment
+	KeyUsageKeyAgreement
+	KeyUsageCertSign
+	KeyUsageCRLSign
+)
+
+// MaxPathLenUnset is the sentinel for an absent pathLenConstraint.
+const MaxPathLenUnset = -1
+
+// Certificate is the unified certificate record.
+//
+// Exactly one of two back ends is active:
+//   - X509 != nil: a real parsed certificate; Raw holds its DER encoding and
+//     signature checks use real public-key cryptography.
+//   - X509 == nil: a synthetic certificate; Raw holds a canonical text
+//     encoding of the fields and signature checks compare SignedByKeyID
+//     against the would-be parent's PublicKeyID.
+type Certificate struct {
+	// Raw is the exact byte encoding of the certificate. Bit-for-bit
+	// equality of Raw defines duplicate certificates (paper §3.1).
+	Raw []byte
+
+	Subject      Name
+	Issuer       Name
+	SerialNumber string
+
+	NotBefore time.Time
+	NotAfter  time.Time
+
+	// SubjectKeyID / AuthorityKeyID are the SKID and AKID extension
+	// values; nil means the extension is absent.
+	SubjectKeyID   []byte
+	AuthorityKeyID []byte
+
+	// KeyUsage is meaningful only when HasKeyUsage is true.
+	KeyUsage    KeyUsage
+	HasKeyUsage bool
+
+	// Basic Constraints. MaxPathLen is MaxPathLenUnset when no
+	// pathLenConstraint is present.
+	IsCA                  bool
+	BasicConstraintsValid bool
+	MaxPathLen            int
+
+	// Subject Alternative Names.
+	DNSNames    []string
+	IPAddresses []string
+
+	// AIAIssuerURLs are the caIssuers URIs from the Authority Information
+	// Access extension.
+	AIAIssuerURLs []string
+
+	// ExtKeyUsages is the Extended Key Usage set; empty means the
+	// extension is absent (no restriction).
+	ExtKeyUsages []ExtKeyUsage
+
+	// Name Constraints (dNSName subtrees); both empty means the extension
+	// is absent.
+	PermittedDNSDomains []string
+	ExcludedDNSDomains  []string
+
+	// PublicKeyID identifies the subject key pair. For real certificates
+	// it is the SHA-256 of the SubjectPublicKeyInfo; for synthetic ones it
+	// is assigned by the builder. Two certificates for the same key (e.g.
+	// cross-signed variants) share a PublicKeyID.
+	PublicKeyID []byte
+
+	// WeakSignature marks a synthetic certificate as signed with a
+	// deprecated algorithm (real certificates derive this from their
+	// parsed SignatureAlgorithm — see HasWeakSignature).
+	WeakSignature bool
+
+	// SignedByKeyID is the PublicKeyID of the key that signed this
+	// certificate. Only used by the synthetic back end; nil for real
+	// certificates, whose signatures are verified cryptographically.
+	SignedByKeyID []byte
+
+	// X509 is the parsed stdlib certificate when this record is backed by
+	// real DER, nil otherwise.
+	X509 *x509.Certificate
+
+	fingerprint     [sha256.Size]byte
+	fingerprintDone bool
+}
+
+// Fingerprint returns the SHA-256 digest of Raw. It is computed lazily and
+// cached; callers must not mutate Raw after the first call.
+func (c *Certificate) Fingerprint() [sha256.Size]byte {
+	if !c.fingerprintDone {
+		c.fingerprint = sha256.Sum256(c.Raw)
+		c.fingerprintDone = true
+	}
+	return c.fingerprint
+}
+
+// FingerprintHex returns the hex form of Fingerprint, convenient for map keys
+// and log lines.
+func (c *Certificate) FingerprintHex() string {
+	fp := c.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}
+
+// Equal reports whether the two certificates are bit-for-bit identical,
+// which is the paper's definition of a duplicate certificate.
+func (c *Certificate) Equal(o *Certificate) bool {
+	if c == o {
+		return true
+	}
+	if c == nil || o == nil {
+		return false
+	}
+	return bytes.Equal(c.Raw, o.Raw)
+}
+
+// SignatureVerifiedBy reports whether parent's key verifies c's signature.
+// This is criterion (1) of the paper's issuance test.
+func (c *Certificate) SignatureVerifiedBy(parent *Certificate) bool {
+	if c == nil || parent == nil {
+		return false
+	}
+	if c.X509 != nil && parent.X509 != nil {
+		err := parent.X509.CheckSignature(c.X509.SignatureAlgorithm, c.X509.RawTBSCertificate, c.X509.Signature)
+		return err == nil
+	}
+	if c.X509 == nil && parent.X509 == nil {
+		return len(c.SignedByKeyID) > 0 && bytes.Equal(c.SignedByKeyID, parent.PublicKeyID)
+	}
+	// Mixed back ends never verify: a synthetic certificate cannot carry a
+	// real signature and vice versa.
+	return false
+}
+
+// SelfSigned reports whether the certificate is self-signed: its subject
+// equals its issuer and its own key verifies its signature.
+func (c *Certificate) SelfSigned() bool {
+	if c == nil {
+		return false
+	}
+	if c.Subject != c.Issuer {
+		return false
+	}
+	return c.SignatureVerifiedBy(c)
+}
+
+// ValidAt reports whether t falls within the certificate's validity period.
+func (c *Certificate) ValidAt(t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// CanSignCertificates reports whether the certificate's KeyUsage, if present,
+// permits signing other certificates. An absent KeyUsage extension imposes no
+// restriction (RFC 5280 §4.2.1.3).
+func (c *Certificate) CanSignCertificates() bool {
+	if !c.HasKeyUsage {
+		return true
+	}
+	return c.KeyUsage&KeyUsageCertSign != 0
+}
+
+// String returns a short human-readable summary used in reports and errors.
+func (c *Certificate) String() string {
+	if c == nil {
+		return "<nil cert>"
+	}
+	kind := "synthetic"
+	if c.X509 != nil {
+		kind = "x509"
+	}
+	return fmt.Sprintf("%s{subject=%q issuer=%q serial=%s ca=%v}", kind, c.Subject, c.Issuer, c.SerialNumber, c.IsCA)
+}

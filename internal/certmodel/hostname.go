@@ -1,0 +1,120 @@
+package certmodel
+
+import (
+	"net"
+	"strings"
+)
+
+// MatchesDomain reports whether the certificate identifies domain: the
+// domain matches the CommonName or any SAN dNSName (with single-label
+// wildcard support) or equals a SAN iPAddress. This is the match used by the
+// leaf-placement analyzer (paper §3.1, "Leaf certificate analysis").
+func (c *Certificate) MatchesDomain(domain string) bool {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	if domain == "" {
+		return false
+	}
+	if matchHostnamePattern(c.Subject.CommonName, domain) {
+		return true
+	}
+	for _, san := range c.DNSNames {
+		if matchHostnamePattern(san, domain) {
+			return true
+		}
+	}
+	if ip := net.ParseIP(domain); ip != nil {
+		for _, s := range c.IPAddresses {
+			if other := net.ParseIP(s); other != nil && other.Equal(ip) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDomainShapedIdentity reports whether the certificate's CN or any SAN is
+// *formatted* as a domain name or IP address, regardless of whether it
+// matches any particular domain. The paper uses this to split "Correctly
+// Placed but Mismatched" from the "Other" bucket of empty/test CNs such as
+// "Plesk" or "localhost".
+func (c *Certificate) HasDomainShapedIdentity() bool {
+	if LooksLikeDomain(c.Subject.CommonName) || LooksLikeIP(c.Subject.CommonName) {
+		return true
+	}
+	for _, san := range c.DNSNames {
+		if LooksLikeDomain(san) || LooksLikeIP(san) {
+			return true
+		}
+	}
+	return len(c.IPAddresses) > 0
+}
+
+// matchHostnamePattern matches pattern (possibly "*.example.com") against a
+// lower-case host. Wildcards match exactly one label and never the TLD-only
+// case, following the Web PKI convention.
+func matchHostnamePattern(pattern, host string) bool {
+	pattern = strings.ToLower(strings.TrimSuffix(pattern, "."))
+	if pattern == "" {
+		return false
+	}
+	if !strings.HasPrefix(pattern, "*.") {
+		return pattern == host
+	}
+	suffix := pattern[1:] // ".example.com"
+	if !strings.HasSuffix(host, suffix) {
+		return false
+	}
+	prefix := host[:len(host)-len(suffix)]
+	return prefix != "" && !strings.Contains(prefix, ".")
+}
+
+// LooksLikeDomain reports whether s is shaped like a DNS domain name: at
+// least two non-empty labels of legal characters, with an alphabetic TLD.
+// A leading "*." wildcard label is accepted.
+func LooksLikeDomain(s string) bool {
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if s == "" || len(s) > 253 {
+		return false
+	}
+	s = strings.TrimPrefix(s, "*.")
+	labels := strings.Split(s, ".")
+	if len(labels) < 2 {
+		return false
+	}
+	for _, label := range labels {
+		if !validDNSLabel(label) {
+			return false
+		}
+	}
+	tld := labels[len(labels)-1]
+	for _, r := range tld {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+func validDNSLabel(label string) bool {
+	if label == "" || len(label) > 63 {
+		return false
+	}
+	if label[0] == '-' || label[len(label)-1] == '-' {
+		return false
+	}
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+		case r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// LooksLikeIP reports whether s parses as an IPv4 or IPv6 address.
+func LooksLikeIP(s string) bool {
+	return net.ParseIP(s) != nil
+}

@@ -1,0 +1,128 @@
+package certmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func leafWith(cn string, sans ...string) *Certificate {
+	key := NewSyntheticKey("hn-" + cn + strings.Join(sans, ","))
+	return NewSynthetic(SyntheticConfig{
+		Subject: Name{CommonName: cn}, Issuer: Name{CommonName: "HN CA"},
+		Serial: "1", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: key, SignedBy: NewSyntheticKey("hn-ca"),
+		DNSNames: sans,
+	})
+}
+
+func TestMatchesDomain(t *testing.T) {
+	cases := []struct {
+		cn     string
+		sans   []string
+		domain string
+		want   bool
+	}{
+		{"example.com", nil, "example.com", true},
+		{"EXAMPLE.com", nil, "example.COM", true},
+		{"example.com", nil, "example.com.", true},
+		{"example.com", nil, "www.example.com", false},
+		{"other.com", []string{"example.com"}, "example.com", true},
+		{"*.example.com", nil, "www.example.com", true},
+		{"*.example.com", nil, "a.b.example.com", false}, // one label only
+		{"*.example.com", nil, "example.com", false},
+		{"other.com", []string{"*.shop.example"}, "x.shop.example", true},
+		{"", nil, "example.com", false},
+		{"example.com", nil, "", false},
+		{"Plesk", nil, "plesk", true}, // literal equality still matches
+	}
+	for _, tc := range cases {
+		c := leafWith(tc.cn, tc.sans...)
+		if got := c.MatchesDomain(tc.domain); got != tc.want {
+			t.Errorf("CN=%q SAN=%v match %q = %v, want %v", tc.cn, tc.sans, tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesDomainIP(t *testing.T) {
+	key := NewSyntheticKey("hn-ip")
+	c := NewSynthetic(SyntheticConfig{
+		Subject: Name{CommonName: "device"}, Issuer: Name{CommonName: "HN CA"},
+		Serial: "1", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: key, SignedBy: NewSyntheticKey("hn-ca"),
+		IPAddresses: []string{"192.0.2.7", "2001:db8::1"},
+	})
+	if !c.MatchesDomain("192.0.2.7") {
+		t.Error("IPv4 SAN match failed")
+	}
+	if !c.MatchesDomain("2001:db8::1") {
+		t.Error("IPv6 SAN match failed")
+	}
+	if c.MatchesDomain("192.0.2.8") {
+		t.Error("wrong IP matched")
+	}
+}
+
+func TestHasDomainShapedIdentity(t *testing.T) {
+	cases := []struct {
+		cn   string
+		sans []string
+		want bool
+	}{
+		{"example.com", nil, true},
+		{"*.example.com", nil, true},
+		{"192.0.2.1", nil, true},
+		{"Plesk", nil, false},
+		{"localhost", nil, false}, // single label: not domain-shaped
+		{"", nil, false},
+		{"SophosApplianceCertificate_1234", nil, false},
+		{"not-a-domain", []string{"real.example.org"}, true},
+	}
+	for _, tc := range cases {
+		c := leafWith(tc.cn, tc.sans...)
+		if got := c.HasDomainShapedIdentity(); got != tc.want {
+			t.Errorf("CN=%q SANs=%v shaped = %v, want %v", tc.cn, tc.sans, got, tc.want)
+		}
+	}
+}
+
+func TestLooksLikeDomain(t *testing.T) {
+	yes := []string{"example.com", "a.b.c.example.org", "xn--bcher-kva.example", "*.example.net", "Example.COM."}
+	no := []string{"", "localhost", "com", "ex ample.com", "-bad.example.com", "bad-.example.com",
+		"example.123", "192.0.2.1", strings.Repeat("a", 64) + ".example.com", strings.Repeat("a.", 130) + "com"}
+	for _, s := range yes {
+		if !LooksLikeDomain(s) {
+			t.Errorf("LooksLikeDomain(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if LooksLikeDomain(s) {
+			t.Errorf("LooksLikeDomain(%q) = true", s)
+		}
+	}
+}
+
+func TestLooksLikeIP(t *testing.T) {
+	if !LooksLikeIP("10.0.0.1") || !LooksLikeIP("::1") {
+		t.Error("valid IPs rejected")
+	}
+	if LooksLikeIP("10.0.0") || LooksLikeIP("example.com") || LooksLikeIP("") {
+		t.Error("non-IPs accepted")
+	}
+}
+
+// TestQuickWildcardNeverMatchesApex: for any label and base domain, the
+// wildcard pattern must match exactly one additional label and never the
+// apex itself.
+func TestQuickWildcardNeverMatchesApex(t *testing.T) {
+	f := func(label uint8) bool {
+		l := string(rune('a' + int(label%26)))
+		pattern := "*.example.org"
+		return matchHostnamePattern(pattern, l+".example.org") &&
+			!matchHostnamePattern(pattern, "example.org") &&
+			!matchHostnamePattern(pattern, l+"."+l+".example.org")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

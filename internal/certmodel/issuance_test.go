@@ -1,0 +1,174 @@
+package certmodel
+
+import (
+	"testing"
+)
+
+// issuancePKI builds the fixtures the issuance tests share.
+type issuancePKI struct {
+	root   *Certificate
+	child  *Certificate // properly issued by root
+	rogue  *Certificate // claims root's DN but signed by another key
+	noAKID *Certificate // issued by root but lacking an AKID
+	badKID *Certificate // issued by root but with a garbage AKID
+}
+
+func newIssuancePKI() issuancePKI {
+	root := SyntheticRoot("Iss Root", base)
+	mk := func(serial string, mut func(*SyntheticConfig)) *Certificate {
+		cfg := SyntheticConfig{
+			Subject: Name{CommonName: "Iss Child " + serial}, Issuer: root.Subject,
+			Serial: serial, NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+			Key: NewSyntheticKey("iss-child-" + serial), SignedBy: KeyOf(root),
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return NewSynthetic(cfg)
+	}
+	return issuancePKI{
+		root:   root,
+		child:  mk("ok", nil),
+		rogue:  mk("rogue", func(c *SyntheticConfig) { c.SignedBy = NewSyntheticKey("rogue-key") }),
+		noAKID: mk("noakid", func(c *SyntheticConfig) { c.OmitAKID = true }),
+		badKID: mk("badkid", func(c *SyntheticConfig) { c.AKIDOverride = []byte{9, 9, 9} }),
+	}
+}
+
+func TestCheckIssuanceEvidence(t *testing.T) {
+	p := newIssuancePKI()
+
+	ev := CheckIssuance(p.root, p.child)
+	if !ev.Signature || !ev.NameMatch || !ev.KIDComparable || !ev.KIDMatch {
+		t.Errorf("proper child evidence = %+v", ev)
+	}
+
+	ev = CheckIssuance(p.root, p.rogue)
+	if ev.Signature {
+		t.Error("rogue signature verified")
+	}
+	if !ev.NameMatch {
+		t.Error("rogue DN should still match (that's the attack surface)")
+	}
+
+	ev = CheckIssuance(p.root, p.noAKID)
+	if ev.KIDComparable {
+		t.Error("missing AKID should be incomparable")
+	}
+	if !ev.Signature || !ev.NameMatch {
+		t.Errorf("noAKID evidence = %+v", ev)
+	}
+
+	ev = CheckIssuance(p.root, p.badKID)
+	if !ev.KIDComparable || ev.KIDMatch {
+		t.Errorf("badKID evidence = %+v", ev)
+	}
+
+	if ev := CheckIssuance(nil, p.child); ev.Signature || ev.NameMatch {
+		t.Error("nil parent evidence should be empty")
+	}
+}
+
+func TestIssuedFlexibleRule(t *testing.T) {
+	p := newIssuancePKI()
+	if !Issued(p.root, p.child) {
+		t.Error("proper issuance rejected")
+	}
+	if Issued(p.root, p.rogue) {
+		t.Error("failed signature accepted")
+	}
+	// Missing AKID: DN + signature suffice.
+	if !Issued(p.root, p.noAKID) {
+		t.Error("missing AKID should not block issuance")
+	}
+	// Mismatching AKID but matching DN: the flexible rule accepts — the
+	// KID is advisory when the DN matches (and the signature proves it).
+	if !Issued(p.root, p.badKID) {
+		t.Error("flexible rule should accept DN match despite AKID mismatch")
+	}
+}
+
+func TestIssuedStrictRule(t *testing.T) {
+	p := newIssuancePKI()
+	if !IssuedStrict(p.root, p.child) {
+		t.Error("strict rejected a fully consistent link")
+	}
+	if IssuedStrict(p.root, p.badKID) {
+		t.Error("strict accepted an AKID mismatch")
+	}
+	if !IssuedStrict(p.root, p.noAKID) {
+		t.Error("strict should tolerate an absent AKID")
+	}
+	if IssuedStrict(p.root, p.rogue) {
+		t.Error("strict accepted a bad signature")
+	}
+}
+
+func TestIssuedKIDOnlyLink(t *testing.T) {
+	// A child whose issuer DN does NOT match the parent's subject, but
+	// whose AKID matches the parent's SKID and whose signature verifies:
+	// the flexible rule accepts via criterion (3).
+	root := SyntheticRoot("KIDOnly Root", base)
+	child := NewSynthetic(SyntheticConfig{
+		Subject: Name{CommonName: "KIDOnly Child"},
+		Issuer:  Name{CommonName: "A Differently Spelled Issuer"},
+		Serial:  "1", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: NewSyntheticKey("kidonly-child"), SignedBy: KeyOf(root),
+	})
+	if !Issued(root, child) {
+		t.Error("KID+signature link rejected by flexible rule")
+	}
+	if IssuedStrict(root, child) {
+		t.Error("strict rule should reject the DN mismatch")
+	}
+}
+
+func TestNameIndicatesIssuance(t *testing.T) {
+	p := newIssuancePKI()
+	if !NameIndicatesIssuance(p.root, p.child) {
+		t.Error("DN+KID candidate rejected")
+	}
+	if !NameIndicatesIssuance(p.root, p.rogue) {
+		t.Error("shortlisting must be non-cryptographic: rogue DN match should shortlist")
+	}
+	stranger := SyntheticRoot("Iss Stranger", base)
+	if NameIndicatesIssuance(stranger, p.child) {
+		t.Error("unrelated cert shortlisted")
+	}
+	if NameIndicatesIssuance(nil, p.child) || NameIndicatesIssuance(p.root, nil) {
+		t.Error("nil handling wrong")
+	}
+
+	// Empty-subject parents must never shortlist by DN.
+	anon := NewSynthetic(SyntheticConfig{
+		Serial: "anon", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: NewSyntheticKey("anon"), SignedBy: NewSyntheticKey("anon-signer"),
+	})
+	emptyIssuer := NewSynthetic(SyntheticConfig{
+		Subject: Name{CommonName: "empty-iss"},
+		Serial:  "ei", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: NewSyntheticKey("ei"), SignedBy: NewSyntheticKey("ei-signer"),
+		OmitAKID: true,
+	})
+	if NameIndicatesIssuance(anon, emptyIssuer) {
+		t.Error("empty subject DN matched empty issuer DN")
+	}
+}
+
+func TestNameType(t *testing.T) {
+	n := Name{CommonName: "CN", Organization: "O", OrganizationalUnit: "OU", Country: "US"}
+	if n.String() != "C=US, O=O, OU=OU, CN=CN" {
+		t.Errorf("String() = %q", n.String())
+	}
+	if (Name{}).String() != "<empty>" {
+		t.Errorf("empty String() = %q", (Name{}).String())
+	}
+	if !(Name{}).IsZero() || n.IsZero() {
+		t.Error("IsZero wrong")
+	}
+	p := n.ToPKIXName()
+	back := FromPKIXName(p)
+	if back != n {
+		t.Errorf("pkix round trip: %v != %v", back, n)
+	}
+}

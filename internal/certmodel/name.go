@@ -1,0 +1,80 @@
+package certmodel
+
+import (
+	"crypto/x509/pkix"
+	"strings"
+)
+
+// Name is a simplified X.501 distinguished name. It carries the attributes
+// that matter for chain construction and compliance analysis: chain builders
+// compare the child's issuer DN against the parent's subject DN, and the
+// leaf-placement analyzer inspects the CommonName.
+//
+// Name is a comparable value type so it can be used directly as a map key.
+type Name struct {
+	CommonName         string
+	Organization       string
+	OrganizationalUnit string
+	Country            string
+}
+
+// IsZero reports whether every attribute of the name is empty. Certificates
+// with empty subjects exist in the wild (the paper's "Other" leaf category
+// includes empty-CN test certificates).
+func (n Name) IsZero() bool {
+	return n == Name{}
+}
+
+// String renders the name in the conventional comma-separated RDN form,
+// omitting empty attributes, e.g. "C=US, O=DigiCert Inc, CN=DigiCert TLS CA".
+func (n Name) String() string {
+	parts := make([]string, 0, 4)
+	if n.Country != "" {
+		parts = append(parts, "C="+n.Country)
+	}
+	if n.Organization != "" {
+		parts = append(parts, "O="+n.Organization)
+	}
+	if n.OrganizationalUnit != "" {
+		parts = append(parts, "OU="+n.OrganizationalUnit)
+	}
+	if n.CommonName != "" {
+		parts = append(parts, "CN="+n.CommonName)
+	}
+	if len(parts) == 0 {
+		return "<empty>"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FromPKIXName converts a pkix.Name from a parsed X.509 certificate into a
+// Name, keeping the first value of each multi-valued attribute.
+func FromPKIXName(p pkix.Name) Name {
+	n := Name{CommonName: p.CommonName}
+	if len(p.Organization) > 0 {
+		n.Organization = p.Organization[0]
+	}
+	if len(p.OrganizationalUnit) > 0 {
+		n.OrganizationalUnit = p.OrganizationalUnit[0]
+	}
+	if len(p.Country) > 0 {
+		n.Country = p.Country[0]
+	}
+	return n
+}
+
+// ToPKIXName converts the Name back to a pkix.Name for use in certificate
+// templates handed to crypto/x509.
+func (n Name) ToPKIXName() pkix.Name {
+	p := pkix.Name{CommonName: n.CommonName}
+	if n.Organization != "" {
+		p.Organization = []string{n.Organization}
+	}
+	if n.OrganizationalUnit != "" {
+		p.OrganizationalUnit = []string{n.OrganizationalUnit}
+	}
+	if n.Country != "" {
+		p.Country = []string{n.Country}
+	}
+	return p
+}

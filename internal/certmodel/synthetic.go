@@ -1,0 +1,222 @@
+package certmodel
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SyntheticKey names a simulated key pair. Two synthetic certificates are
+// linked by "signature" when the child's SignedByKeyID equals the parent's
+// PublicKeyID, so a key is nothing more than a stable 20-byte identifier
+// derived from its name. Cross-signing falls out naturally: two certificates
+// built with the same subject Key but different SignedBy keys share a
+// PublicKeyID (and hence an SKID) while chaining to different parents —
+// exactly the USERTrust topology of the paper's Figure 2c.
+type SyntheticKey struct {
+	name string
+	id   []byte
+}
+
+// NewSyntheticKey derives a key identity from a name. The same name always
+// yields the same identity.
+func NewSyntheticKey(name string) SyntheticKey {
+	sum := sha256.Sum256([]byte("key:" + name))
+	return SyntheticKey{name: name, id: sum[:20]}
+}
+
+// ID returns the 20-byte key identifier.
+func (k SyntheticKey) ID() []byte { return k.id }
+
+// IsZero reports whether the key is the zero value (no identity).
+func (k SyntheticKey) IsZero() bool { return len(k.id) == 0 }
+
+// SyntheticConfig describes a synthetic certificate. The zero value of each
+// field means "absent": no SKID/AKID extension unless a key is given, no
+// KeyUsage extension unless HasKeyUsage, no pathLenConstraint unless
+// HasPathLen.
+type SyntheticConfig struct {
+	Subject Name
+	Issuer  Name
+	Serial  string
+
+	NotBefore time.Time
+	NotAfter  time.Time
+
+	// Key is the subject key pair; SignedBy is the key that signs the
+	// certificate. A self-signed certificate uses the same key for both.
+	Key      SyntheticKey
+	SignedBy SyntheticKey
+
+	// OmitSKID / OmitAKID suppress the key-identifier extensions even when
+	// the corresponding keys are known, modelling certificates that lack
+	// them (Table 2 test 5 includes a no-KID candidate).
+	OmitSKID bool
+	OmitAKID bool
+
+	// AKIDOverride, when non-nil, replaces the derived AKID with an
+	// arbitrary (typically mismatching) value.
+	AKIDOverride []byte
+
+	KeyUsage    KeyUsage
+	HasKeyUsage bool
+
+	IsCA                  bool
+	BasicConstraintsValid bool
+	// MaxPathLen is used only when HasPathLen is true.
+	MaxPathLen int
+	HasPathLen bool
+
+	DNSNames    []string
+	IPAddresses []string
+
+	AIAIssuerURLs []string
+
+	ExtKeyUsages []ExtKeyUsage
+
+	PermittedDNSDomains []string
+	ExcludedDNSDomains  []string
+
+	// WeakSignature marks the simulated signature as using a deprecated
+	// algorithm.
+	WeakSignature bool
+}
+
+// NewSynthetic builds a synthetic certificate. Raw is a canonical text
+// encoding of every field, so two certificates built from identical configs
+// are bit-for-bit duplicates and any field difference changes the encoding —
+// the properties the duplicate detector relies on.
+func NewSynthetic(cfg SyntheticConfig) *Certificate {
+	c := &Certificate{
+		Subject:               cfg.Subject,
+		Issuer:                cfg.Issuer,
+		SerialNumber:          cfg.Serial,
+		NotBefore:             cfg.NotBefore,
+		NotAfter:              cfg.NotAfter,
+		KeyUsage:              cfg.KeyUsage,
+		HasKeyUsage:           cfg.HasKeyUsage,
+		IsCA:                  cfg.IsCA,
+		BasicConstraintsValid: cfg.BasicConstraintsValid,
+		MaxPathLen:            MaxPathLenUnset,
+		DNSNames:              append([]string(nil), cfg.DNSNames...),
+		IPAddresses:           append([]string(nil), cfg.IPAddresses...),
+		AIAIssuerURLs:         append([]string(nil), cfg.AIAIssuerURLs...),
+		ExtKeyUsages:          append([]ExtKeyUsage(nil), cfg.ExtKeyUsages...),
+		PermittedDNSDomains:   append([]string(nil), cfg.PermittedDNSDomains...),
+		ExcludedDNSDomains:    append([]string(nil), cfg.ExcludedDNSDomains...),
+		WeakSignature:         cfg.WeakSignature,
+		PublicKeyID:           cfg.Key.ID(),
+		SignedByKeyID:         cfg.SignedBy.ID(),
+	}
+	if cfg.HasPathLen {
+		c.MaxPathLen = cfg.MaxPathLen
+	}
+	if !cfg.OmitSKID && !cfg.Key.IsZero() {
+		c.SubjectKeyID = cfg.Key.ID()
+	}
+	switch {
+	case cfg.AKIDOverride != nil:
+		c.AuthorityKeyID = append([]byte(nil), cfg.AKIDOverride...)
+	case !cfg.OmitAKID && !cfg.SignedBy.IsZero():
+		c.AuthorityKeyID = cfg.SignedBy.ID()
+	}
+	c.Raw = encodeSynthetic(c)
+	return c
+}
+
+// encodeSynthetic renders every semantic field into a canonical byte string.
+func encodeSynthetic(c *Certificate) []byte {
+	var b strings.Builder
+	b.WriteString("synthetic-cert/v1\n")
+	fmt.Fprintf(&b, "subject=%s\n", c.Subject)
+	fmt.Fprintf(&b, "issuer=%s\n", c.Issuer)
+	fmt.Fprintf(&b, "serial=%s\n", c.SerialNumber)
+	fmt.Fprintf(&b, "notBefore=%d\n", c.NotBefore.Unix())
+	fmt.Fprintf(&b, "notAfter=%d\n", c.NotAfter.Unix())
+	fmt.Fprintf(&b, "skid=%x\n", c.SubjectKeyID)
+	fmt.Fprintf(&b, "akid=%x\n", c.AuthorityKeyID)
+	fmt.Fprintf(&b, "keyUsage=%d/%v\n", c.KeyUsage, c.HasKeyUsage)
+	fmt.Fprintf(&b, "ca=%v/%v pathLen=%d\n", c.IsCA, c.BasicConstraintsValid, c.MaxPathLen)
+	fmt.Fprintf(&b, "dns=%s\n", strings.Join(sortedCopy(c.DNSNames), ","))
+	fmt.Fprintf(&b, "ip=%s\n", strings.Join(sortedCopy(c.IPAddresses), ","))
+	fmt.Fprintf(&b, "aia=%s\n", strings.Join(c.AIAIssuerURLs, ","))
+	fmt.Fprintf(&b, "eku=%v\n", c.ExtKeyUsages)
+	fmt.Fprintf(&b, "ncPermit=%s\n", strings.Join(c.PermittedDNSDomains, ","))
+	fmt.Fprintf(&b, "ncExclude=%s\n", strings.Join(c.ExcludedDNSDomains, ","))
+	fmt.Fprintf(&b, "weakSig=%v\n", c.WeakSignature)
+	fmt.Fprintf(&b, "pub=%x\n", c.PublicKeyID)
+	fmt.Fprintf(&b, "sig=%x\n", c.SignedByKeyID)
+	return []byte(b.String())
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// SyntheticRoot builds a self-signed synthetic CA certificate with a ten-year
+// validity starting at base.
+func SyntheticRoot(name string, base time.Time) *Certificate {
+	key := NewSyntheticKey(name)
+	subject := Name{CommonName: name, Organization: name + " Trust Services"}
+	return NewSynthetic(SyntheticConfig{
+		Subject:               subject,
+		Issuer:                subject,
+		Serial:                "root-" + name,
+		NotBefore:             base,
+		NotAfter:              base.AddDate(10, 0, 0),
+		Key:                   key,
+		SignedBy:              key,
+		KeyUsage:              KeyUsageCertSign | KeyUsageCRLSign,
+		HasKeyUsage:           true,
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	})
+}
+
+// SyntheticIntermediate builds a CA certificate for subjectCN issued by
+// parent. The parent must itself be synthetic.
+func SyntheticIntermediate(subjectCN string, parent *Certificate, base time.Time) *Certificate {
+	key := NewSyntheticKey(subjectCN)
+	return NewSynthetic(SyntheticConfig{
+		Subject:               Name{CommonName: subjectCN, Organization: parent.Subject.Organization},
+		Issuer:                parent.Subject,
+		Serial:                "int-" + subjectCN,
+		NotBefore:             base,
+		NotAfter:              base.AddDate(5, 0, 0),
+		Key:                   key,
+		SignedBy:              SyntheticKey{name: "", id: parent.PublicKeyID},
+		KeyUsage:              KeyUsageCertSign | KeyUsageCRLSign,
+		HasKeyUsage:           true,
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	})
+}
+
+// SyntheticLeaf builds an end-entity certificate for domain issued by parent.
+func SyntheticLeaf(domain, serial string, parent *Certificate, notBefore, notAfter time.Time) *Certificate {
+	key := NewSyntheticKey("leaf:" + domain + ":" + serial)
+	return NewSynthetic(SyntheticConfig{
+		Subject:               Name{CommonName: domain},
+		Issuer:                parent.Subject,
+		Serial:                serial,
+		NotBefore:             notBefore,
+		NotAfter:              notAfter,
+		Key:                   key,
+		SignedBy:              SyntheticKey{name: "", id: parent.PublicKeyID},
+		KeyUsage:              KeyUsageDigitalSignature | KeyUsageKeyEncipherment,
+		HasKeyUsage:           true,
+		BasicConstraintsValid: true,
+		DNSNames:              []string{domain},
+	})
+}
+
+// KeyOf returns a SyntheticKey referring to cert's existing public key,
+// letting callers sign further synthetic certificates with it (used for
+// cross-signing and for crafting AKID-correct variants).
+func KeyOf(cert *Certificate) SyntheticKey {
+	return SyntheticKey{name: "", id: cert.PublicKeyID}
+}

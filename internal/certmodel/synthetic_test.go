@@ -1,0 +1,202 @@
+package certmodel
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomConfig makes SyntheticConfig a quick.Generator input by building it
+// from primitive random values.
+func randomConfig(r *rand.Rand) SyntheticConfig {
+	names := []string{"Alpha CA", "Beta CA", "Gamma Root", "Delta Issuing"}
+	nb := base.AddDate(0, -r.Intn(36), 0)
+	cfg := SyntheticConfig{
+		Subject:               Name{CommonName: names[r.Intn(len(names))], Organization: "Org"},
+		Issuer:                Name{CommonName: names[r.Intn(len(names))]},
+		Serial:                string(rune('a' + r.Intn(26))),
+		NotBefore:             nb,
+		NotAfter:              nb.AddDate(r.Intn(10)+1, 0, 0),
+		Key:                   NewSyntheticKey(names[r.Intn(len(names))] + "-key"),
+		SignedBy:              NewSyntheticKey(names[r.Intn(len(names))] + "-signer"),
+		OmitSKID:              r.Intn(4) == 0,
+		OmitAKID:              r.Intn(4) == 0,
+		KeyUsage:              KeyUsage(r.Intn(128)),
+		HasKeyUsage:           r.Intn(2) == 0,
+		IsCA:                  r.Intn(2) == 0,
+		BasicConstraintsValid: r.Intn(2) == 0,
+		MaxPathLen:            r.Intn(4),
+		HasPathLen:            r.Intn(3) == 0,
+	}
+	if r.Intn(3) == 0 {
+		cfg.DNSNames = []string{"a.example", "b.example"}
+	}
+	return cfg
+}
+
+// TestQuickSyntheticDeterministic: identical configs yield bit-identical
+// certificates — the duplicate detector's foundation.
+func TestQuickSyntheticDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(r)
+		a, b := NewSynthetic(cfg), NewSynthetic(cfg)
+		return a.Equal(b) && a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSerialChangesBytes: any serial difference changes the encoding.
+func TestQuickSerialChangesBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(r)
+		a := NewSynthetic(cfg)
+		cfg.Serial += "x"
+		b := NewSynthetic(cfg)
+		return !a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIssuanceConsistency: a child built with SignedBy=parent's key and
+// Issuer=parent's subject is always Issued by the parent, and never by an
+// unrelated root.
+func TestQuickIssuanceConsistency(t *testing.T) {
+	stranger := SyntheticRoot("Quick Stranger", base)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		parent := SyntheticRoot("Quick Parent", base.AddDate(-r.Intn(5), 0, 0))
+		cfg := randomConfig(r)
+		cfg.Issuer = parent.Subject
+		cfg.SignedBy = KeyOf(parent)
+		cfg.OmitAKID = false
+		cfg.AKIDOverride = nil
+		child := NewSynthetic(cfg)
+		return Issued(parent, child) && !Issued(stranger, child)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticKeyDerivation(t *testing.T) {
+	a, b := NewSyntheticKey("same"), NewSyntheticKey("same")
+	if !bytes.Equal(a.ID(), b.ID()) {
+		t.Error("same name, different key ids")
+	}
+	c := NewSyntheticKey("different")
+	if bytes.Equal(a.ID(), c.ID()) {
+		t.Error("different names share a key id")
+	}
+	if len(a.ID()) != 20 {
+		t.Errorf("key id length = %d", len(a.ID()))
+	}
+	var zero SyntheticKey
+	if !zero.IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestSyntheticFieldControls(t *testing.T) {
+	key, signer := NewSyntheticKey("fc-key"), NewSyntheticKey("fc-signer")
+	mk := func(mut func(*SyntheticConfig)) *Certificate {
+		cfg := SyntheticConfig{
+			Subject: Name{CommonName: "FC"}, Issuer: Name{CommonName: "FC Issuer"},
+			Serial: "1", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+			Key: key, SignedBy: signer,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return NewSynthetic(cfg)
+	}
+
+	plain := mk(nil)
+	if !bytes.Equal(plain.SubjectKeyID, key.ID()) || !bytes.Equal(plain.AuthorityKeyID, signer.ID()) {
+		t.Error("default SKID/AKID not derived from keys")
+	}
+	if plain.MaxPathLen != MaxPathLenUnset {
+		t.Errorf("default MaxPathLen = %d", plain.MaxPathLen)
+	}
+
+	noSKID := mk(func(c *SyntheticConfig) { c.OmitSKID = true })
+	if noSKID.SubjectKeyID != nil {
+		t.Error("OmitSKID ignored")
+	}
+	noAKID := mk(func(c *SyntheticConfig) { c.OmitAKID = true })
+	if noAKID.AuthorityKeyID != nil {
+		t.Error("OmitAKID ignored")
+	}
+	override := mk(func(c *SyntheticConfig) { c.AKIDOverride = []byte{1, 2, 3} })
+	if !bytes.Equal(override.AuthorityKeyID, []byte{1, 2, 3}) {
+		t.Error("AKIDOverride ignored")
+	}
+	pl0 := mk(func(c *SyntheticConfig) { c.HasPathLen = true; c.MaxPathLen = 0 })
+	if pl0.MaxPathLen != 0 {
+		t.Errorf("pathlen 0 lost: %d", pl0.MaxPathLen)
+	}
+
+	// Each control changes the encoding.
+	for i, v := range []*Certificate{noSKID, noAKID, override, pl0} {
+		if v.Equal(plain) {
+			t.Errorf("variant %d encodes identically to the plain cert", i)
+		}
+	}
+}
+
+func TestKeyOfLinksBack(t *testing.T) {
+	root := SyntheticRoot("KeyOf Root", base)
+	cross := NewSynthetic(SyntheticConfig{
+		Subject: root.Subject, Issuer: Name{CommonName: "Legacy"},
+		Serial: "x", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: KeyOf(root), SignedBy: NewSyntheticKey("legacy-key"),
+	})
+	if !bytes.Equal(cross.PublicKeyID, root.PublicKeyID) {
+		t.Error("KeyOf did not preserve the key identity")
+	}
+	leaf := SyntheticLeaf("keyof.example", "1", root, base, base.AddDate(1, 0, 0))
+	// Both the root and its cross-signed variant verify the leaf: the
+	// cross-signing property the population relies on.
+	if !leaf.SignatureVerifiedBy(root) || !leaf.SignatureVerifiedBy(cross) {
+		t.Error("cross-signed variant does not verify the same children")
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	in := []string{"b", "a", "c"}
+	out := sortedCopy(in)
+	if !reflect.DeepEqual(out, []string{"a", "b", "c"}) {
+		t.Errorf("sortedCopy = %v", out)
+	}
+	if !reflect.DeepEqual(in, []string{"b", "a", "c"}) {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSyntheticRootHelpers(t *testing.T) {
+	root := SyntheticRoot("Helper Root", base)
+	if !root.IsCA || !root.BasicConstraintsValid || !root.SelfSigned() {
+		t.Error("SyntheticRoot shape wrong")
+	}
+	inter := SyntheticIntermediate("Helper CA", root, base)
+	if !Issued(root, inter) {
+		t.Error("intermediate not issued by root")
+	}
+	leaf := SyntheticLeaf("helper.example", "1", inter, base, base.AddDate(1, 0, 0))
+	if !Issued(inter, leaf) || leaf.IsCA {
+		t.Error("leaf shape wrong")
+	}
+	if !leaf.MatchesDomain("helper.example") {
+		t.Error("leaf does not match its own domain")
+	}
+	if leaf.NotAfter != base.AddDate(1, 0, 0) {
+		t.Error("leaf validity wrong")
+	}
+}

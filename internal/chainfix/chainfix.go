@@ -1,0 +1,228 @@
+// Package chainfix turns the paper's §6 recommendations into a tool: it
+// repairs a structurally non-compliant certificate list into a compliant
+// deployment — duplicates removed, irrelevant certificates dropped,
+// certificates reordered into issuance order, missing intermediates
+// completed through AIA, and the root optionally omitted (the recommended
+// practice) or retained.
+//
+// This is the automation CAs and HTTP servers are urged to ship: the fixer
+// is deterministic, explains every action it takes, and its output always
+// satisfies the same compliance analyzer that graded the input.
+package chainfix
+
+import (
+	"errors"
+	"fmt"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/topo"
+)
+
+// ActionKind classifies a repair step.
+type ActionKind int
+
+const (
+	ActionRemoveDuplicate ActionKind = iota
+	ActionRemoveIrrelevant
+	ActionReorder
+	ActionFetchMissing
+	ActionStripRoot
+	ActionKeepRoot
+)
+
+// String returns the action's name.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionRemoveDuplicate:
+		return "remove-duplicate"
+	case ActionRemoveIrrelevant:
+		return "remove-irrelevant"
+	case ActionReorder:
+		return "reorder"
+	case ActionFetchMissing:
+		return "fetch-missing-intermediate"
+	case ActionStripRoot:
+		return "strip-root"
+	case ActionKeepRoot:
+		return "keep-root"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// Action is one explained repair step.
+type Action struct {
+	Kind ActionKind
+	Cert *certmodel.Certificate
+}
+
+func (a Action) String() string {
+	if a.Cert == nil {
+		return a.Kind.String()
+	}
+	return fmt.Sprintf("%s: %s", a.Kind, a.Cert.Subject)
+}
+
+// Result is the repaired deployment plus the audit trail.
+type Result struct {
+	// List is the compliant wire-order list: leaf first, issuance order,
+	// root included only when KeepRoot was requested.
+	List    []*certmodel.Certificate
+	Actions []Action
+	// Report grades the repaired list with the same analyzer that grades
+	// inputs; Fix guarantees Report.Compliant() on success.
+	Report compliance.Report
+}
+
+// Fixer repairs certificate lists.
+type Fixer struct {
+	// Roots anchors path construction and completeness analysis.
+	Roots *rootstore.Store
+	// Fetcher supplies missing intermediates via AIA; nil disables
+	// completion.
+	Fetcher aia.Fetcher
+	// KeepRoot retains the self-signed root in the output; the default
+	// follows the recommendation to omit it.
+	KeepRoot bool
+}
+
+// Fix errors.
+var (
+	// ErrNoPath: no certification path from the leaf reaches a trust
+	// anchor even with AIA completion — the deployment cannot be repaired
+	// mechanically.
+	ErrNoPath = errors.New("chainfix: no trust-anchored path constructible from the input")
+	// ErrEmpty: nothing to fix.
+	ErrEmpty = errors.New("chainfix: empty certificate list")
+)
+
+// Fix repairs list for domain. The repair is a construction problem: build
+// the best certification path the input (plus AIA) supports, then emit it in
+// compliant order, reporting everything that had to change.
+func (f *Fixer) Fix(list []*certmodel.Certificate, domain string) (Result, error) {
+	var res Result
+	if len(list) == 0 {
+		return res, ErrEmpty
+	}
+
+	policy := pathbuild.DefaultPolicy()
+	policy.Name = "chainfix"
+	policy.AIA = f.Fetcher != nil
+	builder := &pathbuild.Builder{
+		Policy:  policy,
+		Roots:   f.Roots,
+		Fetcher: f.Fetcher,
+		// No clock: structural repair must not depend on when it runs;
+		// expiry is a renewal problem, not an ordering problem.
+	}
+	out := builder.Build(list, "")
+	if out.Err != nil || len(out.Path) == 0 {
+		return res, fmt.Errorf("%w: %v", ErrNoPath, out.Err)
+	}
+	if !out.Validation.OK {
+		return res, fmt.Errorf("%w: best candidate path fails validation: %v",
+			ErrNoPath, out.Validation.Findings[0])
+	}
+
+	res.Actions = f.explain(list, out)
+	res.List = f.emit(out.Path)
+
+	g := topo.Build(res.List)
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   f.Roots,
+		Fetcher: f.Fetcher,
+	}}
+	res.Report = an.Analyze(domain, g)
+	if !res.Report.Compliant() {
+		// The fixer's contract is a compliant output; reaching here means
+		// the input was unfixable in a way construction missed (e.g. the
+		// leaf itself is a trust anchor mismatch).
+		return res, fmt.Errorf("%w: repaired list still non-compliant", ErrNoPath)
+	}
+	return res, nil
+}
+
+// emit renders the constructed path in wire order, applying the root policy.
+func (f *Fixer) emit(path []*certmodel.Certificate) []*certmodel.Certificate {
+	outList := append([]*certmodel.Certificate(nil), path...)
+	last := outList[len(outList)-1]
+	if last.SelfSigned() && !f.KeepRoot {
+		outList = outList[:len(outList)-1]
+	}
+	return outList
+}
+
+// explain diffs the input list against the constructed path.
+func (f *Fixer) explain(list []*certmodel.Certificate, out pathbuild.Outcome) []Action {
+	var actions []Action
+
+	inPath := map[string]bool{}
+	for _, c := range out.Path {
+		inPath[c.FingerprintHex()] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range list {
+		fp := c.FingerprintHex()
+		switch {
+		case seen[fp]:
+			actions = append(actions, Action{ActionRemoveDuplicate, c})
+		case !inPath[fp]:
+			actions = append(actions, Action{ActionRemoveIrrelevant, c})
+		}
+		seen[fp] = true
+	}
+
+	// Anything on the path that the server never sent was fetched.
+	sent := map[string]bool{}
+	for _, c := range list {
+		sent[c.FingerprintHex()] = true
+	}
+	for _, c := range out.Path {
+		if !sent[c.FingerprintHex()] && !c.SelfSigned() {
+			actions = append(actions, Action{ActionFetchMissing, c})
+		}
+	}
+
+	// Order change: compare the surviving input order against path order.
+	if !sameOrder(list, out.Path) {
+		actions = append(actions, Action{Kind: ActionReorder})
+	}
+
+	last := out.Path[len(out.Path)-1]
+	if last.SelfSigned() {
+		if f.KeepRoot {
+			actions = append(actions, Action{ActionKeepRoot, last})
+		} else if sent[last.FingerprintHex()] {
+			actions = append(actions, Action{ActionStripRoot, last})
+		}
+	}
+	return actions
+}
+
+// sameOrder reports whether the path-member certificates appear in the input
+// in path order (first occurrences).
+func sameOrder(list, path []*certmodel.Certificate) bool {
+	pos := map[string]int{}
+	for i, c := range list {
+		fp := c.FingerprintHex()
+		if _, ok := pos[fp]; !ok {
+			pos[fp] = i
+		}
+	}
+	prev := -1
+	for _, c := range path {
+		p, ok := pos[c.FingerprintHex()]
+		if !ok {
+			continue // fetched via AIA
+		}
+		if p < prev {
+			return false
+		}
+		prev = p
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package chainfix
+
+import (
+	"errors"
+	"testing"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/population"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/topo"
+)
+
+type fixPKI struct {
+	root, ca2, ca1 *certgen.Authority
+	leaf           *certgen.Leaf
+	roots          *rootstore.Store
+}
+
+func newFixPKI(t *testing.T) *fixPKI {
+	t.Helper()
+	root, err := certgen.NewRoot("Fix Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("Fix CA 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca1, err := ca2.NewIntermediate("Fix CA 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca1.NewLeaf("fix.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixPKI{root, ca2, ca1, leaf, rootstore.NewWith("fix", root.Cert)}
+}
+
+func hasAction(actions []Action, kind ActionKind) bool {
+	for _, a := range actions {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFixReversedChain(t *testing.T) {
+	p := newFixPKI(t)
+	f := &Fixer{Roots: p.roots}
+	in := []*certmodel.Certificate{p.leaf.Cert, p.root.Cert, p.ca2.Cert, p.ca1.Cert}
+	res, err := f.Fix(in, "fix.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasAction(res.Actions, ActionReorder) {
+		t.Errorf("expected reorder action, got %v", res.Actions)
+	}
+	if !hasAction(res.Actions, ActionStripRoot) {
+		t.Errorf("expected strip-root action, got %v", res.Actions)
+	}
+	want := []*certmodel.Certificate{p.leaf.Cert, p.ca1.Cert, p.ca2.Cert}
+	if len(res.List) != len(want) {
+		t.Fatalf("fixed list length = %d, want %d (%v)", len(res.List), len(want), res.List)
+	}
+	for i := range want {
+		if !res.List[i].Equal(want[i]) {
+			t.Errorf("fixed[%d] = %s", i, res.List[i].Subject)
+		}
+	}
+	if !res.Report.Compliant() {
+		t.Error("fixed list not compliant")
+	}
+}
+
+func TestFixDuplicatesAndIrrelevant(t *testing.T) {
+	p := newFixPKI(t)
+	stranger, err := certgen.NewRoot("Fix Stranger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Fixer{Roots: p.roots}
+	in := []*certmodel.Certificate{
+		p.leaf.Cert, p.leaf.Cert, stranger.Cert, p.ca1.Cert, p.ca1.Cert, p.ca2.Cert,
+	}
+	res, err := f.Fix(in, "fix.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasAction(res.Actions, ActionRemoveDuplicate) {
+		t.Errorf("expected duplicate removal, got %v", res.Actions)
+	}
+	if !hasAction(res.Actions, ActionRemoveIrrelevant) {
+		t.Errorf("expected irrelevant removal, got %v", res.Actions)
+	}
+	g := topo.Build(res.List)
+	if g.HasDuplicates() || len(g.IrrelevantNodes()) != 0 {
+		t.Errorf("fixed list still dirty: %s", g)
+	}
+	if !res.Report.Compliant() {
+		t.Error("fixed list not compliant")
+	}
+}
+
+func TestFixIncompleteViaAIA(t *testing.T) {
+	root, err := certgen.NewRoot("FixAIA Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("FixAIA CA 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uri = "http://repo.fix.example/ca2.der"
+	ca1, err := ca2.NewIntermediate("FixAIA CA 1", certgen.WithAIA(uri))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca1.NewLeaf("fixaia.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := aia.NewRepository()
+	repo.Put(uri, ca2.Cert)
+
+	f := &Fixer{Roots: rootstore.NewWith("fixaia", root.Cert), Fetcher: repo}
+	res, err := f.Fix([]*certmodel.Certificate{leaf.Cert, ca1.Cert}, "fixaia.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasAction(res.Actions, ActionFetchMissing) {
+		t.Errorf("expected fetch-missing action, got %v", res.Actions)
+	}
+	if len(res.List) != 3 {
+		t.Fatalf("fixed list = %d certs, want 3", len(res.List))
+	}
+	if !res.List[2].Equal(ca2.Cert) {
+		t.Errorf("fixed[2] = %s, want CA 2", res.List[2].Subject)
+	}
+}
+
+func TestFixKeepRoot(t *testing.T) {
+	p := newFixPKI(t)
+	f := &Fixer{Roots: p.roots, KeepRoot: true}
+	in := []*certmodel.Certificate{p.leaf.Cert, p.ca2.Cert, p.ca1.Cert, p.root.Cert}
+	res, err := f.Fix(in, "fix.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.List) != 4 || !res.List[3].Equal(p.root.Cert) {
+		t.Errorf("root not retained: %v", res.List)
+	}
+	if !hasAction(res.Actions, ActionKeepRoot) {
+		t.Errorf("expected keep-root action, got %v", res.Actions)
+	}
+}
+
+func TestFixAlreadyCompliantIsNoop(t *testing.T) {
+	p := newFixPKI(t)
+	f := &Fixer{Roots: p.roots}
+	in := []*certmodel.Certificate{p.leaf.Cert, p.ca1.Cert, p.ca2.Cert}
+	res, err := f.Fix(in, "fix.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Actions) != 0 {
+		t.Errorf("compliant input should need no actions, got %v", res.Actions)
+	}
+	if len(res.List) != 3 {
+		t.Errorf("list changed: %v", res.List)
+	}
+}
+
+func TestFixUnfixable(t *testing.T) {
+	p := newFixPKI(t)
+	orphanRoot, err := certgen.NewRoot("Unrelated Anchor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Fixer{Roots: rootstore.NewWith("wrong", orphanRoot.Cert)}
+	_, err = f.Fix([]*certmodel.Certificate{p.leaf.Cert, p.ca1.Cert}, "fix.example")
+	if !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+	if _, err := f.Fix(nil, "x"); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+// TestFixPopulation runs the fixer across every non-compliant chain of a
+// synthetic population: every chain with a constructible trusted path must
+// come out compliant.
+func TestFixPopulation(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 8000, Seed: 23})
+	f := &Fixer{Roots: pop.Roots(), Fetcher: pop.Repo}
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: pop.Roots(), Fetcher: pop.Repo}}
+
+	fixed, unfixable := 0, 0
+	for _, d := range pop.Domains {
+		g := topo.Build(d.List)
+		if an.Analyze(d.Name, g).Compliant() {
+			continue
+		}
+		res, err := f.Fix(d.List, d.Name)
+		if err != nil {
+			unfixable++
+			continue
+		}
+		fixed++
+		if !res.Report.Compliant() {
+			t.Errorf("%s: fixer returned non-compliant list", d.Name)
+		}
+	}
+	if fixed == 0 {
+		t.Fatal("no chains fixed")
+	}
+	t.Logf("fixed %d non-compliant chains, %d unfixable (untrusted/expired)", fixed, unfixable)
+	// The overwhelming majority must be mechanically repairable.
+	if float64(unfixable) > 0.25*float64(fixed+unfixable) {
+		t.Errorf("too many unfixable chains: %d of %d", unfixable, fixed+unfixable)
+	}
+}

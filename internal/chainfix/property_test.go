@@ -1,0 +1,75 @@
+package chainfix
+
+import (
+	"testing"
+
+	"chainchaos/internal/population"
+	"chainchaos/internal/topo"
+)
+
+// TestFixIdempotent: repairing an already-repaired list is a no-op — same
+// certificates, same order, no actions.
+func TestFixIdempotent(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 6000, Seed: 77})
+	f := &Fixer{Roots: pop.Roots(), Fetcher: pop.Repo}
+
+	checked := 0
+	for _, d := range pop.Domains {
+		if !d.Truth.NonCompliant() {
+			continue
+		}
+		first, err := f.Fix(d.List, d.Name)
+		if err != nil {
+			continue
+		}
+		checked++
+		second, err := f.Fix(first.List, d.Name)
+		if err != nil {
+			t.Fatalf("%s: second fix errored: %v", d.Name, err)
+		}
+		if len(second.Actions) != 0 {
+			t.Errorf("%s: second fix took actions: %v", d.Name, second.Actions)
+		}
+		if len(second.List) != len(first.List) {
+			t.Fatalf("%s: second fix changed length %d -> %d", d.Name, len(first.List), len(second.List))
+		}
+		for i := range first.List {
+			if !second.List[i].Equal(first.List[i]) {
+				t.Errorf("%s: second fix changed position %d", d.Name, i)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fixable chains sampled")
+	}
+	t.Logf("idempotence verified on %d chains", checked)
+}
+
+// TestFixOutputStructure: every successful fix yields a list that is
+// leaf-first, sequentially ordered, duplicate-free and irrelevant-free.
+func TestFixOutputStructure(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 6000, Seed: 78})
+	f := &Fixer{Roots: pop.Roots(), Fetcher: pop.Repo}
+	for _, d := range pop.Domains {
+		if !d.Truth.NonCompliant() {
+			continue
+		}
+		res, err := f.Fix(d.List, d.Name)
+		if err != nil {
+			continue
+		}
+		if !topo.SequentialOrderOK(res.List) {
+			t.Errorf("%s: fixed list not sequential", d.Name)
+		}
+		g := topo.Build(res.List)
+		if g.HasDuplicates() {
+			t.Errorf("%s: fixed list has duplicates", d.Name)
+		}
+		if len(g.IrrelevantNodes()) != 0 {
+			t.Errorf("%s: fixed list has irrelevant certs", d.Name)
+		}
+		if !res.List[0].Equal(d.List[0]) {
+			t.Errorf("%s: fixed list does not start with the server's leaf", d.Name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package clients
+
+import (
+	"testing"
+
+	"chainchaos/internal/pathbuild"
+)
+
+// TestTable9 asserts that the eight client models, run through the Table 2
+// capability scenarios, reproduce the paper's Table 9 cell for cell.
+func TestTable9(t *testing.T) {
+	runner, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		order, redundancy, aiaCap bool
+		validity                  pathbuild.ValidityPolicy
+		kid                       pathbuild.KIDPolicy
+		kup, bp                   bool
+		maxLen                    int // 0 = ">52"
+		inputLimited              bool
+		selfSigned                bool
+	}
+	const (
+		vpNone = pathbuild.ValidityNone
+		vp1    = pathbuild.ValidityFirstValid
+		vp2    = pathbuild.ValidityMostRecent
+		kpNone = pathbuild.KIDNone
+		kp1    = pathbuild.KIDMatchOrAbsentFirst
+		kp2    = pathbuild.KIDMatchFirst
+	)
+	wants := map[string]want{
+		"OpenSSL":   {true, true, false, vp1, kp1, false, false, 0, false, false},
+		"GnuTLS":    {true, true, false, vpNone, kp1, false, false, 16, true, false},
+		"MbedTLS":   {false, true, false, vp1, kpNone, true, true, 10, false, true},
+		"CryptoAPI": {true, true, true, vp2, kp2, true, true, 13, false, false},
+		"Chrome":    {true, true, true, vp2, kp2, true, true, 0, false, false},
+		"Edge":      {true, true, true, vp2, kp2, true, true, 21, false, false},
+		"Safari":    {true, true, true, vp2, kp1, true, true, 0, false, true},
+		"Firefox":   {true, true, false, vp1, kpNone, true, true, 8, false, false},
+	}
+
+	reports, err := runner.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(wants) {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, rep := range reports {
+		w, ok := wants[rep.Profile.Name]
+		if !ok {
+			t.Errorf("unexpected profile %s", rep.Profile.Name)
+			continue
+		}
+		if rep.OrderReorganization != w.order {
+			t.Errorf("%s: order reorganization = %v, want %v", rep.Profile.Name, rep.OrderReorganization, w.order)
+		}
+		if rep.RedundancyElimination != w.redundancy {
+			t.Errorf("%s: redundancy elimination = %v, want %v", rep.Profile.Name, rep.RedundancyElimination, w.redundancy)
+		}
+		if rep.AIACompletion != w.aiaCap {
+			t.Errorf("%s: AIA completion = %v, want %v", rep.Profile.Name, rep.AIACompletion, w.aiaCap)
+		}
+		if rep.Validity != w.validity {
+			t.Errorf("%s: validity priority = %v, want %v", rep.Profile.Name, rep.Validity, w.validity)
+		}
+		if rep.KID != w.kid {
+			t.Errorf("%s: KID priority = %v, want %v", rep.Profile.Name, rep.KID, w.kid)
+		}
+		if rep.KeyUsagePref != w.kup {
+			t.Errorf("%s: KeyUsage preference = %v, want %v", rep.Profile.Name, rep.KeyUsagePref, w.kup)
+		}
+		if rep.BasicConstraints != w.bp {
+			t.Errorf("%s: BasicConstraints preference = %v, want %v", rep.Profile.Name, rep.BasicConstraints, w.bp)
+		}
+		if rep.MaxChainLength != w.maxLen {
+			t.Errorf("%s: max chain length = %d, want %d", rep.Profile.Name, rep.MaxChainLength, w.maxLen)
+		}
+		if rep.InputListLimited != w.inputLimited {
+			t.Errorf("%s: input-list-limited = %v, want %v", rep.Profile.Name, rep.InputListLimited, w.inputLimited)
+		}
+		if rep.SelfSignedLeafAllowed != w.selfSigned {
+			t.Errorf("%s: self-signed leaf = %v, want %v", rep.Profile.Name, rep.SelfSignedLeafAllowed, w.selfSigned)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package clients
+
+import (
+	"bytes"
+	"fmt"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+// Capability enumerates the nine chain-construction capabilities of Table 2.
+type Capability int
+
+const (
+	CapOrderReorganization Capability = iota
+	CapRedundancyElimination
+	CapAIACompletion
+	CapValidityPriority
+	CapKIDMatchingPriority
+	CapKeyUsagePriority
+	CapBasicConstraintsPriority
+	CapPathLengthConstraint
+	CapSelfSignedLeaf
+)
+
+// String returns the capability's Table 2 name.
+func (c Capability) String() string {
+	switch c {
+	case CapOrderReorganization:
+		return "Order Reorganization"
+	case CapRedundancyElimination:
+		return "Redundancy Elimination"
+	case CapAIACompletion:
+		return "AIA Completion"
+	case CapValidityPriority:
+		return "Validity Priority"
+	case CapKIDMatchingPriority:
+		return "KID Matching Priority"
+	case CapKeyUsagePriority:
+		return "KeyUsage Correctness Priority"
+	case CapBasicConstraintsPriority:
+		return "Basic Constraints Priority"
+	case CapPathLengthConstraint:
+		return "Path Length Constraint"
+	case CapSelfSignedLeaf:
+		return "Self-signed Leaf Certificate"
+	default:
+		return fmt.Sprintf("Capability(%d)", int(c))
+	}
+}
+
+// Scenario is one crafted test chain: the list a malicious-or-misconfigured
+// server would present, the trust store the client holds, an AIA fetcher
+// when the test involves fetching, and labelled certificates so the runner
+// can identify which candidate a client chose.
+type Scenario struct {
+	Capability Capability
+	Domain     string
+	List       []*certmodel.Certificate
+	Roots      *rootstore.Store
+	Fetcher    aia.Fetcher
+	Labels     map[string]*certmodel.Certificate
+}
+
+// LabelOf returns the label of cert within the scenario, or "?".
+func (s *Scenario) LabelOf(cert *certmodel.Certificate) string {
+	for label, c := range s.Labels {
+		if c.Equal(cert) {
+			return label
+		}
+	}
+	return "?"
+}
+
+// ScenarioSet holds one generated instance of every Table 2 test. Generating
+// real keys and signatures is not free, so a set is built once and shared.
+type ScenarioSet struct {
+	OrderReorganization   *Scenario
+	RedundancyElimination *Scenario
+	AIACompletion         *Scenario
+	Validity              *Scenario
+	KID                   *Scenario
+	KeyUsage              *Scenario
+	BasicConstraints      *Scenario
+
+	// SelfSigned is test 9's {ES, E, I, R} list.
+	SelfSigned *Scenario
+
+	// deepRoot anchors the path-length probe chains (test 8), built on
+	// demand by DeepChain.
+	deepRoot *certgen.Authority
+}
+
+// NewScenarioSet builds every fixed scenario. It returns an error only on
+// key-generation or encoding failure.
+func NewScenarioSet() (*ScenarioSet, error) {
+	set := &ScenarioSet{}
+	builders := []struct {
+		name string
+		fn   func() (*Scenario, error)
+		dst  **Scenario
+	}{
+		{"order", scenarioOrder, &set.OrderReorganization},
+		{"redundancy", scenarioRedundancy, &set.RedundancyElimination},
+		{"aia", scenarioAIA, &set.AIACompletion},
+		{"validity", scenarioValidity, &set.Validity},
+		{"kid", scenarioKID, &set.KID},
+		{"keyusage", scenarioKeyUsage, &set.KeyUsage},
+		{"basicconstraints", scenarioBasicConstraints, &set.BasicConstraints},
+		{"selfsigned", scenarioSelfSigned, &set.SelfSigned},
+	}
+	for _, b := range builders {
+		s, err := b.fn()
+		if err != nil {
+			return nil, fmt.Errorf("clients: scenario %s: %w", b.name, err)
+		}
+		*b.dst = s
+	}
+	root, err := certgen.NewRoot("Deep Chain Root")
+	if err != nil {
+		return nil, err
+	}
+	set.deepRoot = root
+	return set, nil
+}
+
+// scenarioOrder builds Table 2 test 1: {E, I2, I1, R} for the chain
+// E<-I1<-I2<-R.
+func scenarioOrder() (*Scenario, error) {
+	root, err := certgen.NewRoot("Order Root")
+	if err != nil {
+		return nil, err
+	}
+	i2, err := root.NewIntermediate("Order CA 2")
+	if err != nil {
+		return nil, err
+	}
+	i1, err := i2.NewIntermediate("Order CA 1")
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := i1.NewLeaf("order.test.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapOrderReorganization,
+		Domain:     "order.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i2.Cert, i1.Cert, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I1": i1.Cert, "I2": i2.Cert, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioRedundancy builds test 2: {E, X, I, R} with X entirely unrelated.
+func scenarioRedundancy() (*Scenario, error) {
+	root, err := certgen.NewRoot("Redundancy Root")
+	if err != nil {
+		return nil, err
+	}
+	inter, err := root.NewIntermediate("Redundancy CA")
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := inter.NewLeaf("redundancy.test.example")
+	if err != nil {
+		return nil, err
+	}
+	strangerRoot, err := certgen.NewRoot("Stranger Root")
+	if err != nil {
+		return nil, err
+	}
+	strangerCA, err := strangerRoot.NewIntermediate("Stranger CA")
+	if err != nil {
+		return nil, err
+	}
+	stranger, err := strangerCA.NewLeaf("stranger.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapRedundancyElimination,
+		Domain:     "redundancy.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, stranger.Cert, inter.Cert, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "X": stranger.Cert, "I": inter.Cert, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioAIA builds test 3: {E, I1} with I1's caIssuers URI pointing at I2,
+// whose issuer R sits in the trust store.
+func scenarioAIA() (*Scenario, error) {
+	root, err := certgen.NewRoot("AIA Root")
+	if err != nil {
+		return nil, err
+	}
+	i2, err := root.NewIntermediate("AIA CA 2")
+	if err != nil {
+		return nil, err
+	}
+	const uri = "http://repo.test.example/aia-ca-2.der"
+	i1, err := i2.NewIntermediate("AIA CA 1", certgen.WithAIA(uri))
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := i1.NewLeaf("aia.test.example")
+	if err != nil {
+		return nil, err
+	}
+	repo := aia.NewRepository()
+	repo.Put(uri, i2.Cert)
+	return &Scenario{
+		Capability: CapAIACompletion,
+		Domain:     "aia.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i1.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Fetcher:    repo,
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I1": i1.Cert, "I2": i2.Cert, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioValidity builds test 4: four same-subject/same-key variants of the
+// leaf's issuer differing only in validity. Presented with the invalid
+// variant first so a no-priority client betrays itself by picking it.
+//
+//	I  — one-year validity, currently valid
+//	I1 — expired
+//	I2 — one-year validity, more recently issued
+//	I3 — same start as I, ten-year validity
+func scenarioValidity() (*Scenario, error) {
+	ref := certgen.Reference
+	root, err := certgen.NewRoot("Validity Root")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := root.NewIntermediate("Validity CA",
+		certgen.WithValidity(ref.AddDate(0, -6, 0), ref.AddDate(0, 6, 0)))
+	if err != nil {
+		return nil, err
+	}
+	i1, err := root.ReissueIntermediate(ca,
+		certgen.WithValidity(ref.AddDate(-2, 0, 0), ref.AddDate(-1, 0, 0)))
+	if err != nil {
+		return nil, err
+	}
+	i2, err := root.ReissueIntermediate(ca,
+		certgen.WithValidity(ref.AddDate(0, -1, 0), ref.AddDate(0, 11, 0)))
+	if err != nil {
+		return nil, err
+	}
+	i3, err := root.ReissueIntermediate(ca,
+		certgen.WithValidity(ref.AddDate(0, -6, 0), ref.AddDate(9, 6, 0)))
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := ca.NewLeaf("validity.test.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapValidityPriority,
+		Domain:     "validity.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i1, ca.Cert, i2, i3, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I": ca.Cert, "I1": i1, "I2": i2, "I3": i3, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioKID builds test 5: same-subject/same-key issuer variants whose
+// SKID matches the leaf's AKID (I), mismatches it (I1), or is absent (I2).
+// Presented mismatch-first, absent-second, match-third, so the choice
+// separates KP2 (match first), KP1 (match/absent tie, earliest wins), and
+// no-priority (first candidate).
+func scenarioKID() (*Scenario, error) {
+	root, err := certgen.NewRoot("KID Root")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := root.NewIntermediate("KID CA")
+	if err != nil {
+		return nil, err
+	}
+	wrong := bytes.Repeat([]byte{0x5a}, 20)
+	i1, err := root.ReissueIntermediate(ca, certgen.WithSKID(wrong))
+	if err != nil {
+		return nil, err
+	}
+	i2, err := root.ReissueIntermediate(ca, certgen.WithoutSKID())
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := ca.NewLeaf("kid.test.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapKIDMatchingPriority,
+		Domain:     "kid.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i1, i2, ca.Cert, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I": ca.Cert, "I1": i1, "I2": i2, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioKeyUsage builds test 6: issuer variants with correct KeyUsage (I),
+// incorrect KeyUsage (I1, no certSign), and no KeyUsage extension (I2).
+// Presented incorrect-first.
+func scenarioKeyUsage() (*Scenario, error) {
+	root, err := certgen.NewRoot("KeyUsage Root")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := root.NewIntermediate("KeyUsage CA")
+	if err != nil {
+		return nil, err
+	}
+	i1, err := root.ReissueIntermediate(ca, certgen.WithKeyUsage(certmodel.KeyUsageDigitalSignature))
+	if err != nil {
+		return nil, err
+	}
+	i2, err := root.ReissueIntermediate(ca, certgen.WithoutKeyUsage())
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := ca.NewLeaf("keyusage.test.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapKeyUsagePriority,
+		Domain:     "keyusage.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i1, ca.Cert, i2, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I": ca.Cert, "I1": i1, "I2": i2, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioBasicConstraints builds test 7: {E, I1, I3, I2, R} where I2 and I3
+// share I1's issuer subject and key, I2 carrying a correct pathLenConstraint
+// (1) and I3 an incorrect one (0). The incorrect variant is presented first.
+func scenarioBasicConstraints() (*Scenario, error) {
+	root, err := certgen.NewRoot("BC Root")
+	if err != nil {
+		return nil, err
+	}
+	upper, err := root.NewIntermediate("BC Upper CA", certgen.WithPathLen(1))
+	if err != nil {
+		return nil, err
+	}
+	i3, err := root.ReissueIntermediate(upper, certgen.WithPathLen(0))
+	if err != nil {
+		return nil, err
+	}
+	i1, err := upper.NewIntermediate("BC Issuing CA", certgen.WithPathLen(0))
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := i1.NewLeaf("bc.test.example")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapBasicConstraintsPriority,
+		Domain:     "bc.test.example",
+		List:       []*certmodel.Certificate{leaf.Cert, i1.Cert, i3, upper.Cert, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"E": leaf.Cert, "I1": i1.Cert, "I2": upper.Cert, "I3": i3, "R": root.Cert,
+		},
+	}, nil
+}
+
+// scenarioSelfSigned builds test 9: {ES, E, I, R} where ES is a self-signed
+// certificate sharing E's subject.
+func scenarioSelfSigned() (*Scenario, error) {
+	root, err := certgen.NewRoot("SelfSigned Root")
+	if err != nil {
+		return nil, err
+	}
+	inter, err := root.NewIntermediate("SelfSigned CA")
+	if err != nil {
+		return nil, err
+	}
+	const domain = "selfsigned.test.example"
+	leaf, err := inter.NewLeaf(domain)
+	if err != nil {
+		return nil, err
+	}
+	es, err := certgen.SelfSignedLeaf(domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Capability: CapSelfSignedLeaf,
+		Domain:     domain,
+		List:       []*certmodel.Certificate{es.Cert, leaf.Cert, inter.Cert, root.Cert},
+		Roots:      rootstore.NewWith("test", root.Cert),
+		Labels: map[string]*certmodel.Certificate{
+			"ES": es.Cert, "E": leaf.Cert, "I": inter.Cert, "R": root.Cert,
+		},
+	}, nil
+}
+
+// DeepChain builds test 8's probe chain {E, I1 … In, R}: n stacked
+// intermediates, total list length n+2. extraIrrelevant appends unrelated
+// certificates, which distinguishes input-list limits (GnuTLS) from
+// constructed-path limits (everyone else).
+func (s *ScenarioSet) DeepChain(n int, extraIrrelevant int) (*Scenario, error) {
+	cur := s.deepRoot
+	// Authorities in creation order: I_n (just under the root) … I_1 (the
+	// leaf's issuer).
+	created := make([]*certgen.Authority, 0, n)
+	for i := n; i >= 1; i-- {
+		next, err := cur.NewIntermediate(fmt.Sprintf("Deep CA %d/%d", i, n))
+		if err != nil {
+			return nil, err
+		}
+		created = append(created, next)
+		cur = next
+	}
+	domain := fmt.Sprintf("deep-%d.test.example", n)
+	leaf, err := cur.NewLeaf(domain)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]*certmodel.Certificate, 0, n+2+extraIrrelevant)
+	list = append(list, leaf.Cert)
+	for i := len(created) - 1; i >= 0; i-- { // leaf-first order: I_1 … I_n
+		list = append(list, created[i].Cert)
+	}
+	list = append(list, s.deepRoot.Cert)
+	for i := 0; i < extraIrrelevant; i++ {
+		pad, err := certgen.NewRoot(fmt.Sprintf("Padding Root %d-%d", n, i))
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, pad.Cert)
+	}
+	return &Scenario{
+		Capability: CapPathLengthConstraint,
+		Domain:     domain,
+		List:       list,
+		Roots:      rootstore.NewWith("test", s.deepRoot.Cert),
+	}, nil
+}

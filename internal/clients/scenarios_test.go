@@ -1,0 +1,194 @@
+package clients
+
+import (
+	"testing"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/rootstore"
+)
+
+func buildWith(p Profile, sc *Scenario, list []*certmodel.Certificate) pathbuild.Outcome {
+	b := &pathbuild.Builder{
+		Policy:  p.Policy,
+		Roots:   sc.Roots,
+		Fetcher: sc.Fetcher,
+		Cache:   rootstore.New("cache"),
+		Now:     certgen.Reference,
+	}
+	if list == nil {
+		list = sc.List
+	}
+	return b.Build(list, sc.Domain)
+}
+
+func TestScenarioShapes(t *testing.T) {
+	set, err := NewScenarioSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		sc      *Scenario
+		wantLen int
+		labels  []string
+	}{
+		{set.OrderReorganization, 4, []string{"E", "I1", "I2", "R"}},
+		{set.RedundancyElimination, 4, []string{"E", "X", "I", "R"}},
+		{set.AIACompletion, 2, []string{"E", "I1", "I2", "R"}},
+		{set.Validity, 6, []string{"E", "I", "I1", "I2", "I3", "R"}},
+		{set.KID, 5, []string{"E", "I", "I1", "I2", "R"}},
+		{set.KeyUsage, 5, []string{"E", "I", "I1", "I2", "R"}},
+		{set.BasicConstraints, 5, []string{"E", "I1", "I2", "I3", "R"}},
+		{set.SelfSigned, 4, []string{"ES", "E", "I", "R"}},
+	}
+	for _, c := range checks {
+		if len(c.sc.List) != c.wantLen {
+			t.Errorf("%v: list length = %d, want %d", c.sc.Capability, len(c.sc.List), c.wantLen)
+		}
+		for _, l := range c.labels {
+			if c.sc.Labels[l] == nil {
+				t.Errorf("%v: label %q missing", c.sc.Capability, l)
+			}
+		}
+		if c.sc.Domain == "" || c.sc.Roots == nil || c.sc.Roots.Len() == 0 {
+			t.Errorf("%v: scenario incomplete", c.sc.Capability)
+		}
+	}
+	// LabelOf falls back to "?" for foreign certs.
+	if set.KID.LabelOf(set.Validity.Labels["E"]) != "?" {
+		t.Error("LabelOf leaked across scenarios")
+	}
+	for c := CapOrderReorganization; c <= CapSelfSignedLeaf; c++ {
+		if c.String() == "" {
+			t.Errorf("capability %d renders empty", int(c))
+		}
+	}
+}
+
+func TestKIDScenarioVariantsShareKey(t *testing.T) {
+	set, err := NewScenarioSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := set.KID
+	e := sc.Labels["E"]
+	// All three candidates must verify E's signature: the KID is the only
+	// discriminator, exactly as Table 2 prescribes.
+	for _, label := range []string{"I", "I1", "I2"} {
+		if !e.SignatureVerifiedBy(sc.Labels[label]) {
+			t.Errorf("candidate %s does not verify E", label)
+		}
+	}
+	if sc.Labels["I2"].SubjectKeyID != nil {
+		t.Error("I2 should lack an SKID")
+	}
+	if string(sc.Labels["I1"].SubjectKeyID) == string(sc.Labels["I"].SubjectKeyID) {
+		t.Error("I1's SKID should mismatch")
+	}
+}
+
+// TestFigure4SwapFlipsMbedTLS reproduces the paper's control experiment: in
+// Figure 4's list MbedTLS lands on the correct path only because the
+// untrusted root sits before the leaf's issuer; swapping the two makes
+// MbedTLS pick the untrusted root and fail.
+func TestFigure4SwapFlipsMbedTLS(t *testing.T) {
+	trusted, err := certgen.NewRoot("Swap Trusted Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topSelf, err := certgen.NewRoot("Swap Gov CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := trusted.CrossSign(topSelf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuing, err := topSelf.NewIntermediate("Swap Issuing CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := issuing.NewLeaf("swap.gov.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := rootstore.NewWith("swap", trusted.Cert)
+	sc := &Scenario{Domain: "swap.gov.example", Roots: roots}
+
+	original := []*certmodel.Certificate{leaf.Cert, topSelf.Cert, issuing.Cert, cross, trusted.Cert}
+	swapped := []*certmodel.Certificate{leaf.Cert, issuing.Cert, topSelf.Cert, cross, trusted.Cert}
+
+	if out := buildWith(MbedTLS(), sc, original); !out.OK() {
+		t.Errorf("MbedTLS should pass the original order (forward-only skips the early root): %v", out.Validation.Findings)
+	}
+	if out := buildWith(MbedTLS(), sc, swapped); out.OK() {
+		t.Error("MbedTLS should fail after the swap (unreachable untrusted root chosen)")
+	}
+	// Backtracking clients are indifferent to the swap.
+	for _, p := range []Profile{CryptoAPI(), Chrome()} {
+		if out := buildWith(p, sc, swapped); !out.OK() {
+			t.Errorf("%s should recover regardless of order", p.Name)
+		}
+	}
+}
+
+// TestFirefoxCacheCompensatesForAIA shows the Firefox mechanism the paper
+// describes: no AIA support, but a warm intermediate cache validates the
+// same chain.
+func TestFirefoxCacheCompensatesForAIA(t *testing.T) {
+	set, err := NewScenarioSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := set.AIACompletion
+
+	cold := buildWith(Firefox(), sc, nil)
+	if cold.OK() {
+		t.Fatal("cold-cache Firefox should fail the AIA scenario")
+	}
+
+	warm := rootstore.New("warm")
+	warm.Add(sc.Labels["I2"])
+	b := &pathbuild.Builder{
+		Policy: Firefox().Policy, Roots: sc.Roots, Cache: warm, Now: certgen.Reference,
+	}
+	out := b.Build(sc.List, sc.Domain)
+	if !out.OK() {
+		t.Errorf("warm-cache Firefox should pass: %v", out.Validation.Findings)
+	}
+	if out.AIAFetches != 0 {
+		t.Error("Firefox must not fetch AIA")
+	}
+}
+
+func TestProfileCatalog(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("client count = %d", len(all))
+	}
+	libs, brs := Libraries(), Browsers()
+	if len(libs) != 4 || len(brs) != 4 {
+		t.Fatal("kind split wrong")
+	}
+	for _, p := range libs {
+		if p.Kind != Library {
+			t.Errorf("%s kind = %v", p.Name, p.Kind)
+		}
+	}
+	for _, p := range brs {
+		if p.Kind != Browser {
+			t.Errorf("%s kind = %v", p.Name, p.Kind)
+		}
+	}
+	if Library.String() != "library" || Browser.String() != "browser" {
+		t.Error("kind strings wrong")
+	}
+	// Edge is Chromium with a path limit.
+	if Edge().Policy.MaxPathLen != 21 || Chrome().Policy.MaxPathLen != 0 {
+		t.Error("Edge/Chrome path limits wrong")
+	}
+	if Edge().Policy.AIA != Chrome().Policy.AIA {
+		t.Error("Edge should share Chromium's AIA behaviour")
+	}
+}

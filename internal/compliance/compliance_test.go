@@ -1,0 +1,290 @@
+package compliance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/topo"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	root, ca2, ca1, leaf *certmodel.Certificate
+	roots                *rootstore.Store
+	repo                 *aia.Repository
+}
+
+func newFixture(tag string) *fixture {
+	root := certmodel.SyntheticRoot("C Root "+tag, base)
+	ca2 := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "C CA2 " + tag}, Issuer: root.Subject,
+		Serial: "2", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-ca2-" + tag), SignedBy: certmodel.KeyOf(root),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+		AIAIssuerURLs: []string{"http://repo/" + tag + "/root.der"},
+	})
+	ca1 := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "C CA1 " + tag}, Issuer: ca2.Subject,
+		Serial: "1", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-ca1-" + tag), SignedBy: certmodel.KeyOf(ca2),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+		AIAIssuerURLs: []string{"http://repo/" + tag + "/ca2.der"},
+	})
+	leaf := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: tag + ".example"}, Issuer: ca1.Subject,
+		Serial: "L", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-leaf-" + tag), SignedBy: certmodel.KeyOf(ca1),
+		DNSNames:      []string{tag + ".example"},
+		AIAIssuerURLs: []string{"http://repo/" + tag + "/ca1.der"},
+	})
+	repo := aia.NewRepository()
+	repo.Put("http://repo/"+tag+"/root.der", root)
+	repo.Put("http://repo/"+tag+"/ca2.der", ca2)
+	repo.Put("http://repo/"+tag+"/ca1.der", ca1)
+	return &fixture{root, ca2, ca1, leaf, rootstore.NewWith("c-"+tag, root), repo}
+}
+
+func (f *fixture) cfg() CompletenessConfig {
+	return CompletenessConfig{Roots: f.roots, Fetcher: f.repo}
+}
+
+func TestLeafPlacementCategories(t *testing.T) {
+	f := newFixture("leaf")
+	mismatch := certmodel.SyntheticLeaf("wrong.example", "w", f.ca1, base, base.AddDate(1, 0, 0))
+	plesk := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "Plesk"}, Issuer: certmodel.Name{CommonName: "Plesk"},
+		Serial: "p", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("plesk"), SignedBy: certmodel.NewSyntheticKey("plesk"),
+	})
+
+	cases := []struct {
+		name   string
+		list   []*certmodel.Certificate
+		domain string
+		want   LeafPlacement
+	}{
+		{"matched", []*certmodel.Certificate{f.leaf, f.ca1}, "leaf.example", LeafCorrectMatched},
+		{"mismatched", []*certmodel.Certificate{mismatch, f.ca1}, "leaf.example", LeafCorrectMismatched},
+		{"incorrect-matched", []*certmodel.Certificate{plesk, f.leaf, f.ca1}, "leaf.example", LeafIncorrectMatched},
+		{"incorrect-mismatched", []*certmodel.Certificate{plesk, mismatch}, "leaf.example", LeafIncorrectMismatched},
+		{"other", []*certmodel.Certificate{plesk}, "leaf.example", LeafOther},
+		{"empty", nil, "leaf.example", LeafOther},
+	}
+	for _, tc := range cases {
+		if got := ClassifyLeafPlacement(tc.list, tc.domain); got != tc.want {
+			t.Errorf("%s: placement = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !LeafCorrectMatched.CorrectlyPlaced() || !LeafCorrectMismatched.CorrectlyPlaced() {
+		t.Error("correct placements misreported")
+	}
+	if LeafIncorrectMatched.CorrectlyPlaced() || LeafOther.CorrectlyPlaced() {
+		t.Error("incorrect placements misreported")
+	}
+	for p := LeafCorrectMatched; p <= LeafOther; p++ {
+		if p.String() == "unknown" || p.String() == "" {
+			t.Errorf("placement %d renders %q", int(p), p.String())
+		}
+	}
+}
+
+func TestOrderReportCategories(t *testing.T) {
+	f := newFixture("order")
+	stranger := certmodel.SyntheticRoot("C Stranger", base)
+	stale := certmodel.SyntheticLeaf("order.example", "stale", f.ca1, base.AddDate(-2, 0, 0), base.AddDate(-1, 0, 0))
+
+	cases := []struct {
+		name  string
+		list  []*certmodel.Certificate
+		check func(OrderReport) error
+	}{
+		{"compliant", []*certmodel.Certificate{f.leaf, f.ca1, f.ca2}, func(r OrderReport) error {
+			if r.NonCompliant() || !r.SequentialOK {
+				return fmt.Errorf("compliant chain flagged: %+v", r)
+			}
+			return nil
+		}},
+		{"duplicate-leaf", []*certmodel.Certificate{f.leaf, f.leaf, f.ca1, f.ca2}, func(r OrderReport) error {
+			if !r.HasDuplicates || !r.DuplicateLeaf || r.DuplicateIntermediate {
+				return fmt.Errorf("dup-leaf report: %+v", r)
+			}
+			return nil
+		}},
+		{"duplicate-intermediate", []*certmodel.Certificate{f.leaf, f.ca1, f.ca2, f.ca1}, func(r OrderReport) error {
+			if !r.DuplicateIntermediate || r.DuplicateLeaf {
+				return fmt.Errorf("dup-int report: %+v", r)
+			}
+			return nil
+		}},
+		{"duplicate-root", []*certmodel.Certificate{f.leaf, f.ca1, f.ca2, f.root, f.root}, func(r OrderReport) error {
+			if !r.DuplicateRoot {
+				return fmt.Errorf("dup-root report: %+v", r)
+			}
+			return nil
+		}},
+		{"stale-leaf-irrelevant", []*certmodel.Certificate{f.leaf, stale, f.ca1, f.ca2}, func(r OrderReport) error {
+			if !r.HasIrrelevant || r.IrrelevantLeaves != 1 {
+				return fmt.Errorf("stale leaf report: %+v", r)
+			}
+			return nil
+		}},
+		{"unrelated-root-irrelevant", []*certmodel.Certificate{f.leaf, f.ca1, f.ca2, stranger}, func(r OrderReport) error {
+			if !r.HasIrrelevant || r.IrrelevantSelfSigned != 1 {
+				return fmt.Errorf("stray root report: %+v", r)
+			}
+			return nil
+		}},
+		{"reversed", []*certmodel.Certificate{f.leaf, f.root, f.ca2, f.ca1}, func(r OrderReport) error {
+			if !r.ReversedAny || !r.ReversedAll || r.SequentialOK {
+				return fmt.Errorf("reversed report: %+v", r)
+			}
+			return nil
+		}},
+		{"empty", nil, func(r OrderReport) error {
+			if r.NonCompliant() || r.MaxOccurrences != 0 {
+				return fmt.Errorf("empty report: %+v", r)
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		r := AnalyzeOrder(topo.Build(tc.list))
+		if err := tc.check(r); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestCertRoleStrings(t *testing.T) {
+	for r := RoleLeaf; r <= RoleRoot; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("role %d renders unknown", int(r))
+		}
+	}
+}
+
+func TestCompletenessClasses(t *testing.T) {
+	f := newFixture("comp")
+
+	g := topo.Build([]*certmodel.Certificate{f.leaf, f.ca1, f.ca2, f.root})
+	if got := AnalyzeCompleteness(g, f.cfg()); got.Class != CompleteWithRoot {
+		t.Errorf("with-root class = %v", got.Class)
+	}
+
+	g = topo.Build([]*certmodel.Certificate{f.leaf, f.ca1, f.ca2})
+	if got := AnalyzeCompleteness(g, f.cfg()); got.Class != CompleteWithoutRoot {
+		t.Errorf("without-root class = %v", got.Class)
+	}
+
+	g = topo.Build([]*certmodel.Certificate{f.leaf, f.ca1})
+	got := AnalyzeCompleteness(g, f.cfg())
+	if got.Class != Incomplete || !got.AIARecoverable || got.MissingIntermediates != 1 {
+		t.Errorf("missing-one report = %+v", got)
+	}
+
+	g = topo.Build([]*certmodel.Certificate{f.leaf})
+	got = AnalyzeCompleteness(g, f.cfg())
+	if got.Class != Incomplete || !got.AIARecoverable || got.MissingIntermediates != 2 {
+		t.Errorf("missing-two report = %+v", got)
+	}
+
+	// Without a fetcher the same chains are unrecoverable.
+	got = AnalyzeCompleteness(g, CompletenessConfig{Roots: f.roots})
+	if got.Class != Incomplete || got.AIARecoverable {
+		t.Errorf("no-fetcher report = %+v", got)
+	}
+
+	// Empty chain.
+	if got := AnalyzeCompleteness(topo.Build(nil), f.cfg()); got.Class != Incomplete {
+		t.Errorf("empty chain class = %v", got.Class)
+	}
+	for c := CompleteWithRoot; c <= Incomplete; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("class %d renders unknown", int(c))
+		}
+	}
+}
+
+func TestCompletenessAKIDlessNeedsAIA(t *testing.T) {
+	// Top intermediate without an AKID: the store lookup (AKID->SKID)
+	// fails, so classification depends on the AIA fallback — the Table 8
+	// mechanism.
+	root := certmodel.SyntheticRoot("C NoAKID Root", base)
+	top := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "C NoAKID Top"}, Issuer: root.Subject,
+		Serial: "t", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-noakid-top"), SignedBy: certmodel.KeyOf(root),
+		OmitAKID: true, IsCA: true, BasicConstraintsValid: true,
+		AIAIssuerURLs: []string{"http://repo/noakid/root.der"},
+	})
+	leaf := certmodel.SyntheticLeaf("noakid.example", "1", top, base, base.AddDate(1, 0, 0))
+	repo := aia.NewRepository()
+	repo.Put("http://repo/noakid/root.der", root)
+	roots := rootstore.NewWith("noakid", root)
+	g := topo.Build([]*certmodel.Certificate{leaf, top})
+
+	withAIA := AnalyzeCompleteness(g, CompletenessConfig{Roots: roots, Fetcher: repo})
+	if withAIA.Class != CompleteWithoutRoot {
+		t.Errorf("with AIA class = %v, want complete-without-root", withAIA.Class)
+	}
+	withoutAIA := AnalyzeCompleteness(g, CompletenessConfig{Roots: roots})
+	if withoutAIA.Class != Incomplete {
+		t.Errorf("without AIA class = %v, want incomplete", withoutAIA.Class)
+	}
+}
+
+func TestCompletenessTerminalTaxonomy(t *testing.T) {
+	f := newFixture("term")
+
+	noAIALeaf := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "term2.example"}, Issuer: f.ca1.Subject,
+		Serial: "n", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-noaia"), SignedBy: certmodel.KeyOf(f.ca1),
+	})
+	g := topo.Build([]*certmodel.Certificate{noAIALeaf})
+	if got := AnalyzeCompleteness(g, f.cfg()); got.AIARecoverable || got.Terminal != aia.NoAIA {
+		t.Errorf("no-AIA terminal = %+v", got)
+	}
+
+	deadLeaf := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "term3.example"}, Issuer: f.ca1.Subject,
+		Serial: "d", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("c-dead"), SignedBy: certmodel.KeyOf(f.ca1),
+		AIAIssuerURLs: []string{"http://repo/term/dead.der"},
+	})
+	f.repo.PutError("http://repo/term/dead.der", fmt.Errorf("refused"))
+	g = topo.Build([]*certmodel.Certificate{deadLeaf})
+	if got := AnalyzeCompleteness(g, f.cfg()); got.AIARecoverable || got.Terminal != aia.FetchFailed {
+		t.Errorf("dead-URI terminal = %+v", got)
+	}
+}
+
+func TestVerdictCompliant(t *testing.T) {
+	f := newFixture("verdict")
+	an := &Analyzer{Completeness: f.cfg()}
+
+	good := an.Analyze("verdict.example", topo.Build([]*certmodel.Certificate{f.leaf, f.ca1, f.ca2}))
+	if !good.Compliant() {
+		t.Errorf("compliant chain rejected: %+v", good)
+	}
+	// A hostname mismatch alone is NOT a structural violation.
+	mm := an.Analyze("unrelated.example", topo.Build([]*certmodel.Certificate{f.leaf, f.ca1, f.ca2}))
+	if mm.Leaf != LeafCorrectMismatched || !mm.Compliant() {
+		t.Errorf("mismatched-but-structural chain: %+v", mm)
+	}
+	bad := an.Analyze("verdict.example", topo.Build([]*certmodel.Certificate{f.leaf, f.ca2, f.ca1}))
+	if bad.Compliant() {
+		t.Error("disordered chain accepted")
+	}
+	inc := an.Analyze("verdict.example", topo.Build([]*certmodel.Certificate{f.leaf}))
+	if inc.Compliant() {
+		t.Error("incomplete chain accepted")
+	}
+}

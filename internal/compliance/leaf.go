@@ -1,0 +1,83 @@
+// Package compliance implements the server-side structural compliance
+// analysis of the paper's Section 3.1/4: leaf certificate placement
+// (Table 3), issuance order over the topology graph (Table 5), and chain
+// completeness against root stores and AIA (Tables 7 and 8), combined into a
+// per-domain verdict.
+package compliance
+
+import (
+	"chainchaos/internal/certmodel"
+)
+
+// LeafPlacement classifies where (and whether) the end-entity certificate
+// sits in the server's list, per the paper's five categories.
+type LeafPlacement int
+
+const (
+	// LeafCorrectMatched: the first certificate's CN or SAN matches the
+	// domain.
+	LeafCorrectMatched LeafPlacement = iota
+	// LeafCorrectMismatched: the first certificate carries a domain- or
+	// IP-shaped identity, but not this domain's.
+	LeafCorrectMismatched
+	// LeafIncorrectMatched: a later certificate matches the domain.
+	LeafIncorrectMatched
+	// LeafIncorrectMismatched: a later certificate carries a domain-shaped
+	// identity (the mot.gov.ps case).
+	LeafIncorrectMismatched
+	// LeafOther: no certificate carries a domain-shaped identity — empty
+	// CNs, "Plesk", "localhost", test strings.
+	LeafOther
+)
+
+// String returns the category's name.
+func (p LeafPlacement) String() string {
+	switch p {
+	case LeafCorrectMatched:
+		return "correct-placed/matched"
+	case LeafCorrectMismatched:
+		return "correct-placed/mismatched"
+	case LeafIncorrectMatched:
+		return "incorrect-placed/matched"
+	case LeafIncorrectMismatched:
+		return "incorrect-placed/mismatched"
+	case LeafOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// CorrectlyPlaced reports whether the first certificate in the list is the
+// (apparent) end-entity certificate.
+func (p LeafPlacement) CorrectlyPlaced() bool {
+	return p == LeafCorrectMatched || p == LeafCorrectMismatched
+}
+
+// ClassifyLeafPlacement applies the paper's decision procedure: check the
+// first certificate for a domain match, then for a domain/IP-shaped
+// identity; failing that, check the remaining certificates the same way;
+// otherwise fall into Other.
+func ClassifyLeafPlacement(list []*certmodel.Certificate, domain string) LeafPlacement {
+	if len(list) == 0 {
+		return LeafOther
+	}
+	first := list[0]
+	if first.MatchesDomain(domain) {
+		return LeafCorrectMatched
+	}
+	if first.HasDomainShapedIdentity() {
+		return LeafCorrectMismatched
+	}
+	for _, c := range list[1:] {
+		if c.MatchesDomain(domain) {
+			return LeafIncorrectMatched
+		}
+	}
+	for _, c := range list[1:] {
+		if c.HasDomainShapedIdentity() {
+			return LeafIncorrectMismatched
+		}
+	}
+	return LeafOther
+}

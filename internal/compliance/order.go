@@ -1,0 +1,129 @@
+package compliance
+
+import (
+	"chainchaos/internal/topo"
+)
+
+// CertRole is the coarse role a certificate plays in a chain, used to break
+// down duplicate statistics the way Table 10 does (duplicate leaf /
+// intermediate / root).
+type CertRole int
+
+const (
+	RoleLeaf CertRole = iota
+	RoleIntermediate
+	RoleRoot
+)
+
+// String returns the role's name.
+func (r CertRole) String() string {
+	switch r {
+	case RoleLeaf:
+		return "leaf"
+	case RoleIntermediate:
+		return "intermediate"
+	case RoleRoot:
+		return "root"
+	default:
+		return "unknown"
+	}
+}
+
+// roleOf assigns a role: self-signed CA certificates are roots, other CA
+// certificates intermediates, everything else a leaf.
+func roleOf(n *topo.Node) CertRole {
+	switch {
+	case n.Cert.IsCA && n.Cert.SelfSigned():
+		return RoleRoot
+	case n.Cert.IsCA:
+		return RoleIntermediate
+	default:
+		return RoleLeaf
+	}
+}
+
+// OrderReport is the issuance-order analysis of one chain (Table 5's four
+// non-compliance categories; they can overlap on one chain).
+type OrderReport struct {
+	// SequentialOK is TLS 1.2's literal rule: every certificate directly
+	// certifies the one before it.
+	SequentialOK bool
+
+	// Duplicate certificates.
+	HasDuplicates         bool
+	DuplicateLeaf         bool
+	DuplicateIntermediate bool
+	DuplicateRoot         bool
+	// MaxOccurrences is the highest copy count of any single certificate
+	// (the paper observed up to 26).
+	MaxOccurrences int
+
+	// Irrelevant certificates (no issuance relation to the leaf).
+	HasIrrelevant bool
+	// IrrelevantSelfSigned counts unrelated self-signed certificates.
+	IrrelevantSelfSigned int
+	// IrrelevantLeaves counts distinct extra end-entity certificates
+	// (stale leaves left behind by renewals, the webcanny.com shape).
+	IrrelevantLeaves int
+	// IrrelevantTotal is the number of irrelevant distinct certificates.
+	IrrelevantTotal int
+
+	// Multiple certification paths terminate at the leaf (cross-signing).
+	MultiplePaths bool
+	PathCount     int
+
+	// Reversed sequences.
+	ReversedAny bool
+	ReversedAll bool
+}
+
+// NonCompliant reports whether the chain violates the issuance-order
+// requirement in any of the four ways.
+func (r OrderReport) NonCompliant() bool {
+	return r.HasDuplicates || r.HasIrrelevant || r.MultiplePaths || r.ReversedAny
+}
+
+// AnalyzeOrder classifies a chain's issuance-order compliance over its
+// folded topology graph.
+func AnalyzeOrder(g *topo.Graph) OrderReport {
+	report := OrderReport{
+		SequentialOK:   topo.SequentialOrderOK(g.List),
+		MaxOccurrences: 1,
+	}
+	if len(g.Nodes) == 0 {
+		report.MaxOccurrences = 0
+		return report
+	}
+
+	for _, n := range g.DuplicatedNodes() {
+		report.HasDuplicates = true
+		if len(n.Occurrences) > report.MaxOccurrences {
+			report.MaxOccurrences = len(n.Occurrences)
+		}
+		switch roleOf(n) {
+		case RoleLeaf:
+			report.DuplicateLeaf = true
+		case RoleIntermediate:
+			report.DuplicateIntermediate = true
+		case RoleRoot:
+			report.DuplicateRoot = true
+		}
+	}
+
+	for _, n := range g.IrrelevantNodes() {
+		report.HasIrrelevant = true
+		report.IrrelevantTotal++
+		if n.Cert.SelfSigned() {
+			report.IrrelevantSelfSigned++
+		}
+		if roleOf(n) == RoleLeaf && n.Cert.HasDomainShapedIdentity() {
+			report.IrrelevantLeaves++
+		}
+	}
+
+	paths := g.Paths()
+	report.PathCount = len(paths)
+	report.MultiplePaths = len(paths) > 1
+	report.ReversedAny, report.ReversedAll = g.ReversedSequences()
+	return report
+}

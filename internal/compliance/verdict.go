@@ -1,0 +1,38 @@
+package compliance
+
+import (
+	"chainchaos/internal/topo"
+)
+
+// Report is the full per-domain compliance analysis.
+type Report struct {
+	Domain       string
+	Leaf         LeafPlacement
+	Order        OrderReport
+	Completeness CompletenessReport
+}
+
+// Compliant applies the paper's definition (§3, "Terminology"): the
+// end-entity certificate appears first, certificates follow the issuance
+// order, and the list contains everything needed for a complete chain, the
+// root alone being optional.
+func (r Report) Compliant() bool {
+	return r.Leaf.CorrectlyPlaced() &&
+		!r.Order.NonCompliant() &&
+		r.Completeness.Class != Incomplete
+}
+
+// Analyzer bundles the configuration shared across a measurement run.
+type Analyzer struct {
+	Completeness CompletenessConfig
+}
+
+// Analyze runs all three analyses over one server-provided list.
+func (a *Analyzer) Analyze(domain string, g *topo.Graph) Report {
+	return Report{
+		Domain:       domain,
+		Leaf:         ClassifyLeafPlacement(g.List, domain),
+		Order:        AnalyzeOrder(g),
+		Completeness: AnalyzeCompleteness(g, a.Completeness),
+	}
+}

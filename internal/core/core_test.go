@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/revocation"
+	"chainchaos/internal/rootstore"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+type env struct {
+	root, ca2, ca1, leaf *certmodel.Certificate
+	roots                *rootstore.Store
+	repo                 *aia.Repository
+}
+
+func newEnv() *env {
+	root := certmodel.SyntheticRoot("Core Root", base)
+	ca2 := certmodel.SyntheticIntermediate("Core CA2", root, base)
+	ca1 := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "Core CA1"}, Issuer: ca2.Subject,
+		Serial: "1", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("core-ca1"), SignedBy: certmodel.KeyOf(ca2),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+		AIAIssuerURLs: []string{"http://repo.core/ca2.der"},
+	})
+	leaf := certmodel.SyntheticLeaf("core.example", "1", ca1, base, base.AddDate(1, 0, 0))
+	repo := aia.NewRepository()
+	repo.Put("http://repo.core/ca2.der", ca2)
+	return &env{root, ca2, ca1, leaf, rootstore.NewWith("core", root), repo}
+}
+
+func TestAuditorGrades(t *testing.T) {
+	e := newEnv()
+	a := &Auditor{Roots: e.roots, Fetcher: e.repo}
+
+	good := a.Audit("core.example", []*certmodel.Certificate{e.leaf, e.ca1, e.ca2})
+	if !good.Compliant() || good.Topology == nil {
+		t.Errorf("compliant deployment graded: %+v", good.Report)
+	}
+	bad := a.Audit("core.example", []*certmodel.Certificate{e.leaf, e.ca2, e.ca1})
+	if bad.Compliant() {
+		t.Error("reversed deployment passed the audit")
+	}
+	if !bad.Order.ReversedAny {
+		t.Error("reversal not detected through the facade")
+	}
+}
+
+func TestClientModels(t *testing.T) {
+	e := newEnv()
+	reversed := []*certmodel.Certificate{e.leaf, e.ca2, e.ca1}
+
+	chrome := NewClient("Chrome", e.roots)
+	chrome.Fetcher = e.repo
+	chrome.Now = base
+	if !chrome.Accepts("core.example", reversed) {
+		t.Error("Chrome model should reorder the chain")
+	}
+
+	mbed := NewClient("MbedTLS", e.roots)
+	mbed.Now = base
+	if mbed.Accepts("core.example", reversed) {
+		t.Error("MbedTLS model should fail the reversed chain")
+	}
+
+	// An unknown model name falls back to the recommended policy.
+	rec := NewClient("my-client", e.roots)
+	rec.Fetcher = e.repo
+	rec.Now = base
+	if rec.Profile.Name != "my-client" || !rec.Accepts("core.example", reversed) {
+		t.Error("recommended fallback wrong")
+	}
+
+	// AIA completion through the facade.
+	incomplete := []*certmodel.Certificate{e.leaf, e.ca1}
+	out := chrome.Connect("core.example", incomplete)
+	if !out.OK() || out.AIAFetches == 0 {
+		t.Errorf("facade AIA build: ok=%v fetches=%d", out.OK(), out.AIAFetches)
+	}
+}
+
+func TestClientRevocation(t *testing.T) {
+	e := newEnv()
+	crl := revocation.NewList()
+	crl.Revoke(e.ca1)
+	c := NewClient("OpenSSL", e.roots)
+	c.Now = base
+	c.Revocation = crl
+	out := c.Connect("core.example", []*certmodel.Certificate{e.leaf, e.ca1, e.ca2})
+	if out.OK() {
+		t.Error("revoked intermediate accepted")
+	}
+	if Classify(out) != VerdictRevoked {
+		t.Errorf("class = %v, want revoked", Classify(out))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	e := newEnv()
+	full := []*certmodel.Certificate{e.leaf, e.ca1, e.ca2}
+
+	mk := func(model string, cfg func(*Client)) pathbuild.Outcome {
+		c := NewClient(model, e.roots)
+		c.Now = base
+		c.Fetcher = e.repo
+		if cfg != nil {
+			cfg(c)
+		}
+		return c.Connect("core.example", full)
+	}
+
+	if got := Classify(mk("Chrome", nil)); got != VerdictOK {
+		t.Errorf("healthy = %v", got)
+	}
+	out := mk("Chrome", func(c *Client) { c.Roots = rootstore.New("empty") })
+	if got := Classify(out); got != VerdictUnknownIssuer {
+		t.Errorf("untrusted = %v", got)
+	}
+	out = mk("OpenSSL", func(c *Client) { c.Now = base.AddDate(10, 0, 0) })
+	if got := Classify(out); got != VerdictDateInvalid {
+		t.Errorf("expired = %v", got)
+	}
+	gnutls := NewClient("GnuTLS", e.roots)
+	long := append([]*certmodel.Certificate(nil), full...)
+	for len(long) <= 16 {
+		long = append(long, e.ca2)
+	}
+	if got := Classify(gnutls.Connect("core.example", long)); got != VerdictRejectedList {
+		t.Errorf("long list = %v", got)
+	}
+	// Hostname mismatch.
+	c := NewClient("Chrome", e.roots)
+	c.Now = base
+	if got := Classify(c.Connect("unrelated.example", full)); got != VerdictDomainMismatch {
+		t.Errorf("mismatch = %v", got)
+	}
+	for v := VerdictOK; v <= VerdictOtherFailure; v++ {
+		if v.String() == "" {
+			t.Errorf("class %d renders empty", int(v))
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newEnv()
+	c := NewClient("Chrome", e.roots)
+	c.Now = base
+	if s := Explain(c.Connect("core.example", []*certmodel.Certificate{e.leaf, e.ca1, e.ca2})); s != "path valid" {
+		t.Errorf("Explain healthy = %q", s)
+	}
+	gnutls := NewClient("GnuTLS", e.roots)
+	long := make([]*certmodel.Certificate, 0, 18)
+	long = append(long, e.leaf)
+	for len(long) < 18 {
+		long = append(long, e.ca1)
+	}
+	if s := Explain(gnutls.Connect("core.example", long)); s == "" || s == "path valid" {
+		t.Errorf("Explain refused = %q", s)
+	}
+	if s := Explain(pathbuild.Outcome{}); s != "no result" {
+		t.Errorf("Explain zero = %q", s)
+	}
+}

@@ -1,0 +1,399 @@
+// Package difftest implements the paper's §5.2 evaluation: run every client
+// model over every (potentially non-compliant) deployed chain, compare
+// verdicts, and attribute disagreements to the four root causes the paper
+// isolates — missing order reorganization (I-1), input-list length limits
+// (I-2), missing backtracking (I-3), and missing AIA completion (I-4).
+package difftest
+
+import (
+	"errors"
+	"strings"
+
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/core"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/population"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/topo"
+)
+
+// Cause is a root-cause class for client disagreement.
+type Cause int
+
+const (
+	CauseOther Cause = iota
+	// CauseI1Reorder: a client without order reorganization failed a
+	// disordered chain that reordering clients validated.
+	CauseI1Reorder
+	// CauseI2InputLimit: a client rejected the list for its size alone.
+	CauseI2InputLimit
+	// CauseI3Backtrack: non-backtracking clients committed to an invalid
+	// path on a multi-path chain.
+	CauseI3Backtrack
+	// CauseI4AIA: only clients able to fetch (or recall) missing
+	// intermediates validated an incomplete chain.
+	CauseI4AIA
+)
+
+// String returns the paper's label.
+func (c Cause) String() string {
+	switch c {
+	case CauseI1Reorder:
+		return "I-1 order reorganization"
+	case CauseI2InputLimit:
+		return "I-2 input list limit"
+	case CauseI3Backtrack:
+		return "I-3 backtracking"
+	case CauseI4AIA:
+		return "I-4 AIA completion"
+	default:
+		return "other"
+	}
+}
+
+// ClientVerdict is one client's result on one chain.
+type ClientVerdict struct {
+	Client  string
+	Kind    clients.Kind
+	Outcome pathbuild.Outcome
+}
+
+// OK reports whether the client accepted the chain.
+func (v ClientVerdict) OK() bool { return v.Outcome.OK() }
+
+// Class buckets the verdict into the paper's error classes (OK,
+// unknown-issuer, date-invalid, domain-mismatch, ...).
+func (v ClientVerdict) Class() core.VerdictClass { return core.Classify(v.Outcome) }
+
+// ChainRecord is the differential record for one domain.
+type ChainRecord struct {
+	Domain   *population.Domain
+	Report   compliance.Report
+	Verdicts []ClientVerdict
+	Causes   []Cause
+}
+
+// verdictOf returns the named client's verdict.
+func (r *ChainRecord) verdictOf(name string) (ClientVerdict, bool) {
+	for _, v := range r.Verdicts {
+		if v.Client == name {
+			return v, true
+		}
+	}
+	return ClientVerdict{}, false
+}
+
+// Discrepant reports whether clients of the given kind disagree.
+func (r *ChainRecord) Discrepant(kind clients.Kind, exclude ...string) bool {
+	pass, fail := 0, 0
+	for _, v := range r.Verdicts {
+		if v.Kind != kind || contains(exclude, v.Client) {
+			continue
+		}
+		if v.OK() {
+			pass++
+		} else {
+			fail++
+		}
+	}
+	return pass > 0 && fail > 0
+}
+
+// ClassDiscrepant reports whether clients of the given kind produced
+// different verdict classes — a finer comparison than pass/fail that mirrors
+// the paper's browser-message methodology.
+func (r *ChainRecord) ClassDiscrepant(kind clients.Kind, exclude ...string) bool {
+	var classes []core.VerdictClass
+	for _, v := range r.Verdicts {
+		if v.Kind != kind || contains(exclude, v.Client) {
+			continue
+		}
+		classes = append(classes, v.Class())
+	}
+	if len(classes) == 0 {
+		return false
+	}
+	for _, c := range classes[1:] {
+		if c != classes[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// AllPass reports whether every client of the kind accepted the chain.
+func (r *ChainRecord) AllPass(kind clients.Kind, exclude ...string) bool {
+	for _, v := range r.Verdicts {
+		if v.Kind != kind || contains(exclude, v.Client) {
+			continue
+		}
+		if !v.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, x string) bool {
+	for _, s := range xs {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary aggregates a differential run, mirroring §5.2's result overview.
+type Summary struct {
+	Total        int
+	NonCompliant int
+
+	// Over the non-compliant chains (the paper's focus):
+	AllBrowsersPass  int // Safari excluded, as in the paper
+	AllLibrariesPass int
+	// *Discrepant count pass/fail disagreements; *ClassDiscrepant count
+	// verdict-class disagreements (the paper compares browser error
+	// messages, not just accept/reject).
+	BrowserDiscrepant      int
+	LibraryDiscrepant      int
+	BrowserClassDiscrepant int
+	LibraryClassDiscrepant int
+	CauseCounts            map[Cause]int
+	PerClientPass          map[string]int // over non-compliant chains
+	PerClientBuildFail     map[string]int // construction-phase errors
+
+	Records []*ChainRecord
+}
+
+// Harness wires client models to a population.
+type Harness struct {
+	// Profiles defaults to clients.All().
+	Profiles []clients.Profile
+	// WarmCacheShares lists CA profile names whose intermediates are
+	// preloaded into cache-using clients (Firefox); the default warms the
+	// high-market-share CAs, leaving long-tail intermediates to miss —
+	// the paper's 1,074 SEC_ERROR_UNKNOWN_ISSUER chains.
+	WarmCacheShares []string
+	// CheckHostname includes the leaf/domain match in validation.
+	CheckHostname bool
+	// KeepRecords retains per-chain records (memory-heavy on large
+	// populations).
+	KeepRecords bool
+}
+
+// storeFor maps each client to its vendor root store, as deployed in
+// practice: NSS/OpenSSL-family ship Mozilla's store, CryptoAPI and Edge use
+// Microsoft's, Safari Apple's, Chrome its own.
+func storeFor(name string, v *rootstore.VendorSet) *rootstore.Store {
+	switch name {
+	case "CryptoAPI", "Edge":
+		return v.Microsoft
+	case "Safari":
+		return v.Apple
+	case "Chrome":
+		return v.Chrome
+	default:
+		return v.Mozilla
+	}
+}
+
+// Run executes the differential evaluation over the population.
+func (h *Harness) Run(pop *population.Population) *Summary {
+	profiles := h.Profiles
+	if len(profiles) == 0 {
+		profiles = clients.All()
+	}
+	warm := h.WarmCacheShares
+	if warm == nil {
+		// Firefox preloads every CCADB-disclosed intermediate (the
+		// "Mozilla caches all known CA certificates" design the paper
+		// cites); what it cannot know are intermediates of CAs that do
+		// not disclose — the government/regional hierarchies here. Their
+		// incomplete chains become the SEC_ERROR_UNKNOWN_ISSUER browser
+		// discrepancies of finding I-4.
+		undisclosed := map[string]bool{
+			"TAIWAN-CA":                 true,
+			"TW Government CA":          true,
+			"EU Qualified CA":           true,
+			"Regional Commerce CA":      true,
+			"Undisclosed Enterprise CA": true,
+		}
+		for _, iss := range pop.Issuers {
+			if !undisclosed[iss.Profile.Name] && !contains(warm, iss.Profile.Name) {
+				warm = append(warm, iss.Profile.Name)
+			}
+		}
+	}
+	cache := buildWarmCache(pop, warm)
+
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   pop.Roots(),
+		Fetcher: pop.Repo,
+	}}
+
+	sum := &Summary{
+		CauseCounts:        make(map[Cause]int),
+		PerClientPass:      make(map[string]int),
+		PerClientBuildFail: make(map[string]int),
+	}
+
+	for _, d := range pop.Domains {
+		sum.Total++
+		g := topo.Build(d.List)
+		rep := analyzer.Analyze(d.Name, g)
+		if rep.Compliant() {
+			continue
+		}
+		sum.NonCompliant++
+
+		rec := &ChainRecord{Domain: d, Report: rep}
+		for _, p := range profiles {
+			b := &pathbuild.Builder{
+				Policy:  p.Policy,
+				Roots:   storeFor(p.Name, pop.Vendors),
+				Fetcher: pop.Repo,
+				Cache:   cache,
+				// The cache models a fixed preload (CCADB disclosure),
+				// not state accumulated during this measurement.
+				CacheReadOnly: true,
+				Now:           pop.Cfg.Base,
+			}
+			domain := ""
+			if h.CheckHostname {
+				domain = d.Name
+			}
+			out := b.Build(d.List, domain)
+			rec.Verdicts = append(rec.Verdicts, ClientVerdict{Client: p.Name, Kind: p.Kind, Outcome: out})
+			if out.OK() {
+				sum.PerClientPass[p.Name]++
+			}
+			if out.Err != nil {
+				sum.PerClientBuildFail[p.Name]++
+			}
+		}
+		rec.Causes = classifyCauses(rec)
+
+		if rec.AllPass(clients.Browser, "Safari") {
+			sum.AllBrowsersPass++
+		}
+		if rec.AllPass(clients.Library) {
+			sum.AllLibrariesPass++
+		}
+		if rec.Discrepant(clients.Browser, "Safari") {
+			sum.BrowserDiscrepant++
+		}
+		if rec.Discrepant(clients.Library) {
+			sum.LibraryDiscrepant++
+		}
+		if rec.ClassDiscrepant(clients.Browser, "Safari") {
+			sum.BrowserClassDiscrepant++
+		}
+		if rec.ClassDiscrepant(clients.Library) {
+			sum.LibraryClassDiscrepant++
+		}
+		for _, c := range rec.Causes {
+			sum.CauseCounts[c]++
+		}
+		if h.KeepRecords {
+			sum.Records = append(sum.Records, rec)
+		}
+	}
+	return sum
+}
+
+// buildWarmCache preloads the intermediates of the named CA profiles, the
+// model of Firefox's intermediate-certificate cache.
+func buildWarmCache(pop *population.Population, warm []string) *rootstore.Store {
+	cache := rootstore.New("intermediate-cache")
+	for _, iss := range pop.Issuers {
+		if !contains(warm, iss.Profile.Name) {
+			continue
+		}
+		for _, inter := range iss.Intermediates {
+			cache.Add(inter)
+		}
+	}
+	return cache
+}
+
+// classifyCauses attributes each disagreement to the paper's I-1…I-4 causes.
+func classifyCauses(rec *ChainRecord) []Cause {
+	if !rec.Discrepant(clients.Library) && !rec.Discrepant(clients.Browser, "Safari") {
+		return nil
+	}
+	var causes []Cause
+	seen := map[Cause]bool{}
+	add := func(c Cause) {
+		if !seen[c] {
+			seen[c] = true
+			causes = append(causes, c)
+		}
+	}
+
+	for _, v := range rec.Verdicts {
+		if v.OK() {
+			continue
+		}
+		switch {
+		case errors.Is(v.Outcome.Err, pathbuild.ErrInputListTooLong):
+			add(CauseI2InputLimit)
+		case v.Client == "MbedTLS" && rec.Report.Order.ReversedAny && passesElsewhere(rec, v.Client):
+			add(CauseI1Reorder)
+		case rec.Report.Completeness.Class == compliance.Incomplete && aiaCapablePasses(rec):
+			add(CauseI4AIA)
+		case rec.Report.Order.MultiplePaths && !hasBacktrack(v.Client) && backtrackerPasses(rec):
+			add(CauseI3Backtrack)
+		default:
+			add(CauseOther)
+		}
+	}
+	return causes
+}
+
+func passesElsewhere(rec *ChainRecord, except string) bool {
+	for _, v := range rec.Verdicts {
+		if v.Client != except && v.Kind == clients.Library && v.OK() {
+			return true
+		}
+	}
+	return false
+}
+
+func aiaCapablePasses(rec *ChainRecord) bool {
+	for _, name := range []string{"CryptoAPI", "Chrome", "Edge", "Safari"} {
+		if v, ok := rec.verdictOf(name); ok && v.OK() {
+			return true
+		}
+	}
+	return false
+}
+
+func hasBacktrack(client string) bool {
+	switch client {
+	case "OpenSSL", "GnuTLS", "MbedTLS":
+		return false
+	}
+	return true
+}
+
+func backtrackerPasses(rec *ChainRecord) bool {
+	for _, v := range rec.Verdicts {
+		if hasBacktrack(v.Client) && v.OK() {
+			return true
+		}
+	}
+	return false
+}
+
+// CauseNames renders the causes of a record for reports.
+func CauseNames(causes []Cause) string {
+	if len(causes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(causes))
+	for i, c := range causes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

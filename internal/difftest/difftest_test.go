@@ -1,0 +1,103 @@
+package difftest
+
+import (
+	"testing"
+
+	"chainchaos/internal/clients"
+	"chainchaos/internal/population"
+)
+
+func TestDifferentialShape(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 20000, Seed: 3})
+	h := &Harness{KeepRecords: true}
+	sum := h.Run(pop)
+
+	if sum.Total != 20000 {
+		t.Fatalf("total = %d", sum.Total)
+	}
+	if sum.NonCompliant == 0 {
+		t.Fatal("no non-compliant chains generated")
+	}
+	t.Logf("non-compliant: %d (%.2f%%)", sum.NonCompliant, 100*float64(sum.NonCompliant)/float64(sum.Total))
+	t.Logf("all-browsers-pass: %.1f%%, all-libraries-pass: %.1f%%",
+		100*float64(sum.AllBrowsersPass)/float64(sum.NonCompliant),
+		100*float64(sum.AllLibrariesPass)/float64(sum.NonCompliant))
+	t.Logf("discrepant: browsers %d, libraries %d", sum.BrowserDiscrepant, sum.LibraryDiscrepant)
+	for c, n := range sum.CauseCounts {
+		t.Logf("cause %v: %d", c, n)
+	}
+	for name, n := range sum.PerClientPass {
+		t.Logf("pass %-10s %d", name, n)
+	}
+
+	// Headline shape: browsers validate more non-compliant chains than
+	// libraries, both in all-pass rate and per-client.
+	if sum.AllBrowsersPass <= sum.AllLibrariesPass {
+		t.Errorf("browsers (all-pass %d) should beat libraries (all-pass %d)",
+			sum.AllBrowsersPass, sum.AllLibrariesPass)
+	}
+	// Libraries disagree more often than browsers (paper: 10,804 vs 3,295).
+	if sum.LibraryDiscrepant <= sum.BrowserDiscrepant {
+		t.Errorf("library discrepancies (%d) should exceed browser discrepancies (%d)",
+			sum.LibraryDiscrepant, sum.BrowserDiscrepant)
+	}
+	// CryptoAPI is the strongest library (AIA + backtracking).
+	for _, other := range []string{"OpenSSL", "GnuTLS", "MbedTLS"} {
+		if sum.PerClientPass["CryptoAPI"] < sum.PerClientPass[other] {
+			t.Errorf("CryptoAPI (%d) should pass at least as many chains as %s (%d)",
+				sum.PerClientPass["CryptoAPI"], other, sum.PerClientPass[other])
+		}
+	}
+	// The dominant cause is missing AIA completion (I-4), as in the paper.
+	if sum.CauseCounts[CauseI4AIA] == 0 {
+		t.Error("no I-4 (AIA) causes attributed")
+	}
+	if sum.CauseCounts[CauseI2InputLimit] > sum.CauseCounts[CauseI4AIA] {
+		t.Error("I-2 should be rare compared to I-4")
+	}
+}
+
+func TestCauseI2LongList(t *testing.T) {
+	// Force a long-list chain through the harness and confirm GnuTLS's
+	// verdict carries the input-limit error while others pass.
+	pop := population.Generate(population.Config{Size: 1, Seed: 9})
+	d := pop.Domains[0]
+	// Inflate the list beyond 16 with duplicates of its intermediates.
+	for len(d.List) <= 16 {
+		d.List = append(d.List, d.List[len(d.List)-1])
+	}
+	h := &Harness{KeepRecords: true}
+	sum := h.Run(pop)
+	if sum.NonCompliant != 1 {
+		t.Fatalf("expected the inflated chain to be non-compliant, got %d", sum.NonCompliant)
+	}
+	rec := sum.Records[0]
+	v, ok := rec.verdictOf("GnuTLS")
+	if !ok {
+		t.Fatal("no GnuTLS verdict")
+	}
+	if v.OK() {
+		t.Error("GnuTLS should reject a 17-cert list")
+	}
+	found := false
+	for _, c := range rec.Causes {
+		if c == CauseI2InputLimit {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("causes = %v, want I-2", rec.Causes)
+	}
+}
+
+func TestHostnameCheckLowersPassRates(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 5000, Seed: 11})
+	loose := (&Harness{}).Run(pop)
+	strict := (&Harness{CheckHostname: true}).Run(pop)
+	for _, p := range clients.All() {
+		if strict.PerClientPass[p.Name] > loose.PerClientPass[p.Name] {
+			t.Errorf("%s: hostname checking increased pass count (%d > %d)",
+				p.Name, strict.PerClientPass[p.Name], loose.PerClientPass[p.Name])
+		}
+	}
+}

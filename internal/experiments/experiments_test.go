@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun exercises every table/figure generator at small
+// scale and sanity-checks the rendered output.
+func TestAllExperimentsRun(t *testing.T) {
+	env := NewEnv(5000, 17)
+
+	checks := []struct {
+		name string
+		run  func() (string, error)
+		want []string // substrings that must appear
+	}{
+		{"T3", wrap(env.LeafPlacement), []string{"Table 3", "Other"}},
+		{"T5", wrap(env.IssuanceOrder), []string{"Table 5", "Reversed Sequences"}},
+		{"T7", wrap(env.Completeness), []string{"Table 7", "Incomplete"}},
+		{"T8", wrap(env.RootStoreAIA), []string{"Table 8", "Mozilla", "Apple"}},
+		{"T4", wrap(env.HTTPServerCharacteristics), []string{"Table 4", "Azure", "SF1"}},
+		{"T6", wrap(env.CADeliveryCharacteristics), []string{"Table 6", "GoGetSSL", "Trustico"}},
+		{"T10", wrap(env.HTTPServerBreakdown), []string{"Table 10", "Apache"}},
+		{"T11", wrap(env.CABreakdown), []string{"Table 11", "Let's Encrypt"}},
+		{"F2", wrap(env.TopologyGallery), []string{"Figure 2", "(a)", "(d)"}},
+		{"T9", env2(env.ClientCapabilities), []string{"Table 9", "OpenSSL", "=16"}},
+		{"T1", env2(env.CapabilityComparison), []string{"Table 1", "NAME_CONSTRAINTS", "Y*"}},
+		{"F3", env2(env.CaseLongChain), []string{"Figure 3", "GnuTLS"}},
+		{"F4", env2(env.CaseBacktracking), []string{"Figure 4", "cross-signed (trusted)"}},
+		{"F5", env2(env.CaseValidityPriority), []string{"Figure 5", "VP2"}},
+		{"D1", wrap(env.DifferentialOverview), []string{"§5.2", "I-4"}},
+		{"D2", wrap(env.PrioritizationStats), []string{"§6.2", "trusted self-signed root"}},
+	}
+	for _, c := range checks {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output of %s lacks %q:\n%s", c.name, w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestFigure3GnuTLSRejects asserts the I-2 reproduction: GnuTLS fails the
+// 17-cert list while reordering AIA-free clients like OpenSSL pass.
+func TestFigure3GnuTLSRejects(t *testing.T) {
+	env := NewEnv(10, 1)
+	tab, err := env.CaseLongChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range tab.Rows {
+		got[row[0]] = row[1]
+	}
+	if got["GnuTLS"] != "FAIL" {
+		t.Errorf("GnuTLS = %s, want FAIL", got["GnuTLS"])
+	}
+	for _, c := range []string{"OpenSSL", "CryptoAPI", "Chrome", "Safari"} {
+		if got[c] != "PASS" {
+			t.Errorf("%s = %s, want PASS", c, got[c])
+		}
+	}
+}
+
+// TestFigure4Backtracking asserts the I-3 reproduction: OpenSSL and GnuTLS
+// commit to the untrusted root; CryptoAPI recovers by backtracking; MbedTLS
+// lands on the correct path only because of its forward-only scan.
+func TestFigure4Backtracking(t *testing.T) {
+	env := NewEnv(10, 1)
+	tab, err := env.CaseBacktracking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct{ result, chosen string }
+	got := map[string]row{}
+	for _, r := range tab.Rows {
+		got[r[0]] = row{r[1], r[2]}
+	}
+	for _, c := range []string{"OpenSSL", "GnuTLS"} {
+		if got[c].result != "FAIL" || got[c].chosen != "self-signed (untrusted)" {
+			t.Errorf("%s = %+v, want FAIL via untrusted root", c, got[c])
+		}
+	}
+	if got["CryptoAPI"].result != "PASS" || got["CryptoAPI"].chosen != "cross-signed (trusted)" {
+		t.Errorf("CryptoAPI = %+v, want PASS via cross-signed", got["CryptoAPI"])
+	}
+	if got["MbedTLS"].result != "PASS" {
+		t.Errorf("MbedTLS = %+v, want PASS (forward-only scan skips the early untrusted root)", got["MbedTLS"])
+	}
+}
+
+func wrap[T interface{ String() string }](f func() T) func() (string, error) {
+	return func() (string, error) { return f().String(), nil }
+}
+
+func env2[T interface{ String() string }](f func() (T, error)) func() (string, error) {
+	return func() (string, error) {
+		v, err := f()
+		if err != nil {
+			return "", err
+		}
+		return v.String(), nil
+	}
+}
+
+// TestCapabilityAblationOrdering pins the §6.2 quantified claim: AIA
+// completion is the decisive capability.
+func TestCapabilityAblationOrdering(t *testing.T) {
+	env := NewEnv(8000, 21)
+	tab := env.CapabilityAblation()
+	rates := map[string]string{}
+	for _, row := range tab.Rows {
+		rates[row[0]] = row[1]
+	}
+	parse := func(s string) float64 {
+		var v float64
+		fmt.Sscanf(s, "%f%%", &v)
+		return v
+	}
+	rec := parse(rates["recommended (all capabilities)"])
+	noAIA := parse(rates["without AIA completion"])
+	bare := parse(rates["bare (first-candidate, nothing else)"])
+	if rec <= noAIA {
+		t.Errorf("recommended (%v) should beat no-AIA (%v)", rec, noAIA)
+	}
+	if rec-noAIA < 10 {
+		t.Errorf("AIA should be decisive: gap = %.1f points", rec-noAIA)
+	}
+	if bare > rec {
+		t.Errorf("bare policy (%v) beats recommended (%v)", bare, rec)
+	}
+}

@@ -1,0 +1,307 @@
+package pathbuild
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/revocation"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/validate"
+)
+
+// Sentinel errors for construction-phase failures. Validation-phase failures
+// are reported through Outcome.Validation instead.
+var (
+	// ErrEmptyList: the server presented no certificates.
+	ErrEmptyList = errors.New("pathbuild: empty certificate list")
+	// ErrInputListTooLong: the presented list exceeds Policy.MaxInputList
+	// (GnuTLS's behaviour, finding I-2).
+	ErrInputListTooLong = errors.New("pathbuild: certificate list exceeds input limit")
+	// ErrSelfSignedLeaf: the first certificate is self-signed and the
+	// policy refuses to build from it.
+	ErrSelfSignedLeaf = errors.New("pathbuild: self-signed leaf certificate rejected")
+	// ErrPathTooLong: no candidate path fits within Policy.MaxPathLen.
+	ErrPathTooLong = errors.New("pathbuild: constructed path exceeds length limit")
+)
+
+// Outcome reports one construction attempt.
+type Outcome struct {
+	// Path is the constructed certification path, leaf first, including
+	// the trust anchor when one was found. On a construction dead end it
+	// holds the longest partial path, so differential analysis can see how
+	// far the client got.
+	Path []*certmodel.Certificate
+
+	// Validation is the path-validation result for Path. Zero when Err is
+	// a construction-phase error.
+	Validation validate.Result
+
+	// Err is non-nil for construction-phase refusals (see the sentinel
+	// errors above).
+	Err error
+
+	// CandidatesConsidered counts issuer candidates examined, the resource
+	// metric behind the paper's duplicate/irrelevant-certificate cost
+	// observations.
+	CandidatesConsidered int
+
+	// PathsTried counts complete candidate paths validated (1 without
+	// backtracking).
+	PathsTried int
+
+	// AIAFetches counts Authority Information Access retrievals.
+	AIAFetches int
+}
+
+// OK reports whether construction succeeded and the path validates.
+func (o Outcome) OK() bool { return o.Err == nil && o.Validation.OK }
+
+// Builder constructs certification paths under a Policy.
+type Builder struct {
+	Policy Policy
+	// Roots is the builder's trust store.
+	Roots *rootstore.Store
+	// Fetcher resolves AIA URIs when the policy enables AIA.
+	Fetcher aia.Fetcher
+	// Cache is the intermediate cache consulted when the policy enables
+	// UseCache. Successful builds populate it, mirroring Firefox.
+	Cache *rootstore.Store
+	// CacheReadOnly stops successful builds from populating the cache —
+	// used to model a fixed preloaded cache (Mozilla ships every
+	// CCADB-disclosed intermediate) rather than one that learns during the
+	// measurement itself.
+	CacheReadOnly bool
+	// Now is the validation time; zero disables validity checks.
+	Now time.Time
+	// Revocation, when non-nil, is consulted during validation — and, for
+	// policies with PartialValidation, during candidate selection, the
+	// MbedTLS behaviour noted in §3.2.
+	Revocation *revocation.List
+	// Trace, when non-nil, records every construction decision.
+	Trace *Trace
+}
+
+const defaultMaxAttempts = 32
+
+// Build constructs and validates a path for the presented list. domain, when
+// non-empty, is checked against the leaf during validation.
+func (b *Builder) Build(list []*certmodel.Certificate, domain string) Outcome {
+	var out Outcome
+	if len(list) == 0 {
+		out.Err = ErrEmptyList
+		return out
+	}
+	if b.Policy.MaxInputList > 0 && len(list) > b.Policy.MaxInputList {
+		out.Err = fmt.Errorf("%w: %d > %d", ErrInputListTooLong, len(list), b.Policy.MaxInputList)
+		return out
+	}
+
+	leaf := list[0]
+	if leaf.SelfSigned() && !b.Policy.AllowSelfSignedLeaf {
+		out.Err = ErrSelfSignedLeaf
+		return out
+	}
+
+	pool := b.buildPool(list)
+	search := &searcher{
+		builder: b,
+		pool:    pool,
+		domain:  domain,
+		out:     &out,
+		maxTry:  b.Policy.MaxAttempts,
+	}
+	if search.maxTry <= 0 {
+		search.maxTry = defaultMaxAttempts
+	}
+
+	search.run(leaf)
+
+	if out.Err == nil && len(out.Path) > 0 && out.Validation.OK && b.Policy.UseCache && b.Cache != nil && !b.CacheReadOnly {
+		// Cache the intermediates of a successfully validated path.
+		for _, c := range out.Path[1:] {
+			if c.IsCA && !c.SelfSigned() {
+				b.Cache.Add(c)
+			}
+		}
+	}
+	return out
+}
+
+// poolEntry is one usable certificate from the presented list.
+type poolEntry struct {
+	cert *certmodel.Certificate
+	pos  int // position in the original list
+}
+
+// buildPool converts the list into the candidate pool, folding duplicates
+// when the policy eliminates them. The leaf (position 0) stays in the pool:
+// a duplicated leaf must still be skipped over, at scanning cost.
+func (b *Builder) buildPool(list []*certmodel.Certificate) []poolEntry {
+	pool := make([]poolEntry, 0, len(list))
+	if b.Policy.EliminateDuplicates {
+		seen := make(map[string]bool, len(list))
+		for i, c := range list {
+			fp := c.FingerprintHex()
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			pool = append(pool, poolEntry{c, i})
+		}
+		return pool
+	}
+	for i, c := range list {
+		pool = append(pool, poolEntry{c, i})
+	}
+	return pool
+}
+
+// searcher runs the (possibly backtracking) DFS over issuer choices.
+type searcher struct {
+	builder *Builder
+	pool    []poolEntry
+	domain  string
+	out     *Outcome
+	maxTry  int
+
+	firstPath       []*certmodel.Certificate
+	firstValidation validate.Result
+	haveFirst       bool
+	done            bool
+}
+
+func (s *searcher) run(leaf *certmodel.Certificate) {
+	s.extend([]*certmodel.Certificate{leaf}, map[string]bool{leaf.FingerprintHex(): true}, 0)
+	if s.done {
+		return
+	}
+	// Nothing validated. Report the first complete attempt, or a length
+	// failure if even that was impossible.
+	if s.haveFirst {
+		s.out.Path = s.firstPath
+		s.out.Validation = s.firstValidation
+		return
+	}
+	if s.builder.Policy.MaxPathLen > 0 {
+		s.out.Err = fmt.Errorf("%w: limit %d", ErrPathTooLong, s.builder.Policy.MaxPathLen)
+	}
+}
+
+// finish validates a complete candidate path and records it. It returns true
+// when the search should stop.
+func (s *searcher) finish(path []*certmodel.Certificate) bool {
+	s.out.PathsTried++
+	res := validate.Path(path, validate.Options{
+		Roots:      s.builder.Roots,
+		Now:        s.builder.Now,
+		Domain:     s.domain,
+		Revocation: s.builder.Revocation,
+	})
+	if res.OK && !s.effectiveLengthOK(path) {
+		res = validate.Result{Findings: []validate.Finding{{
+			Index:   -1,
+			Problem: validate.ProblemPathLenExceeded,
+			Detail:  fmt.Sprintf("client limit %d", s.builder.Policy.MaxPathLen),
+		}}}
+	}
+	detail := ""
+	if !res.OK && len(res.Findings) > 0 {
+		detail = res.Findings[0].String()
+	}
+	s.recordAttempt(path, res.OK, detail)
+	if res.OK || !s.builder.Policy.Backtrack || s.out.PathsTried >= s.maxTry {
+		s.out.Path = append([]*certmodel.Certificate(nil), path...)
+		s.out.Validation = res
+		s.done = true
+		return true
+	}
+	if !s.haveFirst {
+		s.firstPath = append([]*certmodel.Certificate(nil), path...)
+		s.firstValidation = res
+		s.haveFirst = true
+	}
+	return false
+}
+
+// withinLengthLimit reports whether a path of n certificates is acceptable.
+func (s *searcher) withinLengthLimit(n int) bool {
+	limit := s.builder.Policy.MaxPathLen
+	return limit <= 0 || n <= limit
+}
+
+// effectiveLengthOK checks the client's path-length limit against the chain
+// the client actually verifies: when the path's terminal certificate is not
+// itself the anchor but is issued by a store root, that implicit anchor
+// counts toward the length.
+func (s *searcher) effectiveLengthOK(path []*certmodel.Certificate) bool {
+	limit := s.builder.Policy.MaxPathLen
+	if limit <= 0 {
+		return true
+	}
+	effective := len(path)
+	last := path[len(path)-1]
+	if s.builder.Roots != nil && !s.builder.Roots.Contains(last) && len(s.builder.Roots.FindIssuers(last)) > 0 {
+		effective++
+	}
+	return effective <= limit
+}
+
+// extend grows the path upward from its last certificate. lastPos is the
+// list position of the most recently consumed in-list certificate, used by
+// forward-only (non-reordering) policies.
+func (s *searcher) extend(path []*certmodel.Certificate, used map[string]bool, lastPos int) {
+	if s.done {
+		return
+	}
+	current := path[len(path)-1]
+
+	// A self-signed certificate terminates construction.
+	if current.SelfSigned() {
+		s.finish(path)
+		return
+	}
+
+	cands := s.collectCandidates(current, used, lastPos, len(path))
+	s.recordStep(current, len(path), cands)
+
+	tried := false
+	for _, cand := range cands {
+		if s.done {
+			return
+		}
+		if !s.withinLengthLimit(len(path) + 1) {
+			// Every extension would blow the limit; terminate with the
+			// partial path so validation reports the dangling end —
+			// unless nothing has been tried, in which case fall through
+			// to the dead-end handling below.
+			break
+		}
+		tried = true
+		fp := cand.cert.FingerprintHex()
+		used[fp] = true
+		next := append(path, cand.cert)
+		if cand.terminal {
+			if !s.finish(next) && s.builder.Policy.Backtrack {
+				delete(used, fp)
+				continue
+			}
+			delete(used, fp)
+			return
+		}
+		s.extend(next, used, cand.nextLastPos(lastPos))
+		delete(used, fp)
+		if s.done || !s.builder.Policy.Backtrack {
+			return
+		}
+	}
+	if tried {
+		return
+	}
+
+	// Dead end: no candidate issuer anywhere. The client presents what it
+	// has; validation will flag the untrusted terminus.
+	s.finish(path)
+}

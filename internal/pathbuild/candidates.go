@@ -1,0 +1,242 @@
+package pathbuild
+
+import (
+	"bytes"
+	"sort"
+
+	"chainchaos/internal/certmodel"
+)
+
+// candSource identifies where a candidate issuer came from; lower values are
+// preferred when the same certificate is reachable several ways.
+type candSource int
+
+const (
+	sourceRoots candSource = iota
+	sourceList
+	sourceCache
+	sourceAIA
+)
+
+// candidate is one potential issuer of the current certificate.
+type candidate struct {
+	cert   *certmodel.Certificate
+	pos    int // original list position; -1 for out-of-list sources
+	source candSource
+	// terminal marks trust-store candidates: appending one completes the
+	// path even if the certificate is not self-signed (cross-signed roots).
+	terminal bool
+
+	rank rank
+}
+
+// nextLastPos computes the forward-only cursor after consuming this
+// candidate: in-list candidates advance it, out-of-list ones leave it.
+func (c candidate) nextLastPos(lastPos int) int {
+	if c.source == sourceList && c.pos > lastPos {
+		return c.pos
+	}
+	return lastPos
+}
+
+// rank is the composite priority key. Fields are compared in order; smaller
+// wins. The precedence — KID agreement, KeyUsage, Basic Constraints, trust
+// anchor preference, validity, presented position — follows the empirical
+// ordering observed in Chromium (§3.2: KID match first, self-signed next,
+// validity last), with each component collapsing to zero when the policy
+// disables it.
+type rank struct {
+	kid      int
+	keyUsage int
+	basic    int
+	trusted  int
+	validity validityKey
+	pos      int
+}
+
+type validityKey struct {
+	invalid  int   // 0 = valid at build time
+	recency  int64 // negated NotBefore (VP2 only)
+	duration int64 // negated validity span (VP2 only)
+}
+
+func (r rank) less(o rank) bool {
+	if r.kid != o.kid {
+		return r.kid < o.kid
+	}
+	if r.keyUsage != o.keyUsage {
+		return r.keyUsage < o.keyUsage
+	}
+	if r.basic != o.basic {
+		return r.basic < o.basic
+	}
+	if r.trusted != o.trusted {
+		return r.trusted < o.trusted
+	}
+	if r.validity.invalid != o.validity.invalid {
+		return r.validity.invalid < o.validity.invalid
+	}
+	if r.validity.recency != o.validity.recency {
+		return r.validity.recency < o.validity.recency
+	}
+	if r.validity.duration != o.validity.duration {
+		return r.validity.duration < o.validity.duration
+	}
+	return r.pos < o.pos
+}
+
+// kidStatus classifies the AKID/SKID agreement between child and candidate
+// parent: 0 match, 1 absent (either side lacks the identifier), 2 mismatch.
+func kidStatus(parent, child *certmodel.Certificate) int {
+	if len(child.AuthorityKeyID) == 0 || len(parent.SubjectKeyID) == 0 {
+		return 1
+	}
+	if bytes.Equal(parent.SubjectKeyID, child.AuthorityKeyID) {
+		return 0
+	}
+	return 2
+}
+
+// collectCandidates gathers, filters, deduplicates and ranks the issuer
+// candidates for current. depth is the length of the path built so far
+// (candidate would become element depth); lastPos is the forward-only cursor
+// for non-reordering policies.
+func (s *searcher) collectCandidates(current *certmodel.Certificate, used map[string]bool, lastPos, depth int) []candidate {
+	b := s.builder
+	var cands []candidate
+	seen := make(map[string]bool)
+
+	add := func(cert *certmodel.Certificate, pos int, source candSource, terminal bool) {
+		fp := cert.FingerprintHex()
+		if used[fp] || seen[fp] {
+			return
+		}
+		if cert.Equal(current) {
+			return
+		}
+		if b.Policy.PartialValidation {
+			// MbedTLS-style interleaving: check the signature (and
+			// validity, when a clock is set) before accepting the
+			// candidate at all.
+			if !current.SignatureVerifiedBy(cert) {
+				return
+			}
+			if !b.Now.IsZero() && !cert.ValidAt(b.Now) {
+				return
+			}
+			if b.Revocation.IsRevoked(cert) {
+				return
+			}
+		}
+		seen[fp] = true
+		cands = append(cands, candidate{cert: cert, pos: pos, source: source, terminal: terminal})
+	}
+
+	// Trust store first so that a root reachable both ways is flagged
+	// terminal.
+	if b.Roots != nil {
+		for _, root := range b.Roots.FindIssuers(current) {
+			add(root, -1, sourceRoots, true)
+		}
+	}
+
+	// Presented list.
+	for _, entry := range s.pool {
+		if !b.Policy.Reorder && entry.pos <= lastPos {
+			continue
+		}
+		s.out.CandidatesConsidered++
+		if certmodel.NameIndicatesIssuance(entry.cert, current) {
+			add(entry.cert, entry.pos, sourceList, false)
+		}
+	}
+
+	// Intermediate cache (Firefox).
+	if b.Policy.UseCache && b.Cache != nil {
+		for _, cached := range b.Cache.FindIssuers(current) {
+			add(cached, -1, sourceCache, false)
+		}
+	}
+
+	// AIA fetching, only when nothing local turned up — the behaviour of
+	// AIA-capable clients, which treat fetching as the fallback.
+	if len(cands) == 0 && b.Policy.AIA && b.Fetcher != nil {
+		for _, uri := range current.AIAIssuerURLs {
+			s.out.AIAFetches++
+			fetched, err := b.Fetcher.Fetch(uri)
+			if err != nil {
+				continue
+			}
+			if certmodel.Issued(fetched, current) {
+				add(fetched, -1, sourceAIA, false)
+				break
+			}
+		}
+	}
+
+	for i := range cands {
+		cands[i].rank = s.rankCandidate(current, cands[i], depth)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rank.less(cands[j].rank) })
+	return cands
+}
+
+// rankCandidate computes the policy-dependent priority key.
+func (s *searcher) rankCandidate(current *certmodel.Certificate, cand candidate, depth int) rank {
+	b := s.builder
+	var r rank
+
+	switch b.Policy.KIDPref {
+	case KIDMatchFirst:
+		r.kid = kidStatus(cand.cert, current)
+	case KIDMatchOrAbsentFirst:
+		if kidStatus(cand.cert, current) == 2 {
+			r.kid = 1
+		}
+	}
+
+	if b.Policy.KeyUsagePref && !cand.cert.CanSignCertificates() {
+		r.keyUsage = 1
+	}
+
+	if b.Policy.BasicConstraintsPref {
+		ok := cand.cert.IsCA && cand.cert.BasicConstraintsValid
+		if ok && cand.cert.MaxPathLen != certmodel.MaxPathLenUnset {
+			// The candidate would sit at path index depth, with depth-1
+			// intermediates below it.
+			ok = cand.cert.MaxPathLen >= depth-1
+		}
+		if !ok {
+			r.basic = 1
+		}
+	}
+
+	if b.Policy.PreferTrustedRoot {
+		trusted := cand.terminal || cand.cert.SelfSigned()
+		if !trusted {
+			r.trusted = 1
+		}
+	}
+
+	switch b.Policy.ValidityPref {
+	case ValidityFirstValid:
+		if !b.Now.IsZero() && !cand.cert.ValidAt(b.Now) {
+			r.validity.invalid = 1
+		}
+	case ValidityMostRecent:
+		if !b.Now.IsZero() && !cand.cert.ValidAt(b.Now) {
+			r.validity.invalid = 1
+		}
+		r.validity.recency = -cand.cert.NotBefore.Unix()
+		r.validity.duration = -int64(cand.cert.NotAfter.Sub(cand.cert.NotBefore))
+	}
+
+	if cand.pos >= 0 {
+		r.pos = cand.pos
+	} else {
+		// Out-of-list sources sort after in-list candidates of equal
+		// priority, in source order.
+		r.pos = len(s.pool) + int(cand.source)
+	}
+	return r
+}

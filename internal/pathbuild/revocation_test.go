@@ -1,0 +1,134 @@
+package pathbuild
+
+import (
+	"testing"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/revocation"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/validate"
+)
+
+// addTrustPKI reproduces the AddTrust-2020 class of incident the paper's
+// introduction cites, with revocation instead of expiry: the intermediate's
+// key is certified twice — once by a revoked certificate, once by a healthy
+// cross-signed one. Clients that only find the revoked variant lose the
+// site; backtracking (or revocation-aware selection) keeps it reachable.
+type addTrustPKI struct {
+	rootA, rootB   *certmodel.Certificate
+	revoked, cross *certmodel.Certificate
+	leaf           *certmodel.Certificate
+	roots          *rootstore.Store
+	crl            *revocation.List
+}
+
+func newAddTrustPKI() *addTrustPKI {
+	rootA := certmodel.SyntheticRoot("AddTrust Root A", base)
+	rootB := certmodel.SyntheticRoot("AddTrust Root B", base)
+	interKey := certmodel.NewSyntheticKey("addtrust-inter")
+	subject := certmodel.Name{CommonName: "AddTrust Intermediate CA"}
+	mk := func(parent *certmodel.Certificate, serial string) *certmodel.Certificate {
+		return certmodel.NewSynthetic(certmodel.SyntheticConfig{
+			Subject: subject, Issuer: parent.Subject, Serial: serial,
+			NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+			Key: interKey, SignedBy: certmodel.KeyOf(parent),
+			IsCA: true, BasicConstraintsValid: true,
+			KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+		})
+	}
+	bad := mk(rootA, "revoked-variant")
+	good := mk(rootB, "healthy-variant")
+	leaf := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "addtrust.example"}, Issuer: subject,
+		Serial: "leaf", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("addtrust-leaf"), SignedBy: interKey,
+		DNSNames: []string{"addtrust.example"},
+	})
+	crl := revocation.NewList()
+	crl.Revoke(bad)
+	return &addTrustPKI{
+		rootA: rootA, rootB: rootB, revoked: bad, cross: good, leaf: leaf,
+		roots: rootstore.NewWith("addtrust", rootA, rootB),
+		crl:   crl,
+	}
+}
+
+func (p *addTrustPKI) list() []*certmodel.Certificate {
+	// The revoked variant is presented first, as stale deployments did.
+	return []*certmodel.Certificate{p.leaf, p.revoked, p.cross}
+}
+
+func TestRevokedPathFailsValidation(t *testing.T) {
+	p := newAddTrustPKI()
+	res := validate.Path([]*certmodel.Certificate{p.leaf, p.revoked, p.rootA},
+		validate.Options{Roots: p.roots, Now: base, Revocation: p.crl})
+	if res.OK || !res.Has(validate.ProblemRevoked) {
+		t.Errorf("revoked path result = %+v", res)
+	}
+	// Without the CRL the same path is fine.
+	res = validate.Path([]*certmodel.Certificate{p.leaf, p.revoked, p.rootA},
+		validate.Options{Roots: p.roots, Now: base})
+	if !res.OK {
+		t.Errorf("CRL-less validation failed: %v", res.Findings)
+	}
+}
+
+func TestBacktrackingRecoversFromRevocation(t *testing.T) {
+	p := newAddTrustPKI()
+
+	naive := &Builder{
+		Policy:     Policy{Reorder: true, EliminateDuplicates: true},
+		Roots:      p.roots,
+		Now:        base,
+		Revocation: p.crl,
+	}
+	out := naive.Build(p.list(), "addtrust.example")
+	if out.OK() {
+		t.Fatal("naive client should pick the revoked variant and fail")
+	}
+	if !out.Validation.Has(validate.ProblemRevoked) {
+		t.Errorf("failure should be the revocation: %v", out.Validation.Findings)
+	}
+
+	bt := naive
+	btPolicy := naive.Policy
+	btPolicy.Backtrack = true
+	bt = &Builder{Policy: btPolicy, Roots: p.roots, Now: base, Revocation: p.crl}
+	out = bt.Build(p.list(), "addtrust.example")
+	if !out.OK() {
+		t.Fatalf("backtracking client failed: %v", out.Validation.Findings)
+	}
+	foundCross := false
+	for _, c := range out.Path {
+		if c.Equal(p.cross) {
+			foundCross = true
+		}
+		if c.Equal(p.revoked) {
+			t.Error("final path contains the revoked certificate")
+		}
+	}
+	if !foundCross {
+		t.Error("final path should route through the healthy cross-signed variant")
+	}
+}
+
+func TestPartialValidationSkipsRevokedCandidates(t *testing.T) {
+	p := newAddTrustPKI()
+	// MbedTLS-style: no backtracking, but revocation is checked during
+	// candidate selection, so the revoked variant is never chosen.
+	mbed := &Builder{
+		Policy:     Policy{Reorder: true, PartialValidation: true},
+		Roots:      p.roots,
+		Now:        base,
+		Revocation: p.crl,
+	}
+	out := mbed.Build(p.list(), "addtrust.example")
+	if !out.OK() {
+		t.Fatalf("revocation-aware selection failed: %v", out.Validation.Findings)
+	}
+	for _, c := range out.Path {
+		if c.Equal(p.revoked) {
+			t.Error("revocation-aware selection picked the revoked variant")
+		}
+	}
+}

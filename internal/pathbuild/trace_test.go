@@ -1,0 +1,125 @@
+package pathbuild
+
+import (
+	"strings"
+	"testing"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+func TestTraceRecordsDecisions(t *testing.T) {
+	p := newPKI("trace")
+	trace := &Trace{}
+	pol := reorderPolicy()
+	b := &Builder{Policy: pol, Roots: p.roots, Now: base.AddDate(0, 1, 0), Trace: trace}
+	out := b.Build([]*certmodel.Certificate{p.leaf, p.root, p.ca2, p.ca1}, "pb-trace.example")
+	if !out.OK() {
+		t.Fatalf("build failed: %v", out.Validation.Findings)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+
+	var steps, attempts int
+	for _, e := range trace.Events {
+		switch e.Kind {
+		case TraceStep:
+			steps++
+			if len(e.Candidates) == 0 {
+				t.Error("step event without candidates")
+			}
+			chosen := 0
+			for _, c := range e.Candidates {
+				if c.Chosen {
+					chosen++
+				}
+			}
+			if chosen != 1 {
+				t.Errorf("step has %d chosen candidates", chosen)
+			}
+		case TraceAttempt:
+			attempts++
+			if !e.Accepted {
+				t.Errorf("attempt rejected: %s", e.Detail)
+			}
+		}
+	}
+	if steps < 3 || attempts != 1 {
+		t.Errorf("steps=%d attempts=%d", steps, attempts)
+	}
+
+	rendered := trace.String()
+	for _, want := range []string{"step depth=1", "attempt", "accepted"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("trace rendering lacks %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestTraceBacktrackingShowsRejectedAttempts(t *testing.T) {
+	p := newPKI("tracebt")
+	decoy := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: p.ca1.Subject, Issuer: p.ca2.Subject, Serial: "trace-decoy",
+		NotBefore: base.AddDate(-3, 0, 0), NotAfter: base.AddDate(-2, 0, 0),
+		Key: certmodel.KeyOf(p.ca1), SignedBy: certmodel.KeyOf(p.ca2),
+		IsCA: true, BasicConstraintsValid: true,
+	})
+	trace := &Trace{}
+	pol := reorderPolicy()
+	pol.Backtrack = true
+	b := &Builder{Policy: pol, Roots: p.roots, Now: base.AddDate(0, 1, 0), Trace: trace}
+	out := b.Build([]*certmodel.Certificate{p.leaf, decoy, p.ca1, p.ca2}, "")
+	if !out.OK() {
+		t.Fatal("backtracking build failed")
+	}
+	rejected, accepted := 0, 0
+	for _, e := range trace.Events {
+		if e.Kind != TraceAttempt {
+			continue
+		}
+		if e.Accepted {
+			accepted++
+		} else {
+			rejected++
+			if e.Detail == "" {
+				t.Error("rejected attempt without detail")
+			}
+		}
+	}
+	if rejected == 0 || accepted != 1 {
+		t.Errorf("rejected=%d accepted=%d; backtracking should show both", rejected, accepted)
+	}
+}
+
+func TestTraceDeadEnd(t *testing.T) {
+	p := newPKI("tracedead")
+	trace := &Trace{}
+	b := &Builder{Policy: reorderPolicy(), Roots: rootstore.New("empty"), Now: base, Trace: trace}
+	out := b.Build([]*certmodel.Certificate{p.leaf}, "")
+	if out.OK() {
+		t.Fatal("orphan leaf validated")
+	}
+	found := false
+	for _, e := range trace.Events {
+		if e.Kind == TraceDeadEnd {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no dead-end event:\n%s", trace)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.add(TraceEvent{}) // must not panic
+	if tr.Len() != 0 {
+		t.Error("nil trace has events")
+	}
+	p := newPKI("tracenil")
+	b := &Builder{Policy: reorderPolicy(), Roots: p.roots, Now: base}
+	if out := b.Build([]*certmodel.Certificate{p.leaf, p.ca1, p.ca2}, ""); !out.OK() {
+		t.Error("trace-less build failed")
+	}
+}

@@ -1,0 +1,428 @@
+package population
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/ca"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/httpserver"
+)
+
+// generator holds per-run state.
+type generator struct {
+	cfg         Config
+	rng         *rand.Rand
+	hierarchies []hierarchy
+	repo        *aia.Repository
+	staleSerial int
+}
+
+// Server population shares. The overall mix skews toward Apache and Nginx as
+// in the paper's fingerprinting (Appendix B); "cloudflare" deployments are
+// fully managed and "Other" is the long tail.
+var serverShares = []struct {
+	name  string
+	share float64
+}{
+	{"Apache", 0.31},
+	{"Nginx", 0.34},
+	{"Microsoft-Azure-Application-Gateway", 0.04},
+	{"cloudflare", 0.10},
+	{"IIS", 0.04},
+	{"AWS ELB", 0.03},
+	{"Other", 0.14},
+}
+
+// serverFactors scale the CA's per-type misconfiguration rates by HTTP
+// server, calibrated from Table 10 (a server's share within a defect type
+// divided by its overall share). Azure's duplicate factor models attempts —
+// its upload check then cancels them.
+type factors struct{ dup, irr, multi, rev, inc float64 }
+
+var serverFactors = map[string]factors{
+	"Apache":                              {dup: 1.8, irr: 1.35, multi: 0.85, rev: 0.6, inc: 1.0},
+	"Nginx":                               {dup: 0.65, irr: 0.9, multi: 1.4, rev: 1.1, inc: 1.15},
+	"Microsoft-Azure-Application-Gateway": {dup: 0.5, irr: 0.25, multi: 0.1, rev: 2.6, inc: 0.4},
+	"cloudflare":                          {dup: 1.0, irr: 1.0, multi: 0.8, rev: 1.0, inc: 0.9},
+	"IIS":                                 {dup: 0.6, irr: 0.5, multi: 0.9, rev: 1.35, inc: 1.0},
+	"AWS ELB":                             {dup: 2.4, irr: 0.6, multi: 0.4, rev: 1.1, inc: 0.8},
+	"Other":                               {dup: 1.0, irr: 0.7, multi: 1.05, rev: 1.4, inc: 1.0},
+}
+
+// serverModel maps a fingerprinted server name onto its deployment model.
+func serverModel(name string, rng *rand.Rand) httpserver.Model {
+	switch name {
+	case "Apache":
+		// A large installed base still runs pre-2.4.8 split-file configs.
+		if rng.Float64() < 0.4 {
+			return httpserver.ApacheOld()
+		}
+		return httpserver.Apache()
+	case "Nginx":
+		return httpserver.Nginx()
+	case "Microsoft-Azure-Application-Gateway":
+		return httpserver.AzureAppGateway()
+	case "IIS":
+		return httpserver.IIS()
+	case "AWS ELB":
+		return httpserver.AWSELB()
+	default:
+		m := httpserver.Nginx()
+		m.Name = name
+		return m
+	}
+}
+
+var leafTLDs = []string{"com", "net", "org", "io", "dev", "co", "info", "app"}
+
+func (g *generator) pickServer() string {
+	x := g.rng.Float64()
+	for _, s := range serverShares {
+		x -= s.share
+		if x <= 0 {
+			return s.name
+		}
+	}
+	return "Other"
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}
+
+// domain generates one deployment end to end.
+func (g *generator) domain(rank int) *Domain {
+	h := g.pickHierarchy()
+	iss := h.iss
+	serverName := g.pickServer()
+	model := serverModel(serverName, g.rng)
+	name := fmt.Sprintf("site-%06d.%s", rank, leafTLDs[g.rng.Intn(len(leafTLDs))])
+
+	d := &Domain{Rank: rank, Name: name, CA: iss.Profile.Name, Server: serverName}
+	t := &d.Truth
+
+	rates := iss.Profile.Rates
+	f := serverFactors[serverName]
+
+	// Sample the defect events up front; the mechanics below realize them.
+	dup := g.rng.Float64() < clampProb(rates.Duplicate*f.dup)
+	irr := g.rng.Float64() < clampProb(rates.Irrelevant*f.irr)
+	multi := g.rng.Float64() < clampProb(rates.MultiplePaths*f.multi)
+	rev := g.rng.Float64() < clampProb(rates.Reversed*f.rev)
+	inc := g.rng.Float64() < clampProb(rates.Incomplete*f.inc)
+	t.IncludesRoot = !inc && g.rng.Float64() < 0.092
+
+	// Leaf identity. ~0.6% of sites serve a self-signed test certificate
+	// ("Plesk", "localhost", empty CN); ~7% serve a certificate for a
+	// different name (shared hosting fallback).
+	if g.rng.Float64() < 0.006 {
+		return g.otherLeafDomain(d)
+	}
+	t.LeafMismatch = g.rng.Float64() < 0.069
+	t.LeafExpired = g.rng.Float64() < 0.008
+
+	leafOpts := g.leafAIAOptions(t, iss, inc)
+	leafName := name
+	if t.LeafMismatch {
+		leafName = fmt.Sprintf("fallback-%03d.hosting.example", g.rng.Intn(500))
+	}
+	nb, na := g.cfg.Base.AddDate(0, -3, 0), g.cfg.Base.AddDate(0, 9, 0)
+	if t.LeafExpired {
+		nb, na = g.cfg.Base.AddDate(-1, -3, 0), g.cfg.Base.AddDate(0, -1, 0)
+	}
+	delivery := iss.Issue(leafName, nb, na, leafOpts)
+	leaf := delivery.Leaf
+
+	// Assemble the intermediate block in correct order: issuing CA first,
+	// then upward, root last when included.
+	inters := correctOrder(iss, t.IncludesRoot)
+
+	// The CA may itself omit an intermediate (TAIWAN-CA).
+	forceIncomplete := iss.Profile.OmitsIntermediate && g.rng.Float64() < 0.8
+	if inc || forceIncomplete {
+		inters = g.dropIntermediates(t, iss, inters)
+	}
+
+	if multi {
+		inters = g.insertCrossSigned(t, iss, inters)
+	}
+
+	if rev && len(inters) > 1 {
+		reverse(inters)
+		t.Reversed = true
+	}
+
+	if irr {
+		inters = g.appendIrrelevant(t, iss, leafName, inters)
+	}
+
+	list := g.deploy(t, model, leaf, inters, dup)
+	d.List = list
+	return d
+}
+
+// leafAIAOptions decides the leaf's AIA shape, realizing the paper's AIA
+// failure taxonomy among incomplete chains: ~4.8% lack the extension, ~0.7%
+// reference a dead URI, and a single chain pointed at a non-issuer.
+func (g *generator) leafAIAOptions(t *Truth, iss *ca.Issuer, incomplete bool) ca.LeafOptions {
+	if !incomplete {
+		return ca.LeafOptions{}
+	}
+	switch x := g.rng.Float64(); {
+	case x < 0.048:
+		t.AIAMissing = true
+		return ca.LeafOptions{OmitAIA: true}
+	case x < 0.055:
+		t.AIADead = true
+		return ca.LeafOptions{AIAOverride: g.cfg.AIABase + "/dead/ca.der"}
+	case x < 0.0555:
+		t.AIAWrong = true
+		return ca.LeafOptions{AIAOverride: g.cfg.AIABase + "/wrong/ca.der"}
+	default:
+		return ca.LeafOptions{}
+	}
+}
+
+func correctOrder(iss *ca.Issuer, includeRoot bool) []*certmodel.Certificate {
+	var out []*certmodel.Certificate
+	for i := len(iss.Intermediates) - 1; i >= 0; i-- {
+		out = append(out, iss.Intermediates[i])
+	}
+	if includeRoot {
+		out = append(out, iss.Root)
+	}
+	return out
+}
+
+func reverse(s []*certmodel.Certificate) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// dropIntermediates realizes an incomplete chain: 72% miss exactly one
+// intermediate, the rest miss more. Chains carrying an injected AIA failure
+// (missing extension, dead URI, wrong target) drop everything: the failure
+// lives in the leaf, so the leaf must be the dangling certificate.
+func (g *generator) dropIntermediates(t *Truth, iss *ca.Issuer, inters []*certmodel.Certificate) []*certmodel.Certificate {
+	t.Incomplete = true
+	top := iss.Intermediates[0]
+	if t.AIAMissing || t.AIADead || t.AIAWrong {
+		t.MissingCount = len(iss.Intermediates)
+		return nil
+	}
+	if g.rng.Float64() < 0.722 {
+		t.MissingCount = 1
+		out := inters[:0:0]
+		for _, c := range inters {
+			if c.Equal(top) || c.Equal(iss.Root) {
+				continue
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	t.MissingCount = len(iss.Intermediates)
+	return nil
+}
+
+// insertCrossSigned realizes a multiple-path chain by adding the
+// cross-signed variant of the top intermediate, usually at the wrong
+// position (before its own issuer), which also reverses that path.
+func (g *generator) insertCrossSigned(t *Truth, iss *ca.Issuer, inters []*certmodel.Certificate) []*certmodel.Certificate {
+	cross := iss.CrossSigned
+	if g.rng.Float64() < 0.12 {
+		// Stale cross-signed certificate never renewed (29 such chains in
+		// the paper).
+		cross = expiredCross(iss)
+		t.CrossExpired = true
+	}
+	t.MultiplePaths = true
+
+	switch x := g.rng.Float64(); {
+	case x < 0.35 && len(inters) > 0:
+		// Misplaced: the cross-signed certificate lands AFTER its own
+		// issuer in the list (the Figure 2c shape) — the cross path reads
+		// issuer-before-subject and is therefore reversed, while the
+		// direct path stays in order.
+		t.CrossMisplaced = true
+		t.Reversed = true
+		out := []*certmodel.Certificate{inters[0], iss.CrossRoot, cross}
+		out = append(out, inters[1:]...)
+		return out
+	case x < 0.60:
+		// Correctly appended cross block: an additional, in-order path.
+		block := []*certmodel.Certificate{cross}
+		if g.rng.Float64() < 0.5 {
+			block = append(block, iss.CrossRoot)
+		}
+		return append(inters, block...)
+	default:
+		// Root-level cross-signing: the chain carries both the trusted
+		// self-signed root and a cross-signed certificate for the same
+		// key — the dominant same-DN/same-KID candidate pair of §6.2
+		// (744 of 785 chains).
+		if !t.IncludesRoot {
+			t.IncludesRoot = true
+			inters = append(inters, iss.Root)
+		}
+		return append(inters, iss.RootCrossSigned)
+	}
+}
+
+// expiredCross derives an expired cross-signed variant for the issuer's top
+// intermediate.
+func expiredCross(iss *ca.Issuer) *certmodel.Certificate {
+	top := iss.Intermediates[0]
+	return certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject:               top.Subject,
+		Issuer:                iss.CrossRoot.Subject,
+		Serial:                "cross-expired-" + iss.Profile.Name + "-" + iss.Tag,
+		NotBefore:             top.NotBefore.AddDate(-6, 0, 0),
+		NotAfter:              top.NotBefore.AddDate(-1, 0, 0),
+		Key:                   certmodel.KeyOf(top),
+		SignedBy:              certmodel.KeyOf(iss.CrossRoot),
+		KeyUsage:              certmodel.KeyUsageCertSign,
+		HasKeyUsage:           true,
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	})
+}
+
+// appendIrrelevant realizes the irrelevant-certificate taxonomy of §4.2.
+func (g *generator) appendIrrelevant(t *Truth, iss *ca.Issuer, leafName string, inters []*certmodel.Certificate) []*certmodel.Certificate {
+	switch x := g.rng.Float64(); {
+	case x < 0.5:
+		// Stale leaves from prior renewals, newest first.
+		t.Irrelevant = IrrelevantStaleLeaves
+		n := 1 + g.rng.Intn(4)
+		var stale []*certmodel.Certificate
+		for i := 1; i <= n; i++ {
+			g.staleSerial++
+			nb := g.cfg.Base.AddDate(-i, -3, 0)
+			old := certmodel.SyntheticLeaf(leafName, fmt.Sprintf("stale-%d", g.staleSerial), iss.IssuingCA(), nb, nb.AddDate(1, 0, 0))
+			stale = append(stale, old)
+		}
+		return append(stale, inters...)
+	case x < 0.8:
+		// A block of another hierarchy's chain kept by the same admin.
+		t.Irrelevant = IrrelevantForeignChain
+		other := &g.hierarchies[g.rng.Intn(len(g.hierarchies))]
+		if other.iss == iss {
+			other = &g.hierarchies[(g.rng.Intn(len(g.hierarchies))+1)%len(g.hierarchies)]
+		}
+		block := []*certmodel.Certificate{other.iss.Intermediates[1], other.iss.Intermediates[0]}
+		if g.rng.Float64() < 0.4 {
+			block = append(block, other.iss.Root)
+		}
+		return append(inters, block...)
+	default:
+		t.Irrelevant = IrrelevantUnrelatedRoot
+		stray := certmodel.SyntheticRoot(fmt.Sprintf("Stray Root %04d", g.rng.Intn(100)), g.cfg.Base.AddDate(-6, 0, 0))
+		return append(inters, stray)
+	}
+}
+
+// deploy pushes the assembled files through the HTTP server model,
+// reproducing the duplicate-leaf mechanism (split-file confusion) and the
+// servers' checks.
+func (g *generator) deploy(t *Truth, model httpserver.Model, leaf *certmodel.Certificate, inters []*certmodel.Certificate, wantDup bool) []*certmodel.Certificate {
+	chain := append([]*certmodel.Certificate(nil), inters...)
+
+	if wantDup {
+		switch r := g.rng.Float64(); {
+		case r < 0.70:
+			// Leaf pasted into the bundle too. 85% of those land at the
+			// front (the paper: 4,231 of 4,730 have both copies leading).
+			if g.rng.Float64() < 0.85 {
+				chain = append([]*certmodel.Certificate{leaf}, chain...)
+			} else {
+				chain = append(chain, leaf)
+			}
+			t.DuplicateLeaf = true
+		case r < 0.93:
+			if len(chain) > 0 {
+				dupOf := chain[g.rng.Intn(len(chain))]
+				reps := 1
+				if g.rng.Float64() < 0.03 {
+					reps = 8 + g.rng.Intn(5) // the ns3.link 29-cert shape
+				}
+				for i := 0; i < reps; i++ {
+					chain = append(chain, dupOf)
+				}
+				if dupOf.SelfSigned() {
+					t.DuplicateRoot = true
+				} else {
+					t.DuplicateIntermediate = true
+				}
+			}
+		default:
+			if t.IncludesRoot && len(chain) > 0 {
+				chain = append(chain, chain[len(chain)-1])
+				t.DuplicateRoot = true
+			} else if len(chain) > 0 {
+				chain = append(chain, chain[len(chain)-1])
+				t.DuplicateIntermediate = true
+			}
+		}
+	}
+
+	in := httpserver.ConfigInput{PrivateKeyFor: leaf}
+	switch model.Scheme {
+	case httpserver.SchemeSplit:
+		in.CertFile = []*certmodel.Certificate{leaf}
+		in.ChainFile = chain
+	default:
+		in.Fullchain = append([]*certmodel.Certificate{leaf}, chain...)
+	}
+
+	list, err := model.Deploy(in)
+	if err == httpserver.ErrDuplicateLeaf {
+		// The server rejected the upload; the administrator removes the
+		// surplus copy and retries.
+		t.DuplicateLeaf = false
+		t.DuplicatePrevented = true
+		fixed := chain[:0:0]
+		for _, c := range chain {
+			if c.Equal(leaf) {
+				continue
+			}
+			fixed = append(fixed, c)
+		}
+		in.ChainFile = fixed
+		in.Fullchain = append([]*certmodel.Certificate{leaf}, fixed...)
+		list, err = model.Deploy(in)
+	}
+	if err != nil {
+		// Configuration failed outright; the site would serve no usable
+		// chain. Model it as leaf-only.
+		return []*certmodel.Certificate{leaf}
+	}
+	return list
+}
+
+// otherLeafDomain produces the "Other" leaf category: a standalone
+// self-signed testing certificate.
+func (g *generator) otherLeafDomain(d *Domain) *Domain {
+	d.Truth.LeafOther = true
+	cn := []string{"Plesk", "localhost", "testexp", ""}[g.rng.Intn(4)]
+	key := certmodel.NewSyntheticKey(fmt.Sprintf("other-%d", d.Rank))
+	subject := certmodel.Name{CommonName: cn}
+	cert := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: subject, Issuer: subject,
+		Serial:    fmt.Sprintf("other-%d", d.Rank),
+		NotBefore: g.cfg.Base.AddDate(-1, 0, 0), NotAfter: g.cfg.Base.AddDate(9, 0, 0),
+		Key: key, SignedBy: key,
+		BasicConstraintsValid: true,
+	})
+	d.List = []*certmodel.Certificate{cert}
+	return d
+}

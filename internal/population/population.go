@@ -1,0 +1,239 @@
+// Package population generates a synthetic Tranco-like web population whose
+// certificate-chain deployments reproduce, mechanically, the
+// misconfiguration landscape the paper measured in March 2024: reversed
+// bundles merged verbatim from reseller deliveries, duplicate leaves from
+// Apache's two-file layout, stale leaves left behind by renewals, stray
+// cross-signed certificates, and missing intermediates — at rates calibrated
+// per CA (Table 11) and per HTTP server (Table 10).
+//
+// Every chain is produced by the same pipeline a real deployment follows:
+// a CA profile issues and delivers files (internal/ca), an administrator
+// assembles them (correctly or not), and an HTTP server model deploys them,
+// enforcing its configuration-time checks (internal/httpserver). Ground
+// truth about each injected defect is recorded alongside the deployed list
+// so analyzers can be scored against it.
+package population
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/ca"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Size is the number of domains (the paper's dataset holds 906,336
+	// chains; experiments default to a scaled-down population).
+	Size int
+	// Seed makes the population reproducible.
+	Seed int64
+	// Base is the measurement reference time; leaf validity windows are
+	// placed around it. The zero value uses 2024-03-15, the paper's scan
+	// month.
+	Base time.Time
+	// AIABase is the URI prefix for the simulated CA repositories.
+	AIABase string
+}
+
+func (c *Config) fillDefaults() {
+	if c.Size <= 0 {
+		c.Size = 10000
+	}
+	if c.Base.IsZero() {
+		c.Base = time.Date(2024, time.March, 15, 12, 0, 0, 0, time.UTC)
+	}
+	if c.AIABase == "" {
+		c.AIABase = "http://aia.repo.example"
+	}
+}
+
+// IrrelevantKind details an irrelevant-certificate injection.
+type IrrelevantKind int
+
+const (
+	IrrelevantNone IrrelevantKind = iota
+	// IrrelevantStaleLeaves: outdated leaf certificates not removed during
+	// renewal (the webcanny.com shape).
+	IrrelevantStaleLeaves
+	// IrrelevantForeignChain: certificates belonging to another chain
+	// managed by the same administrator (the archives.gov.tw shape).
+	IrrelevantForeignChain
+	// IrrelevantUnrelatedRoot: a stray self-signed certificate.
+	IrrelevantUnrelatedRoot
+)
+
+// Truth records the defects injected into one domain's deployment — the
+// ground-truth labels analyzers are scored against.
+type Truth struct {
+	DuplicateLeaf         bool
+	DuplicateIntermediate bool
+	DuplicateRoot         bool
+	// DuplicatePrevented: a duplicate-leaf upload was attempted but the
+	// server's check rejected it and the administrator fixed the files.
+	DuplicatePrevented bool
+
+	Irrelevant     IrrelevantKind
+	MultiplePaths  bool
+	CrossMisplaced bool // the cross-signed certificate precedes its issuer
+	CrossExpired   bool
+	Reversed       bool
+
+	Incomplete   bool
+	MissingCount int
+	AIAMissing   bool
+	AIADead      bool
+	AIAWrong     bool
+
+	IncludesRoot bool
+	LeafMismatch bool
+	LeafOther    bool
+	LeafExpired  bool
+}
+
+// NonCompliant reports whether any structural defect was injected (leaf
+// identity mismatches are not structural).
+func (t Truth) NonCompliant() bool {
+	return t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot ||
+		t.Irrelevant != IrrelevantNone || t.MultiplePaths || t.Reversed || t.Incomplete
+}
+
+// Domain is one generated website deployment.
+type Domain struct {
+	Rank   int
+	Name   string
+	CA     string
+	Server string
+	List   []*certmodel.Certificate
+	Truth  Truth
+}
+
+// Population is the generated dataset plus the PKI context needed to analyze
+// it: the CA hierarchies, the AIA repository and the vendor root stores.
+type Population struct {
+	Cfg     Config
+	Domains []*Domain
+	Issuers []*ca.Issuer
+	Repo    *aia.Repository
+	Vendors *rootstore.VendorSet
+}
+
+// Roots returns the four-vendor union store, the paper's measurement
+// baseline.
+func (p *Population) Roots() *rootstore.Store { return p.Vendors.Union }
+
+// hierarchy couples an issuer instance with its assignment weight.
+type hierarchy struct {
+	iss    *ca.Issuer
+	weight float64
+	// storeOmit marks vendors (0=Mozilla 1=Chrome 2=Microsoft 3=Apple)
+	// whose store lacks this hierarchy's root.
+	storeOmit map[int]bool
+}
+
+// Generate builds the population.
+func Generate(cfg Config) *Population {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	repo := aia.NewRepository()
+
+	hierarchies := buildHierarchies(cfg, repo)
+
+	var allRoots []*certmodel.Certificate
+	omitsOf := make(map[string]map[int]bool)
+	for _, h := range hierarchies {
+		allRoots = append(allRoots, h.iss.Root, h.iss.CrossRoot)
+		if h.storeOmit != nil {
+			omitsOf[h.iss.Root.FingerprintHex()] = h.storeOmit
+		}
+	}
+	vendors := rootstore.NewVendorSet(allRoots, func(root *certmodel.Certificate, vendor int) bool {
+		return omitsOf[root.FingerprintHex()][vendor]
+	})
+
+	pop := &Population{Cfg: cfg, Repo: repo, Vendors: vendors}
+	for _, h := range hierarchies {
+		pop.Issuers = append(pop.Issuers, h.iss)
+	}
+
+	// Pre-register the shared dead and wrong AIA endpoints.
+	repo.PutError(cfg.AIABase+"/dead/ca.der", fmt.Errorf("connection refused"))
+	wrongTarget := certmodel.SyntheticRoot("Wrong AIA Target", cfg.Base)
+	repo.Put(cfg.AIABase+"/wrong/ca.der", wrongTarget)
+
+	gen := &generator{cfg: cfg, rng: rng, hierarchies: hierarchies, repo: repo}
+	pop.Domains = make([]*Domain, 0, cfg.Size)
+	for rank := 1; rank <= cfg.Size; rank++ {
+		pop.Domains = append(pop.Domains, gen.domain(rank))
+	}
+	return pop
+}
+
+// buildHierarchies instantiates the CA hierarchies: for each Table 11
+// profile one fully modern hierarchy ("a") and one whose top intermediate
+// lacks an AKID ("b", the Table 8 lever), split 73/27; plus three tiny
+// regional CAs with partial vendor-store coverage and no AIA.
+func buildHierarchies(cfg Config, repo *aia.Repository) []hierarchy {
+	var out []hierarchy
+	for _, p := range ca.Profiles() {
+		a := ca.NewSyntheticIssuer(ca.IssuerConfig{Profile: p, Base: cfg.Base.AddDate(-3, 0, 0), Tag: "a", AIABase: cfg.AIABase})
+		b := ca.NewSyntheticIssuer(ca.IssuerConfig{Profile: p, Base: cfg.Base.AddDate(-3, 0, 0), Tag: "b", AIABase: cfg.AIABase, TopNoAKID: true})
+		a.RegisterAIA(repo.Put)
+		b.RegisterAIA(repo.Put)
+		out = append(out, hierarchy{iss: a, weight: p.MarketShare * 0.73})
+		out = append(out, hierarchy{iss: b, weight: p.MarketShare * 0.27})
+	}
+
+	regional := func(name string, share float64, omit map[int]bool) hierarchy {
+		prof := ca.Profile{
+			Name: name, ProvidesCABundle: true, InstallGuide: ca.GuidePartial,
+			MarketShare: share,
+			Rates:       ca.MisconfigRates{Incomplete: 0.02, Reversed: 0.02},
+		}
+		iss := ca.NewSyntheticIssuer(ca.IssuerConfig{Profile: prof, Base: cfg.Base.AddDate(-5, 0, 0), Tag: "r"})
+		return hierarchy{iss: iss, weight: share, storeOmit: omit}
+	}
+	// Roots carried only by some vendors, AIA-less: the with-AIA rows of
+	// Table 8 (Mozilla/Chrome +66, Microsoft +5, Apple +4 at full scale).
+	out = append(out,
+		regional("TW Government CA", 66.0/906336, map[int]bool{0: true, 1: true}),
+		regional("EU Qualified CA", 5.0/906336, map[int]bool{2: true}),
+		regional("Regional Commerce CA", 4.0/906336, map[int]bool{3: true}),
+	)
+
+	// A publicly trusted but CCADB-lagging hierarchy: its intermediates
+	// are absent from Firefox's preloaded cache, so its incomplete chains
+	// become the browser-side I-4 discrepancies (the paper's 1,074
+	// SEC_ERROR_UNKNOWN_ISSUER chains, ~9% of all incomplete chains). AIA
+	// works, so AIA-capable clients recover.
+	undisclosed := ca.Profile{
+		Name: "Undisclosed Enterprise CA", ProvidesCABundle: true,
+		InstallGuide: ca.GuideNone,
+		MarketShare:  0.004,
+		Rates:        ca.MisconfigRates{Duplicate: 0.01, Reversed: 0.03, Incomplete: 0.30},
+	}
+	uiss := ca.NewSyntheticIssuer(ca.IssuerConfig{Profile: undisclosed, Base: cfg.Base.AddDate(-2, 0, 0), Tag: "u", AIABase: cfg.AIABase})
+	uiss.RegisterAIA(repo.Put)
+	out = append(out, hierarchy{iss: uiss, weight: undisclosed.MarketShare})
+	return out
+}
+
+// pickHierarchy samples an issuer by weight.
+func (g *generator) pickHierarchy() *hierarchy {
+	total := 0.0
+	for i := range g.hierarchies {
+		total += g.hierarchies[i].weight
+	}
+	x := g.rng.Float64() * total
+	for i := range g.hierarchies {
+		x -= g.hierarchies[i].weight
+		if x <= 0 {
+			return &g.hierarchies[i]
+		}
+	}
+	return &g.hierarchies[len(g.hierarchies)-1]
+}

@@ -1,0 +1,155 @@
+package population
+
+import (
+	"testing"
+
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/topo"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Size: 200, Seed: 7})
+	b := Generate(Config{Size: 200, Seed: 7})
+	if len(a.Domains) != 200 || len(b.Domains) != 200 {
+		t.Fatalf("sizes: %d, %d", len(a.Domains), len(b.Domains))
+	}
+	for i := range a.Domains {
+		da, db := a.Domains[i], b.Domains[i]
+		if da.Name != db.Name || da.CA != db.CA || da.Server != db.Server {
+			t.Fatalf("domain %d differs: %+v vs %+v", i, da, db)
+		}
+		if len(da.List) != len(db.List) {
+			t.Fatalf("domain %d list length differs", i)
+		}
+		for j := range da.List {
+			if !da.List[j].Equal(db.List[j]) {
+				t.Fatalf("domain %d cert %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(Config{Size: 200, Seed: 8})
+	same := 0
+	for i := range a.Domains {
+		if len(a.Domains[i].List) == len(c.Domains[i].List) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Log("warning: different seeds produced structurally identical populations (possible but unlikely)")
+	}
+}
+
+func TestTruthMatchesAnalyzer(t *testing.T) {
+	pop := Generate(Config{Size: 4000, Seed: 42})
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   pop.Roots(),
+		Fetcher: pop.Repo,
+	}}
+
+	var agree, disagree int
+	for _, d := range pop.Domains {
+		g := topo.Build(d.List)
+		rep := an.Analyze(d.Name, g)
+
+		// Spot-check individual labels where the analyzer must agree with
+		// the ground truth by construction.
+		if d.Truth.DuplicateLeaf || d.Truth.DuplicateIntermediate || d.Truth.DuplicateRoot {
+			if !rep.Order.HasDuplicates {
+				t.Errorf("%s: injected duplicates not detected (truth=%+v)", d.Name, d.Truth)
+			}
+		}
+		if d.Truth.Reversed && !rep.Order.ReversedAny {
+			t.Errorf("%s: injected reversal not detected", d.Name)
+		}
+		if d.Truth.MultiplePaths && !rep.Order.MultiplePaths && !d.Truth.Incomplete {
+			t.Errorf("%s: injected multiple paths not detected", d.Name)
+		}
+		if d.Truth.Incomplete && rep.Completeness.Class != compliance.Incomplete {
+			t.Errorf("%s: injected incompleteness not detected (class=%v)", d.Name, rep.Completeness.Class)
+		}
+		if d.Truth.NonCompliant() == !rep.Compliant() {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	// The analyzer may legitimately catch defects the truth labels don't
+	// isolate (e.g. a TAIWAN-CA forced omission); demand strong agreement,
+	// not perfection.
+	if frac := float64(disagree) / float64(agree+disagree); frac > 0.02 {
+		t.Errorf("truth/analyzer disagreement %.2f%% exceeds 2%%", frac*100)
+	}
+}
+
+func TestPopulationShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population shape test needs a large sample")
+	}
+	const size = 30000
+	pop := Generate(Config{Size: size, Seed: 1})
+	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   pop.Roots(),
+		Fetcher: pop.Repo,
+	}}
+
+	var nonCompliant, reversed, dup, irr, multi, incomplete int
+	var withRoot, withoutRoot int
+	var aiaRecoverable int
+	for _, d := range pop.Domains {
+		g := topo.Build(d.List)
+		rep := an.Analyze(d.Name, g)
+		if !rep.Compliant() {
+			nonCompliant++
+		}
+		if rep.Order.ReversedAny {
+			reversed++
+		}
+		if rep.Order.HasDuplicates {
+			dup++
+		}
+		if rep.Order.HasIrrelevant {
+			irr++
+		}
+		if rep.Order.MultiplePaths {
+			multi++
+		}
+		switch rep.Completeness.Class {
+		case compliance.CompleteWithRoot:
+			withRoot++
+		case compliance.CompleteWithoutRoot:
+			withoutRoot++
+		case compliance.Incomplete:
+			incomplete++
+			if rep.Completeness.AIARecoverable {
+				aiaRecoverable++
+			}
+		}
+	}
+
+	pct := func(n int) float64 { return 100 * float64(n) / float64(size) }
+
+	// Paper shape targets (±generous tolerances — rates, not exact counts):
+	// total non-compliance ≈2.9%, reversed the largest order violation
+	// (~0.95% of all domains), incomplete ≈1.3%, complete-without-root
+	// ≈90%, with-root ≈8.7%, AIA recovery ≈94.5% of incomplete chains.
+	if p := pct(nonCompliant); p < 1.5 || p > 6 {
+		t.Errorf("non-compliant = %.2f%%, want ≈2.9%%", p)
+	}
+	if reversed <= dup || reversed <= irr || reversed <= multi {
+		t.Errorf("reversed (%d) should dominate dup (%d), irrelevant (%d), multi (%d)", reversed, dup, irr, multi)
+	}
+	if p := pct(incomplete); p < 0.6 || p > 3 {
+		t.Errorf("incomplete = %.2f%%, want ≈1.3%%", p)
+	}
+	if p := pct(withoutRoot); p < 80 || p > 95 {
+		t.Errorf("complete-without-root = %.1f%%, want ≈90%%", p)
+	}
+	if p := pct(withRoot); p < 5 || p > 14 {
+		t.Errorf("complete-with-root = %.1f%%, want ≈8.7%%", p)
+	}
+	if incomplete > 0 {
+		if frac := float64(aiaRecoverable) / float64(incomplete); frac < 0.85 || frac > 0.99 {
+			t.Errorf("AIA-recoverable = %.1f%% of incomplete, want ≈94.5%%", frac*100)
+		}
+	}
+}

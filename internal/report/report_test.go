@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("demo", "A", "Longer Header", "C")
+	tab.Add("x", "y")
+	tab.Addf(1, true, 3.5)
+	tab.Note = "a note"
+	s := tab.String()
+
+	if !strings.Contains(s, "== demo ==") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "Longer Header") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "note: a note") {
+		t.Errorf("missing note:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title + header + separator + 2 rows + note
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), s)
+	}
+	// Columns align: the separator row is dashes and spaces only.
+	if strings.Trim(lines[2], "- ") != "" {
+		t.Errorf("separator malformed: %q", lines[2])
+	}
+	// Short rows pad to the header width.
+	if !strings.Contains(lines[3], "x") {
+		t.Errorf("row lost: %q", lines[3])
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := New("", "H")
+	tab.Add("v")
+	if strings.Contains(tab.String(), "==") {
+		t.Error("untitled table rendered a title")
+	}
+}
+
+func TestCountPctMark(t *testing.T) {
+	if got := Count(25, 100); got != "25 (25.0%)" {
+		t.Errorf("Count = %q", got)
+	}
+	if got := Count(3, 0); got != "3" {
+		t.Errorf("Count with zero total = %q", got)
+	}
+	if got := Pct(1, 8); got != "12.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "-" {
+		t.Errorf("Pct zero total = %q", got)
+	}
+	if Mark(true) != "Y" || Mark(false) != "x" {
+		t.Error("Mark wrong")
+	}
+}

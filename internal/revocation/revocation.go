@@ -1,0 +1,66 @@
+// Package revocation provides a CRL-equivalent revocation oracle. The paper
+// scopes revocation out of its measurements (§6.3) while noting that it does
+// influence path construction — MbedTLS checks revocation status while
+// selecting candidates (§3.2), and a revoked intermediate is precisely the
+// situation where backtracking onto a cross-signed alternative keeps a site
+// reachable. This package supplies the oracle those code paths consume.
+package revocation
+
+import (
+	"sync"
+
+	"chainchaos/internal/certmodel"
+)
+
+// key identifies a certificate the way CRLs do: by issuer and serial.
+type key struct {
+	issuer certmodel.Name
+	serial string
+}
+
+// List is a thread-safe set of revoked certificates.
+type List struct {
+	mu      sync.RWMutex
+	revoked map[key]bool
+}
+
+// NewList creates an empty revocation list.
+func NewList() *List {
+	return &List{revoked: make(map[key]bool)}
+}
+
+// Add revokes the certificate identified by issuer and serial.
+func (l *List) Add(issuer certmodel.Name, serial string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.revoked[key{issuer, serial}] = true
+}
+
+// Revoke marks cert itself revoked.
+func (l *List) Revoke(cert *certmodel.Certificate) {
+	if cert == nil {
+		return
+	}
+	l.Add(cert.Issuer, cert.SerialNumber)
+}
+
+// IsRevoked reports whether cert appears on the list. A nil list revokes
+// nothing, so callers may pass one through unconditionally.
+func (l *List) IsRevoked(cert *certmodel.Certificate) bool {
+	if l == nil || cert == nil {
+		return false
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.revoked[key{cert.Issuer, cert.SerialNumber}]
+}
+
+// Len returns the number of revoked entries.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.revoked)
+}

@@ -1,0 +1,74 @@
+package revocation
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certmodel"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func TestListBasics(t *testing.T) {
+	root := certmodel.SyntheticRoot("Rev Root", base)
+	inter := certmodel.SyntheticIntermediate("Rev CA", root, base)
+
+	l := NewList()
+	if l.IsRevoked(inter) || l.Len() != 0 {
+		t.Error("fresh list revokes")
+	}
+	l.Revoke(inter)
+	if !l.IsRevoked(inter) {
+		t.Error("revoked cert not flagged")
+	}
+	if l.IsRevoked(root) {
+		t.Error("unrevoked cert flagged")
+	}
+	if l.Len() != 1 {
+		t.Errorf("len = %d", l.Len())
+	}
+	l.Revoke(nil) // no-op
+	if l.Len() != 1 {
+		t.Error("nil revoke changed the list")
+	}
+}
+
+func TestNilListRevokesNothing(t *testing.T) {
+	var l *List
+	root := certmodel.SyntheticRoot("Rev Nil Root", base)
+	if l.IsRevoked(root) || l.Len() != 0 {
+		t.Error("nil list misbehaves")
+	}
+}
+
+func TestRevocationIsPerSerial(t *testing.T) {
+	root := certmodel.SyntheticRoot("Rev Serial Root", base)
+	a := certmodel.SyntheticLeaf("rev.example", "serial-a", root, base, base.AddDate(1, 0, 0))
+	b := certmodel.SyntheticLeaf("rev.example", "serial-b", root, base, base.AddDate(1, 0, 0))
+	l := NewList()
+	l.Revoke(a)
+	if !l.IsRevoked(a) || l.IsRevoked(b) {
+		t.Error("revocation must be per (issuer, serial)")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	root := certmodel.SyntheticRoot("Rev Conc Root", base)
+	l := NewList()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := certmodel.SyntheticLeaf("conc.example", string(rune('a'+i)), root, base, base.AddDate(1, 0, 0))
+			l.Revoke(c)
+			l.IsRevoked(c)
+			l.Len()
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 8 {
+		t.Errorf("len = %d", l.Len())
+	}
+}

@@ -1,0 +1,203 @@
+// Package rootstore models trust anchor stores. The paper's completeness
+// analysis (§3.1) matches the last certificate of each path against the union
+// of the Mozilla, Chrome, Microsoft and Apple root programs, and Table 8
+// quantifies how results shift when a client trusts only one vendor's store.
+package rootstore
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Store is a set of trusted root certificates, indexed the two ways chain
+// completion needs: by certificate identity (is this exact cert trusted?),
+// by subject key identifier (does any root's SKID match this AKID?), and by
+// subject DN (candidate roots for an orphan whose AKID is absent).
+type Store struct {
+	mu        sync.RWMutex
+	name      string
+	byFP      map[string]*certmodel.Certificate
+	bySKID    map[string][]*certmodel.Certificate
+	bySubject map[certmodel.Name][]*certmodel.Certificate
+}
+
+// New creates an empty named store.
+func New(name string) *Store {
+	return &Store{
+		name:      name,
+		byFP:      make(map[string]*certmodel.Certificate),
+		bySKID:    make(map[string][]*certmodel.Certificate),
+		bySubject: make(map[certmodel.Name][]*certmodel.Certificate),
+	}
+}
+
+// NewWith creates a named store preloaded with roots.
+func NewWith(name string, roots ...*certmodel.Certificate) *Store {
+	s := New(name)
+	for _, r := range roots {
+		s.Add(r)
+	}
+	return s
+}
+
+// Name returns the store's name ("Mozilla", "union", ...).
+func (s *Store) Name() string { return s.name }
+
+// Add inserts a root. Adding the same certificate twice is a no-op.
+func (s *Store) Add(root *certmodel.Certificate) {
+	if root == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := root.FingerprintHex()
+	if _, ok := s.byFP[fp]; ok {
+		return
+	}
+	s.byFP[fp] = root
+	if len(root.SubjectKeyID) > 0 {
+		k := string(root.SubjectKeyID)
+		s.bySKID[k] = append(s.bySKID[k], root)
+	}
+	s.bySubject[root.Subject] = append(s.bySubject[root.Subject], root)
+}
+
+// Contains reports whether this exact certificate (bit-for-bit) is trusted.
+func (s *Store) Contains(cert *certmodel.Certificate) bool {
+	if cert == nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byFP[cert.FingerprintHex()]
+	return ok
+}
+
+// FindBySKID returns the trusted roots whose SKID equals akid — the store
+// lookup the paper performs for the AKID of a path's last certificate.
+func (s *Store) FindBySKID(akid []byte) []*certmodel.Certificate {
+	if len(akid) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*certmodel.Certificate(nil), s.bySKID[string(akid)]...)
+}
+
+// FindBySubject returns the trusted roots with the given subject DN.
+func (s *Store) FindBySubject(subject certmodel.Name) []*certmodel.Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*certmodel.Certificate(nil), s.bySubject[subject]...)
+}
+
+// FindIssuers returns the trusted roots that actually issued cert under the
+// paper's issuance rule (signature plus DN-or-KID).
+func (s *Store) FindIssuers(cert *certmodel.Certificate) []*certmodel.Certificate {
+	if cert == nil {
+		return nil
+	}
+	var out []*certmodel.Certificate
+	seen := map[string]bool{}
+	consider := func(root *certmodel.Certificate) {
+		fp := root.FingerprintHex()
+		if seen[fp] {
+			return
+		}
+		if certmodel.Issued(root, cert) {
+			seen[fp] = true
+			out = append(out, root)
+		}
+	}
+	for _, root := range s.FindBySKID(cert.AuthorityKeyID) {
+		consider(root)
+	}
+	for _, root := range s.FindBySubject(cert.Issuer) {
+		consider(root)
+	}
+	return out
+}
+
+// Len returns the number of roots in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byFP)
+}
+
+// All returns the roots in a deterministic (fingerprint-sorted) order.
+func (s *Store) All() []*certmodel.Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fps := make([]string, 0, len(s.byFP))
+	for fp := range s.byFP {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	out := make([]*certmodel.Certificate, 0, len(fps))
+	for _, fp := range fps {
+		out = append(out, s.byFP[fp])
+	}
+	return out
+}
+
+// Union combines stores into a new store named name. The paper uses the
+// four-vendor union to avoid overstating incompleteness.
+func Union(name string, stores ...*Store) *Store {
+	u := New(name)
+	for _, s := range stores {
+		for _, root := range s.All() {
+			u.Add(root)
+		}
+	}
+	return u
+}
+
+// VendorSet groups the four vendor stores the paper consults plus their
+// union.
+type VendorSet struct {
+	Mozilla   *Store
+	Chrome    *Store
+	Microsoft *Store
+	Apple     *Store
+	Union     *Store
+}
+
+// Stores returns the four vendor stores in the paper's column order.
+func (v *VendorSet) Stores() []*Store {
+	return []*Store{v.Mozilla, v.Chrome, v.Microsoft, v.Apple}
+}
+
+// NewVendorSet builds four vendor stores over the given roots. Membership is
+// controlled by the omit function: omit(root, vendor) reports that vendor's
+// store does NOT carry the root. A nil omit includes every root everywhere.
+// Vendor indices are 0=Mozilla, 1=Chrome, 2=Microsoft, 3=Apple.
+func NewVendorSet(roots []*certmodel.Certificate, omit func(root *certmodel.Certificate, vendor int) bool) *VendorSet {
+	names := []string{"Mozilla", "Chrome", "Microsoft", "Apple"}
+	stores := make([]*Store, len(names))
+	for i, n := range names {
+		stores[i] = New(n)
+	}
+	for _, root := range roots {
+		for i := range stores {
+			if omit == nil || !omit(root, i) {
+				stores[i].Add(root)
+			}
+		}
+	}
+	v := &VendorSet{Mozilla: stores[0], Chrome: stores[1], Microsoft: stores[2], Apple: stores[3]}
+	v.Union = Union("union", stores...)
+	return v
+}
+
+// EqualRoots reports whether two certificates are the same root (bit-for-bit
+// or same subject+key), a convenience for tests.
+func EqualRoots(a, b *certmodel.Certificate) bool {
+	if a.Equal(b) {
+		return true
+	}
+	return a.Subject == b.Subject && bytes.Equal(a.PublicKeyID, b.PublicKeyID)
+}

@@ -1,0 +1,292 @@
+// Package study orchestrates the paper's entire measurement as one run over
+// real infrastructure: it generates a real-certificate web population (no
+// synthetic back end anywhere), deploys each site through an HTTP-server
+// model onto a loopback TLS listener, scans every listener from multiple
+// vantage points with the ZGrab2-style scanner, merges the captures, grades
+// structural compliance, and differentially tests the eight client models —
+// the full RQ1+RQ2 pipeline with actual handshakes on every chain.
+//
+// It is the end-to-end counterpart of internal/experiments, which runs the
+// same analyses at six-figure scale over the synthetic population; the study
+// trades scale for full physical fidelity.
+package study
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/httpserver"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/report"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/tlsserve"
+	"chainchaos/internal/topo"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Sites is the number of TLS listeners to stand up (default 40 — each
+	// one needs real key generation and a socket).
+	Sites int
+	// Seed drives defect assignment.
+	Seed int64
+	// Vantages is the number of scan passes to merge (default 2, the
+	// paper's US/AU pair).
+	Vantages int
+	// Concurrency bounds parallel scanning (default 8).
+	Concurrency int
+	// Timeout bounds each handshake (default 5s).
+	Timeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Sites <= 0 {
+		c.Sites = 40
+	}
+	if c.Vantages <= 0 {
+		c.Vantages = 2
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+}
+
+// defect enumerates the deployment mutations the study injects.
+type defect int
+
+const (
+	defectNone defect = iota
+	defectReversed
+	defectDuplicateLeaf
+	defectIncomplete
+	defectIrrelevant
+	defectStaleLeaf
+)
+
+func (d defect) String() string {
+	switch d {
+	case defectNone:
+		return "compliant"
+	case defectReversed:
+		return "reversed"
+	case defectDuplicateLeaf:
+		return "duplicate-leaf"
+	case defectIncomplete:
+		return "incomplete"
+	case defectIrrelevant:
+		return "irrelevant"
+	case defectStaleLeaf:
+		return "stale-leaf"
+	default:
+		return "unknown"
+	}
+}
+
+// Site is one deployed listener.
+type Site struct {
+	Domain   string
+	Addr     string
+	Injected defect
+	Server   string
+
+	Report   compliance.Report
+	Verdicts map[string]bool
+}
+
+// Report is a completed study.
+type Report struct {
+	Cfg   Config
+	Sites []*Site
+
+	ScanErrors int
+}
+
+// CompliantCount returns how many scanned sites graded compliant.
+func (r *Report) CompliantCount() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Report.Compliant() {
+			n++
+		}
+	}
+	return n
+}
+
+// Tables renders the study as report tables (an overview plus per-client
+// pass rates over the non-compliant sites).
+func (r *Report) Tables() []*report.Table {
+	overview := report.New(
+		fmt.Sprintf("study — %d sites scanned from %d vantages", len(r.Sites), r.Cfg.Vantages),
+		"Domain", "Injected", "Server", "Leaf", "Order OK", "Completeness", "Verdict")
+	for _, s := range r.Sites {
+		verdict := "COMPLIANT"
+		if !s.Report.Compliant() {
+			verdict = "NON-COMPLIANT"
+		}
+		overview.Addf(s.Domain, s.Injected, s.Server,
+			s.Report.Leaf, report.Mark(s.Report.Order.SequentialOK),
+			s.Report.Completeness.Class, verdict)
+	}
+
+	perClient := report.New("per-client pass rate over non-compliant sites", "Client", "Pass")
+	bad := 0
+	passes := map[string]int{}
+	for _, s := range r.Sites {
+		if s.Report.Compliant() {
+			continue
+		}
+		bad++
+		for name, ok := range s.Verdicts {
+			if ok {
+				passes[name]++
+			}
+		}
+	}
+	for _, p := range clients.All() {
+		perClient.Add(p.Name, report.Count(passes[p.Name], bad))
+	}
+	return []*report.Table{overview, perClient}
+}
+
+// Run executes the study.
+func Run(cfg Config) (*Report, error) {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Real PKI: a root with two intermediates, AIA-wired.
+	root, err := certgen.NewRoot("Study Root")
+	if err != nil {
+		return nil, err
+	}
+	ca2, err := root.NewIntermediate("Study CA 2")
+	if err != nil {
+		return nil, err
+	}
+	const ca2URI = "http://repo.study.example/ca2.der"
+	ca1, err := ca2.NewIntermediate("Study CA 1", certgen.WithAIA(ca2URI))
+	if err != nil {
+		return nil, err
+	}
+	stray, err := certgen.NewRoot("Study Stray Root")
+	if err != nil {
+		return nil, err
+	}
+	repo := aia.NewRepository()
+	repo.Put(ca2URI, ca2.Cert)
+	roots := rootstore.NewWith("study", root.Cert)
+
+	servers := []httpserver.Model{
+		httpserver.ApacheOld(), httpserver.Apache(), httpserver.Nginx(),
+		httpserver.AzureAppGateway(), httpserver.IIS(), httpserver.AWSELB(),
+	}
+	defects := []defect{
+		defectNone, defectNone, defectNone, defectNone, defectNone, defectNone,
+		defectReversed, defectDuplicateLeaf, defectIncomplete, defectIrrelevant, defectStaleLeaf,
+	}
+
+	farm := tlsserve.NewFarm()
+	defer farm.Close()
+
+	rep := &Report{Cfg: cfg}
+	var targets []tlsscan.Target
+	siteByDomain := map[string]*Site{}
+	for i := 0; i < cfg.Sites; i++ {
+		domain := fmt.Sprintf("site-%03d.study.example", i)
+		leaf, err := ca1.NewLeaf(domain)
+		if err != nil {
+			return nil, err
+		}
+		inj := defects[rng.Intn(len(defects))]
+		model := servers[rng.Intn(len(servers))]
+
+		chain := []*certmodel.Certificate{ca1.Cert, ca2.Cert}
+		switch inj {
+		case defectReversed:
+			chain = []*certmodel.Certificate{root.Cert, ca2.Cert, ca1.Cert}
+		case defectDuplicateLeaf:
+			chain = append([]*certmodel.Certificate{leaf.Cert}, chain...)
+		case defectIncomplete:
+			chain = []*certmodel.Certificate{ca1.Cert}
+		case defectIrrelevant:
+			chain = append(chain, stray.Cert)
+		case defectStaleLeaf:
+			staleLeaf, err := ca1.NewLeaf(domain,
+				certgen.WithValidity(certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
+			if err != nil {
+				return nil, err
+			}
+			chain = append([]*certmodel.Certificate{staleLeaf.Cert}, chain...)
+		}
+
+		in := httpserver.ConfigInput{
+			CertFile:      []*certmodel.Certificate{leaf.Cert},
+			ChainFile:     chain,
+			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chain...),
+			PrivateKeyFor: leaf.Cert,
+		}
+		wire, err := model.Deploy(in)
+		if err == httpserver.ErrDuplicateLeaf {
+			// The server's check fired; the administrator fixes the files.
+			fixed := chain[1:]
+			in.ChainFile = fixed
+			in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, fixed...)
+			inj = defectNone
+			wire, err = model.Deploy(in)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("study: deploy %s on %s: %w", domain, model.Name, err)
+		}
+		srv, err := farm.Add(tlsserve.Config{List: wire, Key: leaf.Key, Domain: domain})
+		if err != nil {
+			return nil, err
+		}
+		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
+		rep.Sites = append(rep.Sites, site)
+		siteByDomain[domain] = site
+		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: domain})
+	}
+
+	// Multi-vantage scan and merge.
+	scanner := &tlsscan.Scanner{Timeout: cfg.Timeout, Concurrency: cfg.Concurrency}
+	vantages := make([][]tlsscan.Result, cfg.Vantages)
+	for v := 0; v < cfg.Vantages; v++ {
+		vantages[v] = scanner.ScanAll(context.Background(), targets)
+		for _, res := range vantages[v] {
+			if res.Err != nil {
+				rep.ScanErrors++
+			}
+		}
+	}
+	merged := tlsscan.MergeVantages(vantages...)
+
+	// Grade and differentially test every captured chain.
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
+	for domain, results := range merged {
+		site := siteByDomain[domain]
+		if site == nil || len(results) == 0 {
+			continue
+		}
+		list := results[0].List
+		site.Report = analyzer.Analyze(domain, topo.Build(list))
+		site.Verdicts = map[string]bool{}
+		for _, p := range clients.All() {
+			b := &pathbuild.Builder{
+				Policy: p.Policy, Roots: roots, Fetcher: repo,
+				Cache: rootstore.New("cache"), Now: certgen.Reference,
+			}
+			site.Verdicts[p.Name] = b.Build(list, domain).OK()
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,65 @@
+package study
+
+import "testing"
+
+func TestStudyEndToEnd(t *testing.T) {
+	rep, err := Run(Config{Sites: 24, Seed: 4, Vantages: 2, Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 24 {
+		t.Fatalf("sites = %d", len(rep.Sites))
+	}
+	if rep.ScanErrors != 0 {
+		t.Errorf("scan errors = %d", rep.ScanErrors)
+	}
+
+	var sawDefect, sawCompliant bool
+	for _, s := range rep.Sites {
+		if s.Verdicts == nil {
+			t.Fatalf("%s: never scanned", s.Domain)
+		}
+		switch s.Injected {
+		case defectNone:
+			sawCompliant = true
+			if !s.Report.Compliant() {
+				t.Errorf("%s: clean deployment graded non-compliant (%+v)", s.Domain, s.Report.Order)
+			}
+			for client, ok := range s.Verdicts {
+				if !ok {
+					t.Errorf("%s: %s rejected a compliant chain", s.Domain, client)
+				}
+			}
+		case defectReversed:
+			sawDefect = true
+			if s.Report.Compliant() {
+				t.Errorf("%s: reversed deployment graded compliant", s.Domain)
+			}
+			if s.Verdicts["MbedTLS"] {
+				t.Errorf("%s: MbedTLS accepted a reversed chain", s.Domain)
+			}
+			if !s.Verdicts["Chrome"] {
+				t.Errorf("%s: Chrome rejected a reorderable chain", s.Domain)
+			}
+		case defectIncomplete:
+			sawDefect = true
+			if s.Verdicts["OpenSSL"] {
+				t.Errorf("%s: OpenSSL accepted an incomplete chain", s.Domain)
+			}
+			if !s.Verdicts["CryptoAPI"] {
+				t.Errorf("%s: CryptoAPI failed to AIA-complete", s.Domain)
+			}
+		}
+	}
+	if !sawDefect || !sawCompliant {
+		t.Error("defect mix not exercised; adjust seed")
+	}
+
+	tables := rep.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if tables[0].String() == "" || tables[1].String() == "" {
+		t.Error("empty table rendering")
+	}
+}

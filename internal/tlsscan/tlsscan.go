@@ -1,0 +1,188 @@
+// Package tlsscan is the repository's ZGrab2 equivalent: it performs TLS
+// handshakes against targets and records the raw certificate list from the
+// Certificate message, without validating it (validation is exactly what the
+// rest of the repository studies). It supports bounded concurrency, a
+// throughput cap mirroring the paper's 500 KB/s ethics limit, and
+// multi-vantage result merging.
+package tlsscan
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"sync"
+	"time"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Target is one scan work item.
+type Target struct {
+	// Addr is the host:port to connect to.
+	Addr string
+	// Domain is the SNI name and the label under which results are keyed.
+	Domain string
+}
+
+// Result is the scan record for one target — the analogue of a ZGrab2 log
+// line.
+type Result struct {
+	Target Target
+	// List is the certificate list exactly as presented, parsed into the
+	// unified model. Nil when Err is set.
+	List []*certmodel.Certificate
+	// Raw holds the DER bytes as received.
+	Raw [][]byte
+	// Version is the negotiated TLS version.
+	Version uint16
+	// Bytes is the total certificate payload size, fed to the rate limiter.
+	Bytes int
+	Err   error
+}
+
+// Scanner performs the handshakes.
+type Scanner struct {
+	// Timeout bounds each connection attempt (default 5s).
+	Timeout time.Duration
+	// Concurrency is the worker count for ScanAll (default 16).
+	Concurrency int
+	// BytesPerSecond caps aggregate certificate-payload throughput; 0
+	// disables the cap. The paper scanned below 500 KB/s.
+	BytesPerSecond int
+	// MaxVersion caps the offered TLS version (tls.VersionTLS12 replicates
+	// the paper's primary dataset); 0 means the stdlib default.
+	MaxVersion uint16
+
+	limiterMu    sync.Mutex
+	limiterSpent float64
+	limiterMark  time.Time
+}
+
+// Scan handshakes one target and captures its certificate list.
+func (s *Scanner) Scan(ctx context.Context, target Target) Result {
+	res := Result{Target: target}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dialer := &tls.Dialer{Config: &tls.Config{
+		ServerName:         target.Domain,
+		InsecureSkipVerify: true, // capture, never judge
+		MaxVersion:         s.MaxVersion,
+		VerifyPeerCertificate: func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+			res.Raw = make([][]byte, len(rawCerts))
+			for i, der := range rawCerts {
+				res.Raw[i] = append([]byte(nil), der...)
+				res.Bytes += len(der)
+			}
+			return nil
+		},
+	}}
+	dialCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := dialer.DialContext(dialCtx, "tcp", target.Addr)
+	if err != nil {
+		res.Err = fmt.Errorf("tlsscan: %s: %w", target.Addr, err)
+		return res
+	}
+	if tc, ok := conn.(*tls.Conn); ok {
+		res.Version = tc.ConnectionState().Version
+	}
+	conn.Close()
+
+	list, err := certmodel.ParseDERList(res.Raw)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.List = list
+	s.throttle(res.Bytes)
+	return res
+}
+
+// throttle enforces the aggregate byte budget by sleeping workers once the
+// allowance is spent.
+func (s *Scanner) throttle(bytes int) {
+	if s.BytesPerSecond <= 0 || bytes == 0 {
+		return
+	}
+	s.limiterMu.Lock()
+	now := time.Now()
+	if s.limiterMark.IsZero() {
+		s.limiterMark = now
+	}
+	elapsed := now.Sub(s.limiterMark).Seconds()
+	s.limiterSpent += float64(bytes) - elapsed*float64(s.BytesPerSecond)
+	if s.limiterSpent < 0 {
+		s.limiterSpent = 0
+	}
+	s.limiterMark = now
+	sleep := time.Duration(s.limiterSpent / float64(s.BytesPerSecond) * float64(time.Second))
+	s.limiterMu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// ScanAll scans every target with bounded concurrency, preserving input
+// order in the result slice.
+func (s *Scanner) ScanAll(ctx context.Context, targets []Target) []Result {
+	workers := s.Concurrency
+	if workers <= 0 {
+		workers = 16
+	}
+	results := make([]Result, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range targets {
+		if ctx.Err() != nil {
+			results[i] = Result{Target: t, Err: ctx.Err()}
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t Target) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = s.Scan(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return results
+}
+
+// MergeVantages combines per-domain results from several vantage points the
+// way the paper unions its US and Australia scans: every distinct chain is
+// kept, keyed by domain. Callers treat a domain as non-compliant if any
+// vantage's chain is.
+func MergeVantages(vantages ...[]Result) map[string][]Result {
+	merged := make(map[string][]Result)
+	seen := make(map[string]map[string]bool) // domain -> chain digest
+	for _, results := range vantages {
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			d := r.Target.Domain
+			digest := chainDigest(r.List)
+			if seen[d] == nil {
+				seen[d] = make(map[string]bool)
+			}
+			if seen[d][digest] {
+				continue
+			}
+			seen[d][digest] = true
+			merged[d] = append(merged[d], r)
+		}
+	}
+	return merged
+}
+
+func chainDigest(list []*certmodel.Certificate) string {
+	s := ""
+	for _, c := range list {
+		s += c.FingerprintHex()
+	}
+	return s
+}

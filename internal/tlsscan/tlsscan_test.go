@@ -1,0 +1,155 @@
+package tlsscan
+
+import (
+	"context"
+	"crypto/tls"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/tlsserve"
+	"chainchaos/internal/topo"
+)
+
+// buildPKI creates a real chain E<-I1<-I2<-R for scanning tests.
+func buildPKI(t *testing.T, domain string) (leaf *certgen.Leaf, i1, i2, root *certmodel.Certificate) {
+	t.Helper()
+	r, err := certgen.NewRoot("Scan Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.NewIntermediate("Scan CA 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := a2.NewIntermediate("Scan CA 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := a1.NewLeaf(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, a1.Cert, a2.Cert, r.Cert
+}
+
+func TestScanCapturesWireOrder(t *testing.T) {
+	const domain = "reversed.scan.example"
+	leaf, i1, i2, root := buildPKI(t, domain)
+
+	// Deploy the classic reversed misconfiguration: leaf, then the bundle
+	// pasted top-down.
+	list := []*certmodel.Certificate{leaf.Cert, root, i2, i1}
+	srv, err := tlsserve.Start(tlsserve.Config{List: list, Key: leaf.Key, Domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scanner := &Scanner{Timeout: 3 * time.Second}
+	res := scanner.Scan(context.Background(), Target{Addr: srv.Addr(), Domain: domain})
+	if res.Err != nil {
+		t.Fatalf("scan failed: %v", res.Err)
+	}
+	if len(res.List) != 4 {
+		t.Fatalf("captured %d certificates, want 4", len(res.List))
+	}
+	for i := range list {
+		if !res.List[i].Equal(list[i]) {
+			t.Errorf("wire position %d differs from deployed list", i)
+		}
+	}
+
+	// The captured chain must analyze as reversed, exactly like the
+	// deployment.
+	g := topo.Build(res.List)
+	order := compliance.AnalyzeOrder(g)
+	if !order.ReversedAny || order.SequentialOK {
+		t.Errorf("scan->analysis lost the reversal: %+v", order)
+	}
+	if lp := compliance.ClassifyLeafPlacement(res.List, domain); lp != compliance.LeafCorrectMatched {
+		t.Errorf("leaf placement = %v", lp)
+	}
+}
+
+func TestScanTLS12And13AgreeOnChain(t *testing.T) {
+	const domain = "versions.scan.example"
+	leaf, i1, _, _ := buildPKI(t, domain)
+	list := []*certmodel.Certificate{leaf.Cert, i1}
+	srv, err := tlsserve.Start(tlsserve.Config{List: list, Key: leaf.Key, Domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, v := range []uint16{tls.VersionTLS12, tls.VersionTLS13} {
+		scanner := &Scanner{Timeout: 3 * time.Second, MaxVersion: v}
+		res := scanner.Scan(context.Background(), Target{Addr: srv.Addr(), Domain: domain})
+		if res.Err != nil {
+			t.Fatalf("scan (version %x) failed: %v", v, res.Err)
+		}
+		if res.Version != v {
+			t.Errorf("negotiated %x, want %x", res.Version, v)
+		}
+		if len(res.List) != 2 {
+			t.Errorf("version %x: captured %d certs", v, len(res.List))
+		}
+	}
+}
+
+func TestScanAllAndMergeVantages(t *testing.T) {
+	farm := tlsserve.NewFarm()
+	defer farm.Close()
+
+	var targets []Target
+	domains := []string{"a.scan.example", "b.scan.example", "c.scan.example"}
+	for _, d := range domains {
+		leaf, i1, i2, root := buildPKI(t, d)
+		srv, err := farm.Add(tlsserve.Config{
+			List:   []*certmodel.Certificate{leaf.Cert, i1, i2, root},
+			Key:    leaf.Key,
+			Domain: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, Target{Addr: srv.Addr(), Domain: d})
+	}
+	// Add one dead target: errors must not abort the sweep.
+	targets = append(targets, Target{Addr: "127.0.0.1:1", Domain: "dead.scan.example"})
+
+	scanner := &Scanner{Timeout: 2 * time.Second, Concurrency: 4}
+	us := scanner.ScanAll(context.Background(), targets)
+	au := scanner.ScanAll(context.Background(), targets)
+
+	okCount := 0
+	for _, r := range us {
+		if r.Err == nil {
+			okCount++
+		}
+	}
+	if okCount != 3 {
+		t.Fatalf("successful scans = %d, want 3", okCount)
+	}
+
+	merged := MergeVantages(us, au)
+	if len(merged) != 3 {
+		t.Fatalf("merged domains = %d, want 3", len(merged))
+	}
+	for d, rs := range merged {
+		if len(rs) != 1 {
+			t.Errorf("%s: identical chains from both vantages should merge to 1, got %d", d, len(rs))
+		}
+	}
+}
+
+func TestThrottleBounds(t *testing.T) {
+	s := &Scanner{BytesPerSecond: 1 << 20}
+	start := time.Now()
+	s.throttle(1 << 10) // 1 KiB against 1 MiB/s: negligible sleep
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("throttle slept %v for a tiny payload", elapsed)
+	}
+}

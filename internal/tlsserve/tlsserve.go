@@ -1,0 +1,170 @@
+// Package tlsserve stands up real TLS listeners that present arbitrary —
+// including structurally non-compliant — certificate lists. It is the
+// counterpart of the paper's scanned web servers: whatever certificate list
+// a deployment model produced goes onto the wire exactly as-is, because
+// crypto/tls sends the configured [][]byte chain verbatim in the Certificate
+// message.
+package tlsserve
+
+import (
+	"crypto"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Server is one TLS listener presenting a fixed certificate list.
+type Server struct {
+	listener net.Listener
+	domain   string
+
+	mu        sync.Mutex
+	conns     int
+	closed    bool
+	closeOnce sync.Once
+}
+
+// Config describes the deployment to serve.
+type Config struct {
+	// List is the wire-order certificate list. The first entry must be the
+	// certificate matching Key — the same constraint real servers enforce
+	// ("SSL_CTX_use_PrivateKey failed").
+	List []*certmodel.Certificate
+	// Key is the private key for List[0].
+	Key crypto.PrivateKey
+	// Domain is informational (used by inventory listings).
+	Domain string
+	// MaxVersion optionally caps the TLS version (the paper scanned with
+	// TLS 1.2 and compared against 1.3); zero means the stdlib default.
+	MaxVersion uint16
+}
+
+// Start launches a listener on 127.0.0.1 (ephemeral port) presenting the
+// configured list. Each accepted connection is handshaken and then closed;
+// the server exists to hand chains to scanners, not to serve content.
+func Start(cfg Config) (*Server, error) {
+	if len(cfg.List) == 0 {
+		return nil, fmt.Errorf("tlsserve: empty certificate list")
+	}
+	raw := make([][]byte, len(cfg.List))
+	for i, c := range cfg.List {
+		if c.X509 == nil {
+			return nil, fmt.Errorf("tlsserve: certificate %d (%s) is synthetic; TLS needs real DER", i, c.Subject)
+		}
+		raw[i] = c.Raw
+	}
+	tlsCfg := &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: raw, PrivateKey: cfg.Key}},
+		MaxVersion:   cfg.MaxVersion,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tlsserve: listen: %w", err)
+	}
+	s := &Server{listener: tls.NewListener(ln, tlsCfg), domain: cfg.Domain}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns++
+		s.mu.Unlock()
+		go func(c net.Conn) {
+			defer c.Close()
+			if tc, ok := c.(*tls.Conn); ok {
+				// Complete the handshake so the client receives the
+				// Certificate message even if it never writes.
+				_ = tc.Handshake()
+			}
+		}(conn)
+	}
+}
+
+// Addr returns the listener's host:port.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Domain returns the configured domain label.
+func (s *Server) Domain() string { return s.domain }
+
+// Connections returns how many connections were accepted.
+func (s *Server) Connections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns
+}
+
+// Close shuts the listener down. Safe to call multiple times.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.listener.Close()
+	})
+}
+
+// Farm manages a set of servers, one per domain — the "measurement testbed"
+// the examples and integration tests scan.
+type Farm struct {
+	mu      sync.Mutex
+	servers map[string]*Server // domain -> server
+}
+
+// NewFarm creates an empty farm.
+func NewFarm() *Farm {
+	return &Farm{servers: make(map[string]*Server)}
+}
+
+// Add starts a server for cfg and registers it under cfg.Domain.
+func (f *Farm) Add(cfg Config) (*Server, error) {
+	srv, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if old, ok := f.servers[cfg.Domain]; ok {
+		old.Close()
+	}
+	f.servers[cfg.Domain] = srv
+	return srv, nil
+}
+
+// Addr returns the address serving domain, or "".
+func (f *Farm) Addr(domain string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.servers[domain]; ok {
+		return s.Addr()
+	}
+	return ""
+}
+
+// Domains returns the registered domains.
+func (f *Farm) Domains() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.servers))
+	for d := range f.servers {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Close shuts every server down.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,139 @@
+package tlsserve
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+)
+
+func testChain(t *testing.T, domain string) (*certgen.Leaf, []*certmodel.Certificate) {
+	t.Helper()
+	root, err := certgen.NewRoot("Serve Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := root.NewIntermediate("Serve CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := inter.NewLeaf(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leaf, []*certmodel.Certificate{leaf.Cert, inter.Cert, root.Cert}
+}
+
+func capture(t *testing.T, addr, sni string, maxVersion uint16) [][]byte {
+	t.Helper()
+	var raw [][]byte
+	conn, err := tls.Dial("tcp", addr, &tls.Config{
+		ServerName:         sni,
+		InsecureSkipVerify: true,
+		MaxVersion:         maxVersion,
+		VerifyPeerCertificate: func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+			raw = rawCerts
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	conn.Close()
+	return raw
+}
+
+func TestServePresentsListVerbatim(t *testing.T) {
+	leaf, list := testChain(t, "serve.example")
+	// Scramble the order deliberately: the server must not fix it.
+	scrambled := []*certmodel.Certificate{list[0], list[2], list[1]}
+	srv, err := Start(Config{List: scrambled, Key: leaf.Key, Domain: "serve.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw := capture(t, srv.Addr(), "serve.example", 0)
+	if len(raw) != 3 {
+		t.Fatalf("captured %d certs", len(raw))
+	}
+	for i, want := range scrambled {
+		got, err := certmodel.ParseDER(raw[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("position %d differs", i)
+		}
+	}
+	if srv.Connections() == 0 {
+		t.Error("connection not counted")
+	}
+	if srv.Domain() != "serve.example" {
+		t.Error("domain label lost")
+	}
+}
+
+func TestStartRejectsBadConfigs(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("empty list accepted")
+	}
+	synth := certmodel.SyntheticRoot("Synth", time.Now())
+	if _, err := Start(Config{List: []*certmodel.Certificate{synth}}); err == nil {
+		t.Error("synthetic certificate accepted")
+	}
+}
+
+func TestMaxVersionCap(t *testing.T) {
+	leaf, list := testChain(t, "cap.example")
+	srv, err := Start(Config{List: list, Key: leaf.Key, Domain: "cap.example", MaxVersion: tls.VersionTLS12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := tls.Dial("tcp", srv.Addr(), &tls.Config{InsecureSkipVerify: true, ServerName: "cap.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if v := conn.ConnectionState().Version; v != tls.VersionTLS12 {
+		t.Errorf("negotiated %x, want TLS 1.2", v)
+	}
+}
+
+func TestFarmLifecycle(t *testing.T) {
+	f := NewFarm()
+	defer f.Close()
+	leaf, list := testChain(t, "farm.example")
+	srv, err := f.Add(Config{List: list, Key: leaf.Key, Domain: "farm.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr("farm.example") != srv.Addr() {
+		t.Error("farm address lookup wrong")
+	}
+	if f.Addr("missing.example") != "" {
+		t.Error("missing domain should yield empty address")
+	}
+	if len(f.Domains()) != 1 {
+		t.Errorf("domains = %v", f.Domains())
+	}
+	// Replacing a domain closes the old server.
+	leaf2, list2 := testChain(t, "farm.example")
+	srv2, err := f.Add(Config{List: list2, Key: leaf2.Key, Domain: "farm.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Addr() == srv.Addr() {
+		t.Error("replacement reused the address")
+	}
+	if len(f.Domains()) != 1 {
+		t.Error("replacement duplicated the domain")
+	}
+	// Double close is safe.
+	srv2.Close()
+	srv2.Close()
+}

@@ -1,0 +1,262 @@
+// Package topo builds the issuance topology graph the paper uses to classify
+// out-of-order certificate chains (§3.1, Figure 2). The server's certificate
+// list is laid out positionally; duplicates are folded onto their first
+// occurrence (the Cp[i] relabeling); edges follow the issuance relation; and
+// classification queries — duplicates, irrelevant certificates, multiple
+// paths, reversed sequences — are answered over the folded graph.
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"chainchaos/internal/certmodel"
+)
+
+// maxPaths bounds path enumeration. Real-world cross-signing produces at most
+// a handful of paths (the paper observed up to three); the bound only guards
+// against adversarial inputs.
+const maxPaths = 64
+
+// Node is one distinct certificate in the list.
+type Node struct {
+	// Index is the position of the certificate's first occurrence in the
+	// original list; it is the node's label in Figure 2 terms.
+	Index int
+	Cert  *certmodel.Certificate
+	// Occurrences lists every position where a bit-identical copy appears.
+	Occurrences []int
+	// Issuers are the distinct in-list candidates that issued this node.
+	Issuers []*Node
+	// Children are the inverse edges.
+	Children []*Node
+}
+
+// Label renders the node in the paper's notation: "4" for a first
+// occurrence; duplicates are described via Occurrences.
+func (n *Node) Label() string { return fmt.Sprintf("%d", n.Index) }
+
+// Graph is the folded issuance topology of a certificate list.
+type Graph struct {
+	// List is the original server-provided order, including duplicates.
+	List []*certmodel.Certificate
+	// Nodes holds the distinct certificates in first-occurrence order.
+	Nodes []*Node
+
+	byFP map[string]*Node
+}
+
+// Build folds duplicates and wires issuance edges. It accepts an empty list,
+// producing an empty graph.
+func Build(list []*certmodel.Certificate) *Graph {
+	g := &Graph{List: list, byFP: make(map[string]*Node, len(list))}
+	for i, cert := range list {
+		fp := cert.FingerprintHex()
+		if node, ok := g.byFP[fp]; ok {
+			node.Occurrences = append(node.Occurrences, i)
+			continue
+		}
+		node := &Node{Index: i, Cert: cert, Occurrences: []int{i}}
+		g.byFP[fp] = node
+		g.Nodes = append(g.Nodes, node)
+	}
+	for _, child := range g.Nodes {
+		for _, parent := range g.Nodes {
+			if parent == child {
+				continue
+			}
+			if certmodel.Issued(parent.Cert, child.Cert) {
+				child.Issuers = append(child.Issuers, parent)
+				parent.Children = append(parent.Children, child)
+			}
+		}
+	}
+	return g
+}
+
+// Leaf returns the node of the first certificate in the list — the position
+// TLS requires the end-entity certificate to occupy — or nil for an empty
+// graph.
+func (g *Graph) Leaf() *Node {
+	if len(g.Nodes) == 0 {
+		return nil
+	}
+	return g.Nodes[0]
+}
+
+// HasDuplicates reports whether any certificate appears more than once
+// bit-for-bit.
+func (g *Graph) HasDuplicates() bool {
+	for _, n := range g.Nodes {
+		if len(n.Occurrences) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// DuplicateCount returns the number of surplus copies across the whole list
+// (a certificate appearing three times contributes two).
+func (g *Graph) DuplicateCount() int {
+	total := 0
+	for _, n := range g.Nodes {
+		total += len(n.Occurrences) - 1
+	}
+	return total
+}
+
+// DuplicatedNodes returns the nodes with more than one occurrence.
+func (g *Graph) DuplicatedNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(n.Occurrences) > 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Paths enumerates the certification paths that terminate at the leaf:
+// sequences [leaf, issuer, issuer-of-issuer, ...] following issuance edges
+// upward until a node has no in-list issuer or only issuers already on the
+// path (cycles from mutually cross-signed certificates are cut, the
+// CVE-2024-0567 shape). At most maxPaths paths are returned.
+func (g *Graph) Paths() [][]*Node {
+	leaf := g.Leaf()
+	if leaf == nil {
+		return nil
+	}
+	var paths [][]*Node
+	onPath := make(map[*Node]bool)
+	var walk func(node *Node, acc []*Node)
+	walk = func(node *Node, acc []*Node) {
+		if len(paths) >= maxPaths {
+			return
+		}
+		acc = append(acc, node)
+		onPath[node] = true
+		defer delete(onPath, node)
+
+		if node.Cert.SelfSigned() {
+			// A self-signed certificate terminates the path even if some
+			// other in-list certificate could nominally extend it (e.g. a
+			// cross-signed sibling sharing the same key).
+			paths = append(paths, append([]*Node(nil), acc...))
+			return
+		}
+		extended := false
+		for _, issuer := range node.Issuers {
+			if issuer == node || onPath[issuer] {
+				continue // cross-signing cycle
+			}
+			extended = true
+			walk(issuer, acc)
+		}
+		if !extended {
+			paths = append(paths, append([]*Node(nil), acc...))
+		}
+	}
+	walk(leaf, nil)
+	return paths
+}
+
+// RelevantNodes returns the ancestor closure of the leaf (every node that
+// appears on some path), including the leaf itself.
+func (g *Graph) RelevantNodes() map[*Node]bool {
+	relevant := make(map[*Node]bool)
+	for _, path := range g.Paths() {
+		for _, n := range path {
+			relevant[n] = true
+		}
+	}
+	return relevant
+}
+
+// IrrelevantNodes returns the distinct certificates with no direct or
+// indirect issuance relation to the leaf. Duplicates are already folded, so
+// surplus copies do not count (matching the paper: "duplicate certificates
+// are not counted").
+func (g *Graph) IrrelevantNodes() []*Node {
+	relevant := g.RelevantNodes()
+	var out []*Node
+	for _, n := range g.Nodes {
+		if !relevant[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HasMultiplePaths reports whether more than one certification path
+// terminates at the leaf (Figure 2c).
+func (g *Graph) HasMultiplePaths() bool {
+	return len(g.Paths()) > 1
+}
+
+// pathReversed reports whether any issuance step in the path places the
+// issuer at an earlier list position than its subject. In a compliant chain
+// every issuer follows its subject.
+func pathReversed(path []*Node) bool {
+	for i := 0; i+1 < len(path); i++ {
+		subject, issuer := path[i], path[i+1]
+		if issuer.Index < subject.Index {
+			return true
+		}
+	}
+	return false
+}
+
+// ReversedSequences reports whether at least one path is reversed and
+// whether all paths are reversed (the paper reports both counts: 8,566
+// chains with ≥1 reversed path, 8,370 with all paths reversed).
+func (g *Graph) ReversedSequences() (any, all bool) {
+	paths := g.Paths()
+	if len(paths) == 0 {
+		return false, false
+	}
+	all = true
+	for _, p := range paths {
+		if pathReversed(p) {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	return any, all
+}
+
+// SequentialOrderOK applies TLS 1.2's literal rule to the raw list: each
+// certificate must directly certify the one preceding it. Single-certificate
+// lists are trivially ordered.
+func SequentialOrderOK(list []*certmodel.Certificate) bool {
+	for i := 0; i+1 < len(list); i++ {
+		if !certmodel.Issued(list[i+1], list[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the folded topology compactly, e.g.
+// "0<-1 1<-2 2<-3 | dup 4:[4 6]" — used by the Figure 2 gallery and debug
+// output.
+func (g *Graph) String() string {
+	var edges []string
+	for _, n := range g.Nodes {
+		for _, issuer := range n.Issuers {
+			edges = append(edges, fmt.Sprintf("%d<-%d", n.Index, issuer.Index))
+		}
+	}
+	var dups []string
+	for _, n := range g.DuplicatedNodes() {
+		dups = append(dups, fmt.Sprintf("%d:%v", n.Index, n.Occurrences))
+	}
+	s := strings.Join(edges, " ")
+	if len(dups) > 0 {
+		s += " | dup " + strings.Join(dups, " ")
+	}
+	if s == "" {
+		s = "(no edges)"
+	}
+	return s
+}

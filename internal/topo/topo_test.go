@@ -1,0 +1,214 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"chainchaos/internal/certmodel"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// pki builds a small synthetic hierarchy: root -> i1 -> i2 -> leaf.
+func pki(t *testing.T) (root, i1, i2, leaf *certmodel.Certificate) {
+	t.Helper()
+	root = certmodel.SyntheticRoot("Topo Root", base)
+	i1 = certmodel.SyntheticIntermediate("Topo CA 1", root, base)
+	i2 = certmodel.SyntheticIntermediate("Topo CA 2", i1, base)
+	leaf = certmodel.SyntheticLeaf("topo.example", "1", i2, base, base.AddDate(1, 0, 0))
+	return
+}
+
+func TestCompliantChainFigure2a(t *testing.T) {
+	root, i1, i2, leaf := pki(t)
+	g := Build([]*certmodel.Certificate{leaf, i2, i1, root})
+
+	if !SequentialOrderOK(g.List) {
+		t.Error("compliant chain should satisfy the sequential rule")
+	}
+	if g.HasDuplicates() || g.HasMultiplePaths() {
+		t.Error("compliant chain misclassified")
+	}
+	if rev, _ := g.ReversedSequences(); rev {
+		t.Error("compliant chain reported reversed")
+	}
+	paths := g.Paths()
+	if len(paths) != 1 {
+		t.Fatalf("path count = %d, want 1", len(paths))
+	}
+	want := []int{0, 1, 2, 3}
+	for i, n := range paths[0] {
+		if n.Index != want[i] {
+			t.Errorf("path[%d] = node %d, want %d", i, n.Index, want[i])
+		}
+	}
+	if len(g.IrrelevantNodes()) != 0 {
+		t.Error("no node should be irrelevant")
+	}
+}
+
+func TestIrrelevantCertificateFigure2b(t *testing.T) {
+	root, i1, i2, leaf := pki(t)
+	stranger := certmodel.SyntheticRoot("Unrelated Root", base)
+	g := Build([]*certmodel.Certificate{leaf, stranger, i2, i1, root})
+
+	if SequentialOrderOK(g.List) {
+		t.Error("list with interloper should fail sequential rule")
+	}
+	irr := g.IrrelevantNodes()
+	if len(irr) != 1 || irr[0].Index != 1 {
+		t.Fatalf("irrelevant nodes = %v, want just node 1", irr)
+	}
+	if g.HasMultiplePaths() {
+		t.Error("single path expected")
+	}
+}
+
+func TestCrossSignMultiplePathsFigure2c(t *testing.T) {
+	// The USERTrust shape of Figure 2c: the intermediate's issuer exists
+	// in two variants sharing subject and key — a self-signed root and a
+	// cross-signed certificate chaining to an older root ("AAA"). The
+	// server inserts the cross-signed certificate at the wrong position:
+	// AFTER its own issuer, producing one reversed path next to one
+	// in-order path. Swapping nodes 2 and 3 would restore compliance.
+	usertrust := certmodel.SyntheticRoot("USERTrust RSA Certification Authority", base)
+	aaa := certmodel.SyntheticRoot("AAA Certificate Services", base)
+	cross := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: usertrust.Subject, Issuer: aaa.Subject, Serial: "cross",
+		NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.KeyOf(usertrust), SignedBy: certmodel.KeyOf(aaa),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+	})
+	issuing := certmodel.SyntheticIntermediate("Sectigo DV CA", usertrust, base)
+	leaf := certmodel.SyntheticLeaf("cross.example", "1", issuing, base, base.AddDate(1, 0, 0))
+
+	// Deployed order: 0=leaf, 1=issuing, 2=AAA root, 3=cross-signed
+	// USERTrust, 4=self-signed USERTrust.
+	g := Build([]*certmodel.Certificate{leaf, issuing, aaa, cross, usertrust})
+
+	paths := g.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("path count = %d, want 2 (cross-signing)", len(paths))
+	}
+	if !g.HasMultiplePaths() {
+		t.Error("multiple paths not flagged")
+	}
+	anyRev, allRev := g.ReversedSequences()
+	if !anyRev {
+		t.Error("cross-signed cert placed after its issuer should yield a reversed path")
+	}
+	if allRev {
+		t.Error("the direct path (0,1,4) is in order; not all paths are reversed")
+	}
+}
+
+func TestDuplicateFoldingFigure2d(t *testing.T) {
+	root, i1, i2, leaf := pki(t)
+	// leaf, i2, i1, root, i1(dup), i2(dup)
+	g := Build([]*certmodel.Certificate{leaf, i2, i1, root, i1, i2})
+
+	if !g.HasDuplicates() {
+		t.Fatal("duplicates not detected")
+	}
+	if got := g.DuplicateCount(); got != 2 {
+		t.Errorf("duplicate count = %d, want 2", got)
+	}
+	if len(g.Nodes) != 4 {
+		t.Errorf("folded node count = %d, want 4", len(g.Nodes))
+	}
+	dups := g.DuplicatedNodes()
+	if len(dups) != 2 {
+		t.Fatalf("duplicated nodes = %d, want 2", len(dups))
+	}
+	// i1 first occurs at index 2, duplicated at 4; i2 at 1 and 5.
+	occ := map[int][]int{}
+	for _, d := range dups {
+		occ[d.Index] = d.Occurrences
+	}
+	if got := occ[2]; len(got) != 2 || got[1] != 4 {
+		t.Errorf("node2 occurrences = %v", got)
+	}
+	if got := occ[1]; len(got) != 2 || got[1] != 5 {
+		t.Errorf("node1 occurrences = %v", got)
+	}
+}
+
+func TestReversedChain(t *testing.T) {
+	root, i1, i2, leaf := pki(t)
+	// The classic GoGetSSL shape: leaf first, then the bundle root->i1->i2
+	// pasted in top-down (reversed) order.
+	g := Build([]*certmodel.Certificate{leaf, root, i1, i2})
+	anyRev, allRev := g.ReversedSequences()
+	if !anyRev || !allRev {
+		t.Errorf("reversed = (%v,%v), want (true,true)", anyRev, allRev)
+	}
+	if SequentialOrderOK(g.List) {
+		t.Error("reversed chain passed sequential rule")
+	}
+	// The path itself is still discoverable by a reordering client.
+	paths := g.Paths()
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+}
+
+func TestCyclicCrossSignTerminates(t *testing.T) {
+	// Two CAs cross-signing each other (CVE-2024-0567's DoS shape). The
+	// walk must terminate, not loop.
+	keyA := certmodel.NewSyntheticKey("Cycle A")
+	keyB := certmodel.NewSyntheticKey("Cycle B")
+	nameA := certmodel.Name{CommonName: "Cycle A"}
+	nameB := certmodel.Name{CommonName: "Cycle B"}
+	mk := func(subject, issuer certmodel.Name, key, signer certmodel.SyntheticKey, serial string) *certmodel.Certificate {
+		return certmodel.NewSynthetic(certmodel.SyntheticConfig{
+			Subject: subject, Issuer: issuer, Serial: serial,
+			NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+			Key: key, SignedBy: signer,
+			IsCA: true, BasicConstraintsValid: true,
+		})
+	}
+	aByB := mk(nameA, nameB, keyA, keyB, "a-by-b")
+	bByA := mk(nameB, nameA, keyB, keyA, "b-by-a")
+	leafKey := certmodel.NewSyntheticKey("cycle leaf")
+	leaf := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "cycle.example"}, Issuer: nameA,
+		Serial: "leaf", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: leafKey, SignedBy: keyA,
+		DNSNames: []string{"cycle.example"},
+	})
+	g := Build([]*certmodel.Certificate{leaf, aByB, bByA})
+	paths := g.Paths()
+	if len(paths) == 0 {
+		t.Fatal("no paths found in cyclic graph")
+	}
+	for _, p := range paths {
+		if len(p) > 3 {
+			t.Errorf("path longer than node count: %d", len(p))
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if g := Build(nil); g.Leaf() != nil || len(g.Paths()) != 0 {
+		t.Error("empty graph misbehaves")
+	}
+	root, _, _, _ := pki(t)
+	g := Build([]*certmodel.Certificate{root})
+	if !SequentialOrderOK(g.List) {
+		t.Error("singleton trivially ordered")
+	}
+	paths := g.Paths()
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("singleton paths = %v", paths)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	root, i1, i2, leaf := pki(t)
+	g := Build([]*certmodel.Certificate{leaf, i2, i1, root, i1})
+	s := g.String()
+	if s == "" || s == "(no edges)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,114 @@
+package validate
+
+import (
+	"testing"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+// extFixture builds a root -> CA -> leaf chain where the CA's extension
+// fields are controlled per test.
+func extFixture(mutCA func(*certmodel.SyntheticConfig), mutLeaf func(*certmodel.SyntheticConfig)) ([]*certmodel.Certificate, *rootstore.Store) {
+	root := certmodel.SyntheticRoot("Ext Root", base)
+	caCfg := certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "Ext CA"}, Issuer: root.Subject,
+		Serial: "ca", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("ext-ca"), SignedBy: certmodel.KeyOf(root),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+	}
+	if mutCA != nil {
+		mutCA(&caCfg)
+	}
+	ca := certmodel.NewSynthetic(caCfg)
+	leafCfg := certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "ext.example"}, Issuer: ca.Subject,
+		Serial: "leaf", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+		Key: certmodel.NewSyntheticKey("ext-leaf"), SignedBy: certmodel.KeyOf(ca),
+		DNSNames: []string{"ext.example"},
+	}
+	if mutLeaf != nil {
+		mutLeaf(&leafCfg)
+	}
+	leaf := certmodel.NewSynthetic(leafCfg)
+	return []*certmodel.Certificate{leaf, ca, root}, rootstore.NewWith("ext", root)
+}
+
+func TestEKUEnforcement(t *testing.T) {
+	// CA whose EKU excludes serverAuth poisons the chain.
+	path, roots := extFixture(func(c *certmodel.SyntheticConfig) {
+		c.ExtKeyUsages = []certmodel.ExtKeyUsage{certmodel.EKUClientAuth}
+	}, nil)
+	res := Path(path, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemBadEKU) {
+		t.Errorf("clientAuth-only CA accepted: %+v", res.Findings)
+	}
+
+	// serverAuth (or absent) EKU passes.
+	path, roots = extFixture(func(c *certmodel.SyntheticConfig) {
+		c.ExtKeyUsages = []certmodel.ExtKeyUsage{certmodel.EKUServerAuth, certmodel.EKUClientAuth}
+	}, nil)
+	if res := Path(path, Options{Roots: roots, Now: base}); !res.OK {
+		t.Errorf("serverAuth CA rejected: %+v", res.Findings)
+	}
+
+	// A leaf with a non-TLS EKU fails at index 0.
+	path, roots = extFixture(nil, func(c *certmodel.SyntheticConfig) {
+		c.ExtKeyUsages = []certmodel.ExtKeyUsage{certmodel.EKUEmailProtection}
+	})
+	res = Path(path, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemBadEKU) {
+		t.Errorf("email-only leaf accepted: %+v", res.Findings)
+	}
+}
+
+func TestNameConstraintEnforcement(t *testing.T) {
+	path, roots := extFixture(func(c *certmodel.SyntheticConfig) {
+		c.PermittedDNSDomains = []string{"corp.example"}
+	}, nil)
+	res := Path(path, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemNameConstraintViolation) {
+		t.Errorf("constrained CA accepted an out-of-tree leaf: %+v", res.Findings)
+	}
+
+	path, roots = extFixture(func(c *certmodel.SyntheticConfig) {
+		c.PermittedDNSDomains = []string{"example"}
+	}, nil)
+	if res := Path(path, Options{Roots: roots, Now: base}); !res.OK {
+		t.Errorf("in-tree leaf rejected: %+v", res.Findings)
+	}
+
+	path, roots = extFixture(func(c *certmodel.SyntheticConfig) {
+		c.ExcludedDNSDomains = []string{"ext.example"}
+	}, nil)
+	res = Path(path, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemNameConstraintViolation) {
+		t.Errorf("excluded leaf accepted: %+v", res.Findings)
+	}
+}
+
+func TestDeprecatedCryptoEnforcement(t *testing.T) {
+	path, roots := extFixture(func(c *certmodel.SyntheticConfig) {
+		c.WeakSignature = true
+	}, nil)
+	res := Path(path, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemDeprecatedCrypto) {
+		t.Errorf("weak-signature CA accepted: %+v", res.Findings)
+	}
+
+	// A weak SELF-signature on the trust anchor itself is harmless: root
+	// signatures are never evaluated.
+	root := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "Weak Root"}, Issuer: certmodel.Name{CommonName: "Weak Root"},
+		Serial: "r", NotBefore: base, NotAfter: base.AddDate(10, 0, 0),
+		Key: certmodel.NewSyntheticKey("weak-root"), SignedBy: certmodel.NewSyntheticKey("weak-root"),
+		IsCA: true, BasicConstraintsValid: true, WeakSignature: true,
+	})
+	leaf := certmodel.SyntheticLeaf("weakroot.example", "1", root, base, base.AddDate(1, 0, 0))
+	res = Path([]*certmodel.Certificate{leaf, root},
+		Options{Roots: rootstore.NewWith("w", root), Now: base})
+	if !res.OK {
+		t.Errorf("weak self-signed anchor should not poison the path: %+v", res.Findings)
+	}
+}

@@ -1,0 +1,231 @@
+// Package validate implements certification path validation — the second
+// step of Figure 1 in the paper, deliberately separated from path
+// construction (internal/pathbuild). A constructed path is checked for
+// validity windows, CA status, pathLenConstraints, KeyUsage, signatures,
+// hostname match, and anchoring in a trust store.
+package validate
+
+import (
+	"fmt"
+	"time"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/revocation"
+	"chainchaos/internal/rootstore"
+)
+
+// Problem enumerates the defects path validation can find.
+type Problem int
+
+const (
+	ProblemExpired Problem = iota
+	ProblemNotYetValid
+	ProblemNotCA
+	ProblemPathLenExceeded
+	ProblemBadKeyUsage
+	ProblemBadSignature
+	ProblemUntrusted
+	ProblemHostnameMismatch
+	ProblemEmptyPath
+	ProblemRevoked
+	ProblemBadEKU
+	ProblemNameConstraintViolation
+	ProblemDeprecatedCrypto
+)
+
+// String returns the problem's name.
+func (p Problem) String() string {
+	switch p {
+	case ProblemExpired:
+		return "expired"
+	case ProblemNotYetValid:
+		return "not-yet-valid"
+	case ProblemNotCA:
+		return "not-a-ca"
+	case ProblemPathLenExceeded:
+		return "path-length-exceeded"
+	case ProblemBadKeyUsage:
+		return "bad-key-usage"
+	case ProblemBadSignature:
+		return "bad-signature"
+	case ProblemUntrusted:
+		return "untrusted"
+	case ProblemHostnameMismatch:
+		return "hostname-mismatch"
+	case ProblemEmptyPath:
+		return "empty-path"
+	case ProblemRevoked:
+		return "revoked"
+	case ProblemBadEKU:
+		return "bad-extended-key-usage"
+	case ProblemNameConstraintViolation:
+		return "name-constraint-violation"
+	case ProblemDeprecatedCrypto:
+		return "deprecated-crypto"
+	default:
+		return fmt.Sprintf("problem(%d)", int(p))
+	}
+}
+
+// Finding locates one problem within the path.
+type Finding struct {
+	// Index is the position in the path (0 = leaf); -1 for path-level
+	// findings such as ProblemUntrusted.
+	Index   int
+	Problem Problem
+	Detail  string
+}
+
+func (f Finding) String() string {
+	if f.Index < 0 {
+		return fmt.Sprintf("%s: %s", f.Problem, f.Detail)
+	}
+	return fmt.Sprintf("cert[%d]: %s: %s", f.Index, f.Problem, f.Detail)
+}
+
+// Result is the outcome of validating one path.
+type Result struct {
+	OK       bool
+	Findings []Finding
+}
+
+// FirstProblem returns the first finding's problem, or -1 if OK.
+func (r Result) FirstProblem() Problem {
+	if len(r.Findings) == 0 {
+		return Problem(-1)
+	}
+	return r.Findings[0].Problem
+}
+
+// Has reports whether the result contains a finding with the given problem.
+func (r Result) Has(p Problem) bool {
+	for _, f := range r.Findings {
+		if f.Problem == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures path validation.
+type Options struct {
+	// Roots is the trust store; the path's terminal certificate must be in
+	// it, or be directly issued by a member.
+	Roots *rootstore.Store
+	// Now is the validation time; the zero value disables validity checks
+	// (used by construction-only capability probes).
+	Now time.Time
+	// Domain, when non-empty, must match the leaf.
+	Domain string
+	// SkipSignatures disables pairwise signature verification (used by the
+	// ablation benchmarks to isolate signature cost).
+	SkipSignatures bool
+	// Revocation, when non-nil, is consulted for every certificate on the
+	// path.
+	Revocation *revocation.List
+}
+
+// Path validates path[0]=leaf … path[len-1]=top against opts. All findings
+// are collected, not just the first.
+func Path(path []*certmodel.Certificate, opts Options) Result {
+	var res Result
+	if len(path) == 0 {
+		res.Findings = append(res.Findings, Finding{Index: -1, Problem: ProblemEmptyPath, Detail: "no certificates"})
+		return res
+	}
+
+	leaf := path[0]
+	if opts.Domain != "" && !leaf.MatchesDomain(opts.Domain) {
+		res.Findings = append(res.Findings, Finding{Index: 0, Problem: ProblemHostnameMismatch,
+			Detail: fmt.Sprintf("leaf %q does not match %q", leaf.Subject.CommonName, opts.Domain)})
+	}
+	if !leaf.PermitsServerAuth() {
+		res.Findings = append(res.Findings, Finding{Index: 0, Problem: ProblemBadEKU,
+			Detail: "leaf EKU set excludes serverAuth"})
+	}
+
+	for i, cert := range path {
+		if cert.HasWeakSignature() && !cert.SelfSigned() {
+			// Trust-anchor signatures are never evaluated, so a weak
+			// self-signature on a root is harmless; anywhere else it is a
+			// deprecated-crypto rejection.
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemDeprecatedCrypto,
+				Detail: "certificate signed with a deprecated algorithm"})
+		}
+		if opts.Revocation.IsRevoked(cert) {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemRevoked,
+				Detail: fmt.Sprintf("serial %s revoked by %q", cert.SerialNumber, cert.Issuer)})
+		}
+		if !opts.Now.IsZero() {
+			if opts.Now.After(cert.NotAfter) {
+				res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemExpired,
+					Detail: fmt.Sprintf("notAfter %s", cert.NotAfter.Format(time.RFC3339))})
+			}
+			if opts.Now.Before(cert.NotBefore) {
+				res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemNotYetValid,
+					Detail: fmt.Sprintf("notBefore %s", cert.NotBefore.Format(time.RFC3339))})
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		// Issuer checks: CA status, KeyUsage, pathLenConstraint.
+		if !cert.IsCA || !cert.BasicConstraintsValid {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemNotCA,
+				Detail: fmt.Sprintf("%q is not a CA certificate", cert.Subject.CommonName)})
+		}
+		if !cert.CanSignCertificates() {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemBadKeyUsage,
+				Detail: "KeyUsage lacks certSign"})
+		}
+		// RFC 5280 §4.2.1.9: pathLenConstraint bounds the number of
+		// non-self-issued intermediate certificates that may follow this
+		// certificate in a valid path. In leaf-first order, the
+		// intermediates below path[i] are positions 1..i-1.
+		if cert.MaxPathLen != certmodel.MaxPathLenUnset {
+			below := i - 1
+			if below > cert.MaxPathLen {
+				res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemPathLenExceeded,
+					Detail: fmt.Sprintf("pathLen %d but %d intermediates below", cert.MaxPathLen, below)})
+			}
+		}
+		// Extended Key Usage chains transitively in Web PKI practice: a CA
+		// whose EKU set excludes serverAuth cannot appear on a server path.
+		if !cert.PermitsServerAuth() {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemBadEKU,
+				Detail: "EKU set excludes serverAuth"})
+		}
+		// Name constraints on this CA apply to every subject below it
+		// (RFC 5280 §4.2.1.10); checking the leaf covers the hostname
+		// identities that matter for TLS.
+		if !leaf.NamesAllowedBy(cert) {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemNameConstraintViolation,
+				Detail: fmt.Sprintf("leaf names violate %q's name constraints", cert.Subject.CommonName)})
+		}
+		if !opts.SkipSignatures && !path[i-1].SignatureVerifiedBy(cert) {
+			res.Findings = append(res.Findings, Finding{Index: i, Problem: ProblemBadSignature,
+				Detail: fmt.Sprintf("%q does not verify %q", cert.Subject.CommonName, path[i-1].Subject.CommonName)})
+		}
+	}
+
+	if !anchored(path, opts.Roots) {
+		res.Findings = append(res.Findings, Finding{Index: -1, Problem: ProblemUntrusted,
+			Detail: fmt.Sprintf("path terminates at %q with no trust anchor", path[len(path)-1].Subject)})
+	}
+
+	res.OK = len(res.Findings) == 0
+	return res
+}
+
+// anchored reports whether the path reaches a trust anchor: its terminal
+// certificate is in the store, or is directly issued by a store member.
+func anchored(path []*certmodel.Certificate, roots *rootstore.Store) bool {
+	if roots == nil {
+		return false
+	}
+	last := path[len(path)-1]
+	if roots.Contains(last) {
+		return true
+	}
+	return len(roots.FindIssuers(last)) > 0
+}

@@ -1,0 +1,209 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+var base = time.Date(2024, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	root, ca2, ca1, leaf *certmodel.Certificate
+	roots                *rootstore.Store
+	now                  time.Time
+}
+
+func newFixture() *fixture {
+	root := certmodel.SyntheticRoot("Val Root", base)
+	ca2 := certmodel.SyntheticIntermediate("Val CA2", root, base)
+	ca1 := certmodel.SyntheticIntermediate("Val CA1", ca2, base)
+	leaf := certmodel.SyntheticLeaf("val.example", "1", ca1, base, base.AddDate(1, 0, 0))
+	return &fixture{root, ca2, ca1, leaf, rootstore.NewWith("val", root), base.AddDate(0, 1, 0)}
+}
+
+func (f *fixture) opts() Options {
+	return Options{Roots: f.roots, Now: f.now, Domain: "val.example"}
+}
+
+func (f *fixture) path() []*certmodel.Certificate {
+	return []*certmodel.Certificate{f.leaf, f.ca1, f.ca2, f.root}
+}
+
+func TestValidPath(t *testing.T) {
+	f := newFixture()
+	res := Path(f.path(), f.opts())
+	if !res.OK {
+		t.Fatalf("valid path rejected: %v", res.Findings)
+	}
+	// Root omitted but issuer in store: still anchored.
+	res = Path(f.path()[:3], f.opts())
+	if !res.OK {
+		t.Fatalf("root-omitted path rejected: %v", res.Findings)
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	f := newFixture()
+	res := Path(nil, f.opts())
+	if res.OK || !res.Has(ProblemEmptyPath) {
+		t.Errorf("empty path result = %+v", res)
+	}
+}
+
+func TestHostnameMismatch(t *testing.T) {
+	f := newFixture()
+	opts := f.opts()
+	opts.Domain = "other.example"
+	res := Path(f.path(), opts)
+	if res.OK || !res.Has(ProblemHostnameMismatch) {
+		t.Errorf("hostname mismatch not flagged: %+v", res)
+	}
+	opts.Domain = "" // disabled
+	if res := Path(f.path(), opts); !res.OK {
+		t.Error("empty domain should skip hostname checks")
+	}
+}
+
+func TestExpiryWindows(t *testing.T) {
+	f := newFixture()
+	opts := f.opts()
+	opts.Now = base.AddDate(2, 0, 0) // leaf expired
+	res := Path(f.path(), opts)
+	if res.OK || !res.Has(ProblemExpired) {
+		t.Errorf("expired leaf not flagged: %+v", res)
+	}
+	opts.Now = base.AddDate(-20, 0, 0)
+	res = Path(f.path(), opts)
+	if res.OK || !res.Has(ProblemNotYetValid) {
+		t.Errorf("not-yet-valid not flagged: %+v", res)
+	}
+	opts.Now = time.Time{} // zero disables validity checks
+	if res := Path(f.path(), opts); !res.OK {
+		t.Errorf("zero Now should disable validity: %+v", res.Findings)
+	}
+}
+
+func TestNotCA(t *testing.T) {
+	f := newFixture()
+	otherLeaf := certmodel.SyntheticLeaf("other.example", "2", f.ca1, base, base.AddDate(1, 0, 0))
+	// Splice a non-CA certificate into the issuer position (signature will
+	// also fail; both findings must surface).
+	path := []*certmodel.Certificate{f.leaf, otherLeaf, f.ca2, f.root}
+	res := Path(path, f.opts())
+	if res.OK || !res.Has(ProblemNotCA) || !res.Has(ProblemBadSignature) {
+		t.Errorf("non-CA issuer findings = %+v", res.Findings)
+	}
+}
+
+func TestPathLenConstraint(t *testing.T) {
+	root := certmodel.SyntheticRoot("PL Root", base)
+	mk := func(cn string, parent *certmodel.Certificate, pathLen int, hasPL bool) *certmodel.Certificate {
+		return certmodel.NewSynthetic(certmodel.SyntheticConfig{
+			Subject: certmodel.Name{CommonName: cn}, Issuer: parent.Subject,
+			Serial: cn, NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+			Key: certmodel.NewSyntheticKey(cn), SignedBy: certmodel.KeyOf(parent),
+			IsCA: true, BasicConstraintsValid: true,
+			KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+			MaxPathLen: pathLen, HasPathLen: hasPL,
+		})
+	}
+	// ca2 has pathLen 0 but one intermediate (ca1) hangs below it.
+	ca2 := mk("PL CA2", root, 0, true)
+	ca1 := mk("PL CA1", ca2, 0, true)
+	leaf := certmodel.SyntheticLeaf("pl.example", "1", ca1, base, base.AddDate(1, 0, 0))
+	roots := rootstore.NewWith("pl", root)
+
+	res := Path([]*certmodel.Certificate{leaf, ca1, ca2, root}, Options{Roots: roots, Now: base})
+	if res.OK || !res.Has(ProblemPathLenExceeded) {
+		t.Errorf("pathLen violation not flagged: %+v", res.Findings)
+	}
+	// Direct issuance from ca2 (pathLen 0 allows zero intermediates below).
+	leaf2 := certmodel.SyntheticLeaf("pl2.example", "2", ca2, base, base.AddDate(1, 0, 0))
+	res = Path([]*certmodel.Certificate{leaf2, ca2, root}, Options{Roots: roots, Now: base})
+	if !res.OK {
+		t.Errorf("pathLen 0 with no intermediates below should pass: %+v", res.Findings)
+	}
+}
+
+func TestBadKeyUsage(t *testing.T) {
+	root := certmodel.SyntheticRoot("KU Root", base)
+	badCA := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: certmodel.Name{CommonName: "KU Bad CA"}, Issuer: root.Subject,
+		Serial: "1", NotBefore: base, NotAfter: base.AddDate(5, 0, 0),
+		Key: certmodel.NewSyntheticKey("ku-bad"), SignedBy: certmodel.KeyOf(root),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageDigitalSignature, HasKeyUsage: true,
+	})
+	leaf := certmodel.SyntheticLeaf("ku.example", "1", badCA, base, base.AddDate(1, 0, 0))
+	res := Path([]*certmodel.Certificate{leaf, badCA, root},
+		Options{Roots: rootstore.NewWith("ku", root), Now: base})
+	if res.OK || !res.Has(ProblemBadKeyUsage) {
+		t.Errorf("bad KeyUsage not flagged: %+v", res.Findings)
+	}
+}
+
+func TestUntrustedAnchor(t *testing.T) {
+	f := newFixture()
+	res := Path(f.path(), Options{Roots: rootstore.New("empty"), Now: f.now, Domain: "val.example"})
+	if res.OK || !res.Has(ProblemUntrusted) {
+		t.Errorf("untrusted path accepted: %+v", res)
+	}
+	res = Path(f.path(), Options{Now: f.now}) // nil store
+	if res.OK || !res.Has(ProblemUntrusted) {
+		t.Error("nil store should never anchor")
+	}
+}
+
+func TestSkipSignatures(t *testing.T) {
+	f := newFixture()
+	// Break the chain: ca2 does not actually issue the leaf.
+	path := []*certmodel.Certificate{f.leaf, f.ca2, f.root}
+	res := Path(path, f.opts())
+	if res.OK || !res.Has(ProblemBadSignature) {
+		t.Errorf("bad signature not flagged: %+v", res.Findings)
+	}
+	opts := f.opts()
+	opts.SkipSignatures = true
+	res = Path(path, opts)
+	if res.Has(ProblemBadSignature) {
+		t.Error("SkipSignatures ignored")
+	}
+}
+
+func TestFindingsAccumulate(t *testing.T) {
+	// An expired chain with a hostname mismatch and no anchor: every
+	// problem must surface, not just the first.
+	f := newFixture()
+	opts := Options{Roots: rootstore.New("empty"), Now: base.AddDate(3, 0, 0), Domain: "wrong.example"}
+	res := Path(f.path(), opts)
+	if len(res.Findings) < 3 {
+		t.Errorf("findings = %v, want several", res.Findings)
+	}
+	if res.FirstProblem() != ProblemHostnameMismatch {
+		t.Errorf("first problem = %v", res.FirstProblem())
+	}
+}
+
+func TestProblemAndFindingStrings(t *testing.T) {
+	for p := ProblemExpired; p <= ProblemEmptyPath; p++ {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "problem(") {
+			t.Errorf("problem %d renders %q", int(p), s)
+		}
+	}
+	f := Finding{Index: 2, Problem: ProblemExpired, Detail: "x"}
+	if !strings.Contains(f.String(), "cert[2]") {
+		t.Errorf("finding string = %q", f)
+	}
+	f.Index = -1
+	if strings.Contains(f.String(), "cert[") {
+		t.Errorf("path-level finding string = %q", f)
+	}
+	var empty Result
+	if empty.FirstProblem() != Problem(-1) {
+		t.Error("FirstProblem on empty result")
+	}
+}
