@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-test the packages that own goroutines (the parallel substrate and its
+# users); population and study gained worker pools too, so they ride along.
+race:
+	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/...
+
+# check is the pre-commit gate: vet everything, race-test the concurrent core.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -7,6 +7,7 @@ package chainchaos_test
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -233,9 +234,47 @@ func BenchmarkDifferentialPerChain(b *testing.B) {
 
 func BenchmarkDifferentialHarness2k(b *testing.B) {
 	pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		(&difftest.Harness{}).Run(pop)
+	}
+}
+
+// Sharded-engine variants of the 2k harness run: fixed worker counts pin
+// down the scheduling overhead; Max measures the configured default.
+func benchDifftestParallel(b *testing.B, workers int) {
+	b.Helper()
+	pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&difftest.Harness{Workers: workers}).Run(pop)
+	}
+}
+
+func BenchmarkDifftestParallel1(b *testing.B)   { benchDifftestParallel(b, 1) }
+func BenchmarkDifftestParallel4(b *testing.B)   { benchDifftestParallel(b, 4) }
+func BenchmarkDifftestParallelMax(b *testing.B) { benchDifftestParallel(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkDifftestPrecomputedAnalysis measures the RunAnalyzed path: grading
+// is done once outside the timer, so the loop isolates pure differential
+// testing over precomputed graphs/reports.
+func BenchmarkDifftestPrecomputedAnalysis(b *testing.B) {
+	pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: pop.Roots(), Fetcher: pop.Repo}}
+	pre := &difftest.Analysis{
+		Graphs:  make([]*topo.Graph, len(pop.Domains)),
+		Reports: make([]compliance.Report, len(pop.Domains)),
+	}
+	for i, d := range pop.Domains {
+		pre.Graphs[i] = topo.Build(d.List)
+		pre.Reports[i] = analyzer.Analyze(d.Name, pre.Graphs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&difftest.Harness{}).RunAnalyzed(pop, pre)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-size 100000] [-seed 1] [-run t3,t9,d1]
+//	experiments [-size 100000] [-seed 1] [-run t3,t9,d1] [-workers 0]
 //
 // Experiment ids: t1 t3 t4 t5 t6 t7 t8 t9 t10 t11 f2 f3 f4 f5 d1 d2 d3 (default:
 // all, in paper order).
@@ -23,9 +23,11 @@ func main() {
 	size := flag.Int("size", 100000, "population size (906336 = paper scale)")
 	seed := flag.Int64("seed", 1, "population seed")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	workers := flag.Int("workers", 0, "parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	env := experiments.NewEnv(*size, *seed)
+	env.Workers = *workers
 	type exp struct {
 		id string
 		fn func() (fmt.Stringer, error)

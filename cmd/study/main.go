@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	study [-sites 60] [-seed 1] [-vantages 2]
+//	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0]
 package main
 
 import (
@@ -22,10 +22,11 @@ func main() {
 	sites := flag.Int("sites", 60, "number of loopback TLS sites to deploy")
 	seed := flag.Int64("seed", 1, "defect assignment seed")
 	vantages := flag.Int("vantages", 2, "scan passes to merge")
+	workers := flag.Int("workers", 0, "parallel workers for the grading loop (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	start := time.Now()
-	rep, err := study.Run(study.Config{Sites: *sites, Seed: *seed, Vantages: *vantages})
+	rep, err := study.Run(study.Config{Sites: *sites, Seed: *seed, Vantages: *vantages, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
 		os.Exit(1)

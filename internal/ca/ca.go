@@ -324,13 +324,24 @@ type LeafOptions struct {
 	// AIAOverride replaces the leaf's caIssuers URI (dead URIs, the CAcert
 	// self-pointer case).
 	AIAOverride string
+	// Serial, when non-empty, replaces the issuer's internal serial counter
+	// for this leaf. Callers that issue from multiple goroutines (the
+	// parallel population generator) must supply one: the internal counter
+	// is shared mutable state, and serials derived from it would depend on
+	// issuance order.
+	Serial string
 }
 
 // IssueLeaf creates a leaf certificate for domain valid [notBefore,
 // notAfter].
 func (iss *Issuer) IssueLeaf(domain string, notBefore, notAfter time.Time, opts LeafOptions) *certmodel.Certificate {
-	iss.serial++
-	serial := fmt.Sprintf("%s-%s-%06d", iss.Profile.Name, iss.Tag, iss.serial)
+	var serial string
+	if opts.Serial != "" {
+		serial = fmt.Sprintf("%s-%s-%s", iss.Profile.Name, iss.Tag, opts.Serial)
+	} else {
+		iss.serial++
+		serial = fmt.Sprintf("%s-%s-%06d", iss.Profile.Name, iss.Tag, iss.serial)
+	}
 	var aiaList []string
 	switch {
 	case opts.AIAOverride != "":

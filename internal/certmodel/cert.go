@@ -25,6 +25,7 @@ import (
 	"crypto/x509"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -120,25 +121,40 @@ type Certificate struct {
 	// real DER, nil otherwise.
 	X509 *x509.Certificate
 
-	fingerprint     [sha256.Size]byte
-	fingerprintDone bool
+	// fingerprint caches the digest and its hex form behind an atomic
+	// pointer so Certificates can be shared across goroutines (the
+	// population generator, experiment environment, and differential
+	// harness all hash the same intermediates concurrently). Racing
+	// initializers compute identical values, so last-store-wins is benign.
+	fingerprint atomic.Pointer[fingerprintData]
+}
+
+type fingerprintData struct {
+	sum [sha256.Size]byte
+	hex string
+}
+
+func (c *Certificate) fingerprintData() *fingerprintData {
+	if fp := c.fingerprint.Load(); fp != nil {
+		return fp
+	}
+	fp := &fingerprintData{sum: sha256.Sum256(c.Raw)}
+	fp.hex = hex.EncodeToString(fp.sum[:])
+	c.fingerprint.Store(fp)
+	return fp
 }
 
 // Fingerprint returns the SHA-256 digest of Raw. It is computed lazily and
 // cached; callers must not mutate Raw after the first call.
 func (c *Certificate) Fingerprint() [sha256.Size]byte {
-	if !c.fingerprintDone {
-		c.fingerprint = sha256.Sum256(c.Raw)
-		c.fingerprintDone = true
-	}
-	return c.fingerprint
+	return c.fingerprintData().sum
 }
 
 // FingerprintHex returns the hex form of Fingerprint, convenient for map keys
-// and log lines.
+// and log lines. The string is cached alongside the digest, so hot paths
+// (candidate pools, store lookups) pay no per-call allocation.
 func (c *Certificate) FingerprintHex() string {
-	fp := c.Fingerprint()
-	return hex.EncodeToString(fp[:])
+	return c.fingerprintData().hex
 }
 
 // Equal reports whether the two certificates are bit-for-bit identical,

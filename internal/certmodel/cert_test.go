@@ -118,9 +118,6 @@ func TestSignatureVerifiedByMixedBackends(t *testing.T) {
 	if !leaf.SignatureVerifiedBy(root) {
 		t.Fatal("synthetic signature should verify")
 	}
-	// Pretend the parent were a real cert: mixed back ends never verify.
-	fakeReal := *root
-	fakeReal.X509 = nil // still synthetic; construct a shallow real marker instead
 	// The mixed-backend rule is checked in certgen tests with actual DER;
 	// here verify the nil guards.
 	if leaf.SignatureVerifiedBy(nil) || (*Certificate)(nil).SignatureVerifiedBy(root) {

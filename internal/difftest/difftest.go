@@ -6,12 +6,14 @@
 package difftest
 
 import (
+	"context"
 	"errors"
 	"strings"
 
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/core"
+	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
@@ -180,6 +182,19 @@ type Harness struct {
 	// KeepRecords retains per-chain records (memory-heavy on large
 	// populations).
 	KeepRecords bool
+	// Workers shards the population across goroutines; <= 0 means
+	// GOMAXPROCS. Per-worker summaries are merged in shard order, so the
+	// Summary is bit-identical to a serial run for any worker count.
+	Workers int
+}
+
+// Analysis carries precomputed per-domain topology graphs and compliance
+// reports, index-aligned with pop.Domains. Callers that already ran the
+// server-side analysis (experiments.Env holds both) pass it to RunAnalyzed so
+// the harness does not rebuild and regrade every chain.
+type Analysis struct {
+	Graphs  []*topo.Graph
+	Reports []compliance.Report
 }
 
 // storeFor maps each client to its vendor root store, as deployed in
@@ -200,6 +215,17 @@ func storeFor(name string, v *rootstore.VendorSet) *rootstore.Store {
 
 // Run executes the differential evaluation over the population.
 func (h *Harness) Run(pop *population.Population) *Summary {
+	return h.RunAnalyzed(pop, nil)
+}
+
+// RunAnalyzed executes the differential evaluation, reusing precomputed
+// topology graphs and compliance reports when pre is non-nil (it must be
+// index-aligned with pop.Domains). The population is sharded across
+// h.Workers goroutines; each worker grades its contiguous shard into a
+// private Summary with one reusable pathbuild.Builder per client profile,
+// and the shard summaries are merged in shard order — the result is
+// bit-identical to a serial run for any worker count.
+func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summary {
 	profiles := h.Profiles
 	if len(profiles) == 0 {
 		profiles = clients.All()
@@ -227,43 +253,75 @@ func (h *Harness) Run(pop *population.Population) *Summary {
 	}
 	cache := buildWarmCache(pop, warm)
 
-	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
-		Roots:   pop.Roots(),
-		Fetcher: pop.Repo,
-	}}
+	workers := parallel.Workers(h.Workers)
+	if workers > len(pop.Domains) {
+		workers = len(pop.Domains)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([]*Summary, workers)
+	parallel.Shards(context.Background(), len(pop.Domains), workers, func(shard, lo, hi int) {
+		partials[shard] = h.runShard(pop, pre, profiles, cache, lo, hi)
+	})
 
-	sum := &Summary{
-		CauseCounts:        make(map[Cause]int),
-		PerClientPass:      make(map[string]int),
-		PerClientBuildFail: make(map[string]int),
+	sum := newSummary()
+	for _, p := range partials {
+		if p != nil {
+			sum.merge(p)
+		}
+	}
+	return sum
+}
+
+// runShard grades pop.Domains[lo:hi] into a fresh Summary. Builders are
+// allocated once per (shard, profile) pair and reused for every chain —
+// Build keeps no state across calls (the shared warm cache is read-only
+// here), so reuse only removes the per-chain allocations.
+func (h *Harness) runShard(pop *population.Population, pre *Analysis, profiles []clients.Profile, cache *rootstore.Store, lo, hi int) *Summary {
+	var analyzer *compliance.Analyzer
+	if pre == nil {
+		analyzer = &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+			Roots:   pop.Roots(),
+			Fetcher: pop.Repo,
+		}}
+	}
+	builders := make([]*pathbuild.Builder, len(profiles))
+	for i, p := range profiles {
+		builders[i] = &pathbuild.Builder{
+			Policy:  p.Policy,
+			Roots:   storeFor(p.Name, pop.Vendors),
+			Fetcher: pop.Repo,
+			Cache:   cache,
+			// The cache models a fixed preload (CCADB disclosure),
+			// not state accumulated during this measurement.
+			CacheReadOnly: true,
+			Now:           pop.Cfg.Base,
+		}
 	}
 
-	for _, d := range pop.Domains {
+	sum := newSummary()
+	for i := lo; i < hi; i++ {
+		d := pop.Domains[i]
 		sum.Total++
-		g := topo.Build(d.List)
-		rep := analyzer.Analyze(d.Name, g)
+		var rep compliance.Report
+		if pre != nil {
+			rep = pre.Reports[i]
+		} else {
+			rep = analyzer.Analyze(d.Name, topo.Build(d.List))
+		}
 		if rep.Compliant() {
 			continue
 		}
 		sum.NonCompliant++
 
-		rec := &ChainRecord{Domain: d, Report: rep}
-		for _, p := range profiles {
-			b := &pathbuild.Builder{
-				Policy:  p.Policy,
-				Roots:   storeFor(p.Name, pop.Vendors),
-				Fetcher: pop.Repo,
-				Cache:   cache,
-				// The cache models a fixed preload (CCADB disclosure),
-				// not state accumulated during this measurement.
-				CacheReadOnly: true,
-				Now:           pop.Cfg.Base,
-			}
+		rec := &ChainRecord{Domain: d, Report: rep, Verdicts: make([]ClientVerdict, 0, len(profiles))}
+		for j, p := range profiles {
 			domain := ""
 			if h.CheckHostname {
 				domain = d.Name
 			}
-			out := b.Build(d.List, domain)
+			out := builders[j].Build(d.List, domain)
 			rec.Verdicts = append(rec.Verdicts, ClientVerdict{Client: p.Name, Kind: p.Kind, Outcome: out})
 			if out.OK() {
 				sum.PerClientPass[p.Name]++
@@ -300,6 +358,39 @@ func (h *Harness) Run(pop *population.Population) *Summary {
 		}
 	}
 	return sum
+}
+
+// newSummary creates a Summary with its maps allocated.
+func newSummary() *Summary {
+	return &Summary{
+		CauseCounts:        make(map[Cause]int),
+		PerClientPass:      make(map[string]int),
+		PerClientBuildFail: make(map[string]int),
+	}
+}
+
+// merge folds a shard summary into s. Shards cover disjoint contiguous
+// domain ranges and are merged in shard order, so Records stays in
+// pop.Domains order.
+func (s *Summary) merge(o *Summary) {
+	s.Total += o.Total
+	s.NonCompliant += o.NonCompliant
+	s.AllBrowsersPass += o.AllBrowsersPass
+	s.AllLibrariesPass += o.AllLibrariesPass
+	s.BrowserDiscrepant += o.BrowserDiscrepant
+	s.LibraryDiscrepant += o.LibraryDiscrepant
+	s.BrowserClassDiscrepant += o.BrowserClassDiscrepant
+	s.LibraryClassDiscrepant += o.LibraryClassDiscrepant
+	for c, n := range o.CauseCounts {
+		s.CauseCounts[c] += n
+	}
+	for name, n := range o.PerClientPass {
+		s.PerClientPass[name] += n
+	}
+	for name, n := range o.PerClientBuildFail {
+		s.PerClientBuildFail[name] += n
+	}
+	s.Records = append(s.Records, o.Records...)
 }
 
 // buildWarmCache preloads the intermediates of the named CA profiles, the

@@ -1,10 +1,13 @@
 package difftest
 
 import (
+	"reflect"
 	"testing"
 
 	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
 	"chainchaos/internal/population"
+	"chainchaos/internal/topo"
 )
 
 func TestDifferentialShape(t *testing.T) {
@@ -54,6 +57,72 @@ func TestDifferentialShape(t *testing.T) {
 	}
 	if sum.CauseCounts[CauseI2InputLimit] > sum.CauseCounts[CauseI4AIA] {
 		t.Error("I-2 should be rare compared to I-4")
+	}
+}
+
+// TestParallelMatchesSerial is the regression guard for the sharded engine:
+// with KeepRecords on, a serial run and an 8-worker run over the same
+// population must produce bit-identical summaries — same counts, same cause
+// attribution, and Records in pop.Domains order.
+func TestParallelMatchesSerial(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 8000, Seed: 3})
+	serial := (&Harness{KeepRecords: true, Workers: 1}).Run(pop)
+	parallel8 := (&Harness{KeepRecords: true, Workers: 8}).Run(pop)
+
+	if !reflect.DeepEqual(serial, parallel8) {
+		t.Errorf("serial and 8-worker summaries differ:\nserial:   %+v\nparallel: %+v", headline(serial), headline(parallel8))
+		for i := range serial.Records {
+			if i >= len(parallel8.Records) || serial.Records[i].Domain != parallel8.Records[i].Domain {
+				t.Fatalf("record %d: domain order diverges", i)
+			}
+		}
+	}
+
+	// Odd worker counts exercise the remainder shard.
+	parallel3 := (&Harness{KeepRecords: true, Workers: 3}).Run(pop)
+	if !reflect.DeepEqual(serial, parallel3) {
+		t.Error("serial and 3-worker summaries differ")
+	}
+	// More workers than domains must also be safe and identical.
+	tiny := population.Generate(population.Config{Size: 3, Seed: 3})
+	if !reflect.DeepEqual((&Harness{Workers: 1}).Run(tiny), (&Harness{Workers: 64}).Run(tiny)) {
+		t.Error("64-worker run over a 3-domain population diverged from serial")
+	}
+}
+
+// TestRunAnalyzedMatchesRun: handing the harness precomputed graphs/reports
+// must not change the outcome in any way.
+func TestRunAnalyzedMatchesRun(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 6000, Seed: 13})
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   pop.Roots(),
+		Fetcher: pop.Repo,
+	}}
+	pre := &Analysis{
+		Graphs:  make([]*topo.Graph, len(pop.Domains)),
+		Reports: make([]compliance.Report, len(pop.Domains)),
+	}
+	for i, d := range pop.Domains {
+		pre.Graphs[i] = topo.Build(d.List)
+		pre.Reports[i] = analyzer.Analyze(d.Name, pre.Graphs[i])
+	}
+	plain := (&Harness{KeepRecords: true, Workers: 4}).Run(pop)
+	reused := (&Harness{KeepRecords: true, Workers: 4}).RunAnalyzed(pop, pre)
+	if !reflect.DeepEqual(plain, reused) {
+		t.Errorf("precomputed-analysis run differs from plain run:\nplain:  %+v\nreused: %+v", headline(plain), headline(reused))
+	}
+}
+
+// headline projects a Summary's scalar fields for readable failure output.
+func headline(s *Summary) map[string]int {
+	return map[string]int{
+		"Total":             s.Total,
+		"NonCompliant":      s.NonCompliant,
+		"AllBrowsersPass":   s.AllBrowsersPass,
+		"AllLibrariesPass":  s.AllLibrariesPass,
+		"BrowserDiscrepant": s.BrowserDiscrepant,
+		"LibraryDiscrepant": s.LibraryDiscrepant,
+		"Records":           len(s.Records),
 	}
 }
 

@@ -221,10 +221,11 @@ func (e *Env) CaseValidityPriority() (*report.Table, error) {
 
 // DifferentialOverview reproduces the §5.2 result overview: pass rates and
 // discrepancy counts over the population's non-compliant chains, with the
-// I-1…I-4 cause attribution.
+// I-1…I-4 cause attribution. The compliance grading is shared with the
+// server-side tables through Env.Analysis, not recomputed.
 func (e *Env) DifferentialOverview() *report.Table {
 	pop := e.Population()
-	sum := (&difftest.Harness{}).Run(pop)
+	sum := (&difftest.Harness{Workers: e.Workers}).RunAnalyzed(pop, e.Analysis())
 
 	t := report.New("§5.2 — Differential testing overview", "Metric", "Value")
 	t.Addf("chains analyzed", sum.Total)

@@ -5,21 +5,27 @@
 package experiments
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
+	"chainchaos/internal/difftest"
+	"chainchaos/internal/parallel"
 	"chainchaos/internal/population"
 	"chainchaos/internal/topo"
 )
 
 // Env carries the shared state of an experiment run: the synthetic
 // population, its per-domain topology graphs and compliance reports (computed
-// once, reused by every server-side table), and the client capability runner.
+// once, reused by every server-side table and by the differential harness),
+// and the client capability runner.
 type Env struct {
 	Size int
 	Seed int64
+	// Workers bounds parallelism in population generation, per-domain
+	// analysis, and the differential harness; <= 0 means GOMAXPROCS.
+	Workers int
 
 	popOnce sync.Once
 	pop     *population.Population
@@ -46,7 +52,7 @@ func NewEnv(size int, seed int64) *Env {
 // Population generates (once) and returns the synthetic population.
 func (e *Env) Population() *population.Population {
 	e.popOnce.Do(func() {
-		e.pop = population.Generate(population.Config{Size: e.Size, Seed: e.Seed})
+		e.pop = population.Generate(population.Config{Size: e.Size, Seed: e.Seed, Workers: e.Workers})
 	})
 	return e.pop
 }
@@ -63,29 +69,12 @@ func (e *Env) analyze() {
 			Roots:   pop.Roots(),
 			Fetcher: pop.Repo,
 		}}
-		workers := runtime.GOMAXPROCS(0)
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					d := pop.Domains[i]
-					g := topo.Build(d.List)
-					e.graphs[i] = g
-					e.reports[i] = analyzer.Analyze(d.Name, g)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+		parallel.For(context.Background(), n, e.Workers, func(i int) {
+			d := pop.Domains[i]
+			g := topo.Build(d.List)
+			e.graphs[i] = g
+			e.reports[i] = analyzer.Analyze(d.Name, g)
+		})
 	})
 }
 
@@ -100,6 +89,14 @@ func (e *Env) Graphs() []*topo.Graph {
 func (e *Env) Reports() []compliance.Report {
 	e.analyze()
 	return e.reports
+}
+
+// Analysis bundles the precomputed graphs and reports for the differential
+// harness, so client-side tables never regrade what the server-side tables
+// already computed.
+func (e *Env) Analysis() *difftest.Analysis {
+	e.analyze()
+	return &difftest.Analysis{Graphs: e.graphs, Reports: e.reports}
 }
 
 // Runner returns the shared client capability runner.

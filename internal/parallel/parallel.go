@@ -1,0 +1,117 @@
+// Package parallel provides the chunked worker-pool primitives shared by the
+// population generator, the experiment environment, the differential-testing
+// harness, and the study pipeline. All of them follow the same pattern: an
+// index space [0, n) is split into at most `workers` contiguous shards, each
+// shard runs on its own goroutine, and per-shard results are merged in shard
+// order — which makes every caller's output independent of scheduling and
+// worker count.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a configured worker count: values <= 0 mean
+// GOMAXPROCS(0), anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// shardPanic carries a panic out of a worker goroutine so it can be re-raised
+// on the caller's goroutine.
+type shardPanic struct {
+	value any
+}
+
+// Shards partitions [0, n) into at most `workers` contiguous ranges and runs
+// fn(shard, lo, hi) for each range on its own goroutine. Shard s always
+// covers the same range for the same (n, workers) pair, so callers that merge
+// per-shard state in shard order get deterministic results regardless of
+// scheduling.
+//
+// If ctx is cancelled, shards that have not started are skipped and
+// ctx.Err() is returned; running shards finish their current fn call (fn may
+// poll ctx itself for finer-grained cancellation). A panic in any shard is
+// re-raised on the calling goroutine after all workers stop.
+func Shards(ctx context.Context, n, workers int, fn func(shard, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked *shardPanic
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = &shardPanic{value: r}
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked.value)
+	}
+	return ctx.Err()
+}
+
+// For runs fn(i) for every i in [0, n) across at most `workers` goroutines.
+// Iterations are assigned as contiguous shards; each worker checks ctx
+// between iterations, so cancellation stops mid-run. Completed iterations
+// stay completed — callers writing into index i of a pre-sized slice get a
+// deterministic prefix per shard.
+func For(ctx context.Context, n, workers int, fn func(i int)) error {
+	return Shards(ctx, n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+	})
+}
+
+// Map applies fn to every element of in across at most `workers` goroutines
+// and returns the results in input order. On cancellation it returns the
+// partially filled slice alongside ctx.Err().
+func Map[T, R any](ctx context.Context, workers int, in []T, fn func(i int, item T) R) ([]R, error) {
+	if len(in) == 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]R, len(in))
+	err := For(ctx, len(in), workers, func(i int) {
+		out[i] = fn(i, in[i])
+	})
+	return out, err
+}

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	calls := 0
+	if err := For(context.Background(), 0, 4, func(int) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times on empty input", calls)
+	}
+}
+
+func TestForSingleItem(t *testing.T) {
+	var calls atomic.Int64
+	var got atomic.Int64
+	if err := For(context.Background(), 1, 8, func(i int) {
+		calls.Add(1)
+		got.Store(int64(i))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 || got.Load() != 0 {
+		t.Errorf("calls=%d got=%d, want 1 call with i=0", calls.Load(), got.Load())
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		const n = 53
+		counts := make([]atomic.Int32, n)
+		if err := For(context.Background(), n, workers, func(i int) {
+			counts[i].Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestShardsDeterministicPartition(t *testing.T) {
+	collect := func() map[int][2]int {
+		var mu sync.Mutex
+		got := map[int][2]int{}
+		if err := Shards(context.Background(), 10, 4, func(shard, lo, hi int) {
+			mu.Lock()
+			got[shard] = [2]int{lo, hi}
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	for s, r := range a {
+		if b[s] != r {
+			t.Errorf("shard %d: %v vs %v across runs", s, r, b[s])
+		}
+	}
+	// Shards must tile [0, n) in order.
+	next := 0
+	for s := 0; s < len(a); s++ {
+		r, ok := a[s]
+		if !ok {
+			t.Fatalf("missing shard %d", s)
+		}
+		if r[0] != next {
+			t.Fatalf("shard %d starts at %d, want %d", s, r[0], next)
+		}
+		next = r[1]
+	}
+	if next != 10 {
+		t.Fatalf("shards cover [0, %d), want [0, 10)", next)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate out of For")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	For(context.Background(), 64, 4, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestContextCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 10000
+	err := For(ctx, n, 4, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d iterations ran despite mid-run cancellation", got)
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := make([]int, 101)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(context.Background(), 8, in, func(i, v int) int { return v * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if out, err := Map(context.Background(), 4, []int(nil), func(i, v int) int { return v }); err != nil || out != nil {
+		t.Errorf("Map on empty input = (%v, %v), want (nil, nil)", out, err)
+	}
+}

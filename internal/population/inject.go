@@ -10,13 +10,17 @@ import (
 	"chainchaos/internal/httpserver"
 )
 
-// generator holds per-run state.
+// generator holds per-worker state. One generator serves a whole shard of
+// ranks; rng is reseeded per domain from (Config.Seed, rank), and rank-scoped
+// serials replace run-global counters so output never depends on which worker
+// generated which domain.
 type generator struct {
 	cfg         Config
 	rng         *rand.Rand
 	hierarchies []hierarchy
 	repo        *aia.Repository
-	staleSerial int
+	weightTotal float64
+	rank        int // rank of the domain currently being generated
 }
 
 // Server population shares. The overall mix skews toward Apache and Nginx as
@@ -100,6 +104,7 @@ func clampProb(p float64) float64 {
 
 // domain generates one deployment end to end.
 func (g *generator) domain(rank int) *Domain {
+	g.rank = rank
 	h := g.pickHierarchy()
 	iss := h.iss
 	serverName := g.pickServer()
@@ -130,6 +135,7 @@ func (g *generator) domain(rank int) *Domain {
 	t.LeafExpired = g.rng.Float64() < 0.008
 
 	leafOpts := g.leafAIAOptions(t, iss, inc)
+	leafOpts.Serial = fmt.Sprintf("r%06d", rank)
 	leafName := name
 	if t.LeafMismatch {
 		leafName = fmt.Sprintf("fallback-%03d.hosting.example", g.rng.Intn(500))
@@ -306,9 +312,8 @@ func (g *generator) appendIrrelevant(t *Truth, iss *ca.Issuer, leafName string, 
 		n := 1 + g.rng.Intn(4)
 		var stale []*certmodel.Certificate
 		for i := 1; i <= n; i++ {
-			g.staleSerial++
 			nb := g.cfg.Base.AddDate(-i, -3, 0)
-			old := certmodel.SyntheticLeaf(leafName, fmt.Sprintf("stale-%d", g.staleSerial), iss.IssuingCA(), nb, nb.AddDate(1, 0, 0))
+			old := certmodel.SyntheticLeaf(leafName, fmt.Sprintf("stale-%06d-%d", g.rank, i), iss.IssuingCA(), nb, nb.AddDate(1, 0, 0))
 			stale = append(stale, old)
 		}
 		return append(stale, inters...)

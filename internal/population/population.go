@@ -15,6 +15,7 @@
 package population
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"chainchaos/internal/aia"
 	"chainchaos/internal/ca"
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/parallel"
 	"chainchaos/internal/rootstore"
 )
 
@@ -38,6 +40,10 @@ type Config struct {
 	Base time.Time
 	// AIABase is the URI prefix for the simulated CA repositories.
 	AIABase string
+	// Workers bounds the goroutines generating domains; <= 0 means
+	// GOMAXPROCS. Every domain derives its randomness from (Seed, rank)
+	// alone, so the population is bit-identical for any worker count.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -138,7 +144,6 @@ type hierarchy struct {
 // Generate builds the population.
 func Generate(cfg Config) *Population {
 	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	repo := aia.NewRepository()
 
 	hierarchies := buildHierarchies(cfg, repo)
@@ -165,12 +170,34 @@ func Generate(cfg Config) *Population {
 	wrongTarget := certmodel.SyntheticRoot("Wrong AIA Target", cfg.Base)
 	repo.Put(cfg.AIABase+"/wrong/ca.der", wrongTarget)
 
-	gen := &generator{cfg: cfg, rng: rng, hierarchies: hierarchies, repo: repo}
-	pop.Domains = make([]*Domain, 0, cfg.Size)
-	for rank := 1; rank <= cfg.Size; rank++ {
-		pop.Domains = append(pop.Domains, gen.domain(rank))
+	// Domain generation is sharded across workers. Each domain's randomness
+	// comes from a per-rank stream seeded by mixing (Seed, rank), so the
+	// result is independent of scheduling and worker count; workers reuse
+	// one generator (and one rand.Rand) across their whole shard.
+	weightTotal := 0.0
+	for i := range hierarchies {
+		weightTotal += hierarchies[i].weight
 	}
+	pop.Domains = make([]*Domain, cfg.Size)
+	parallel.Shards(context.Background(), cfg.Size, cfg.Workers, func(_, lo, hi int) {
+		gen := &generator{cfg: cfg, rng: rand.New(rand.NewSource(0)), hierarchies: hierarchies, repo: repo, weightTotal: weightTotal}
+		for i := lo; i < hi; i++ {
+			rank := i + 1
+			gen.rng.Seed(domainSeed(cfg.Seed, rank))
+			pop.Domains[i] = gen.domain(rank)
+		}
+	})
 	return pop
+}
+
+// domainSeed mixes the population seed and a domain rank into an independent
+// stream seed (splitmix64 finalizer over the combined words).
+func domainSeed(seed int64, rank int) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(rank) + 1
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
 }
 
 // buildHierarchies instantiates the CA hierarchies: for each Table 11
@@ -224,11 +251,7 @@ func buildHierarchies(cfg Config, repo *aia.Repository) []hierarchy {
 
 // pickHierarchy samples an issuer by weight.
 func (g *generator) pickHierarchy() *hierarchy {
-	total := 0.0
-	for i := range g.hierarchies {
-		total += g.hierarchies[i].weight
-	}
-	x := g.rng.Float64() * total
+	x := g.rng.Float64() * g.weightTotal
 	for i := range g.hierarchies {
 		x -= g.hierarchies[i].weight
 		if x <= 0 {

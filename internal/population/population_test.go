@@ -39,6 +39,28 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateWorkerInvariant: each domain's randomness is seeded from
+// (Seed, rank), never from issuance order, so the worker count must not
+// change a single certificate.
+func TestGenerateWorkerInvariant(t *testing.T) {
+	serial := Generate(Config{Size: 500, Seed: 7, Workers: 1})
+	sharded := Generate(Config{Size: 500, Seed: 7, Workers: 8})
+	for i := range serial.Domains {
+		da, db := serial.Domains[i], sharded.Domains[i]
+		if da.Name != db.Name || da.CA != db.CA || da.Server != db.Server || da.Truth != db.Truth {
+			t.Fatalf("domain %d differs across worker counts: %+v vs %+v", i, da, db)
+		}
+		if len(da.List) != len(db.List) {
+			t.Fatalf("domain %d list length differs across worker counts", i)
+		}
+		for j := range da.List {
+			if !da.List[j].Equal(db.List[j]) {
+				t.Fatalf("domain %d cert %d differs across worker counts", i, j)
+			}
+		}
+	}
+}
+
 func TestTruthMatchesAnalyzer(t *testing.T) {
 	pop := Generate(Config{Size: 4000, Seed: 42})
 	an := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{

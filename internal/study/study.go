@@ -23,6 +23,7 @@ import (
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/httpserver"
+	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/report"
 	"chainchaos/internal/rootstore"
@@ -45,6 +46,10 @@ type Config struct {
 	Concurrency int
 	// Timeout bounds each handshake (default 5s).
 	Timeout time.Duration
+	// Workers bounds the parallel grade-and-difftest loop over scanned
+	// sites; <= 0 means GOMAXPROCS. Results are deterministic for any
+	// worker count.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -200,7 +205,6 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{Cfg: cfg}
 	var targets []tlsscan.Target
-	siteByDomain := map[string]*Site{}
 	for i := 0; i < cfg.Sites; i++ {
 		domain := fmt.Sprintf("site-%03d.study.example", i)
 		leaf, err := ca1.NewLeaf(domain)
@@ -253,7 +257,6 @@ func Run(cfg Config) (*Report, error) {
 		}
 		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
 		rep.Sites = append(rep.Sites, site)
-		siteByDomain[domain] = site
 		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: domain})
 	}
 
@@ -270,23 +273,37 @@ func Run(cfg Config) (*Report, error) {
 	}
 	merged := tlsscan.MergeVantages(vantages...)
 
-	// Grade and differentially test every captured chain.
+	// Grade and differentially test every captured chain. Iterating
+	// rep.Sites (not the merged map) keeps report tables and error
+	// attribution deterministic across runs; sites are sharded across
+	// workers, each shard reusing one builder per client profile. Every
+	// worker writes only to its own sites, so no locking is needed.
 	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
-	for domain, results := range merged {
-		site := siteByDomain[domain]
-		if site == nil || len(results) == 0 {
-			continue
-		}
-		list := results[0].List
-		site.Report = analyzer.Analyze(domain, topo.Build(list))
-		site.Verdicts = map[string]bool{}
-		for _, p := range clients.All() {
-			b := &pathbuild.Builder{
+	profiles := clients.All()
+	parallel.Shards(context.Background(), len(rep.Sites), cfg.Workers, func(_, lo, hi int) {
+		builders := make([]*pathbuild.Builder, len(profiles))
+		for i, p := range profiles {
+			builders[i] = &pathbuild.Builder{
 				Policy: p.Policy, Roots: roots, Fetcher: repo,
 				Cache: rootstore.New("cache"), Now: certgen.Reference,
 			}
-			site.Verdicts[p.Name] = b.Build(list, domain).OK()
 		}
-	}
+		for i := lo; i < hi; i++ {
+			site := rep.Sites[i]
+			results := merged[site.Domain]
+			if len(results) == 0 {
+				continue
+			}
+			list := results[0].List
+			site.Report = analyzer.Analyze(site.Domain, topo.Build(list))
+			site.Verdicts = make(map[string]bool, len(profiles))
+			for j, p := range profiles {
+				// Each site gets a fresh intermediate cache: verdicts must
+				// not depend on which other sites a worker graded first.
+				builders[j].Cache = rootstore.New("cache")
+				site.Verdicts[p.Name] = builders[j].Build(list, site.Domain).OK()
+			}
+		}
+	})
 	return rep, nil
 }
