@@ -11,12 +11,12 @@ test:
 # Race-test the packages that own goroutines (the parallel substrate and its
 # users); population and study gained worker pools too, so they ride along.
 race:
-	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/...
+	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/...
 
 # check is the pre-commit gate: vet everything, race-test the concurrent core.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/...
+	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -190,6 +190,51 @@ func BenchmarkFigure3LongChain(b *testing.B) {
 	}
 }
 
+// BenchmarkPathBuildLongList measures a single reused builder over the two
+// pathological list shapes the paper's resource-consumption findings rest
+// on: the ns3.link-style 25-cert duplicate list and the Figure 3 17-cert
+// stale-sibling list. Steady-state allocations here are the indexed-lookup +
+// reusable-scratch hot path.
+func BenchmarkPathBuildLongList(b *testing.B) {
+	root, err := certgen.NewRoot("Bench LL Root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, _ := root.NewIntermediate("Bench LL CA")
+	leaf, _ := inter.NewLeaf("bench.ll.example")
+	dup25 := []*certmodel.Certificate{leaf.Cert}
+	for i := 0; i < 12; i++ {
+		dup25 = append(dup25, inter.Cert, root.Cert)
+	}
+	dupRoots := rootstore.NewWith("bench-ll", root.Cert)
+	dupRoots.Seal()
+
+	fig3, fig3Roots := benchCaseChains(b)
+	fig3Roots.Seal()
+
+	cases := []struct {
+		name   string
+		list   []*certmodel.Certificate
+		roots  *rootstore.Store
+		domain string
+	}{
+		{"dup25", dup25, dupRoots, "bench.ll.example"},
+		{"fig3x17", fig3, fig3Roots, "bench.case.example"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			builder := &pathbuild.Builder{Policy: clients.Chrome().Policy, Roots: c.roots, Now: certgen.Reference}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := builder.Build(c.list, c.domain); !out.OK() {
+					b.Fatal("long-list build should succeed")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFigure4Backtracking(b *testing.B) {
 	trusted, err := certgen.NewRoot("Bench F4 Trusted")
 	if err != nil {

@@ -161,7 +161,7 @@ func (c *Chaser) Chase(cert *certmodel.Certificate) ChaseResult {
 	}
 	var result ChaseResult
 	current := cert
-	seen := map[string]bool{cert.FingerprintHex(): true}
+	seen := map[certmodel.FP]bool{cert.Fingerprint(): true}
 	for depth := 0; ; depth++ {
 		if current.SelfSigned() {
 			result.Terminal = ReachedRoot
@@ -189,13 +189,13 @@ func (c *Chaser) Chase(cert *certmodel.Certificate) ChaseResult {
 			result.Terminal = WrongIssuer
 			return result
 		}
-		if seen[next.FingerprintHex()] {
+		if seen[next.Fingerprint()] {
 			// Fetching loops back onto an already-seen certificate; the
 			// chase can make no progress.
 			result.Terminal = WrongIssuer
 			return result
 		}
-		seen[next.FingerprintHex()] = true
+		seen[next.Fingerprint()] = true
 		result.Fetched = append(result.Fetched, next)
 		current = next
 	}

@@ -49,6 +49,15 @@ const (
 // MaxPathLenUnset is the sentinel for an absent pathLenConstraint.
 const MaxPathLenUnset = -1
 
+// FP is the binary SHA-256 certificate fingerprint, the canonical map key for
+// every fingerprint-indexed structure in the repository (candidate pools,
+// trust stores, topology graphs, chain digests). It is an alias, not a
+// defined type, so Fingerprint() results flow into FP-keyed maps without
+// conversion. Keying by the 32 raw bytes instead of the 64-byte hex string
+// halves the bytes hashed per map operation and keeps the hot paths free of
+// string handling; FingerprintHex exists only for human-facing output.
+type FP = [sha256.Size]byte
+
 // Certificate is the unified certificate record.
 //
 // Exactly one of two back ends is active:
@@ -150,9 +159,10 @@ func (c *Certificate) Fingerprint() [sha256.Size]byte {
 	return c.fingerprintData().sum
 }
 
-// FingerprintHex returns the hex form of Fingerprint, convenient for map keys
-// and log lines. The string is cached alongside the digest, so hot paths
-// (candidate pools, store lookups) pay no per-call allocation.
+// FingerprintHex returns the hex form of Fingerprint, for report tables,
+// traces and log lines. Machine-facing structures key by the binary FP
+// instead; the string is cached alongside the digest so rendering pays no
+// per-call allocation.
 func (c *Certificate) FingerprintHex() string {
 	return c.fingerprintData().hex
 }

@@ -160,13 +160,13 @@ func (f *Fixer) emit(path []*certmodel.Certificate) []*certmodel.Certificate {
 func (f *Fixer) explain(list []*certmodel.Certificate, out pathbuild.Outcome) []Action {
 	var actions []Action
 
-	inPath := map[string]bool{}
+	inPath := map[certmodel.FP]bool{}
 	for _, c := range out.Path {
-		inPath[c.FingerprintHex()] = true
+		inPath[c.Fingerprint()] = true
 	}
-	seen := map[string]bool{}
+	seen := map[certmodel.FP]bool{}
 	for _, c := range list {
-		fp := c.FingerprintHex()
+		fp := c.Fingerprint()
 		switch {
 		case seen[fp]:
 			actions = append(actions, Action{ActionRemoveDuplicate, c})
@@ -177,12 +177,12 @@ func (f *Fixer) explain(list []*certmodel.Certificate, out pathbuild.Outcome) []
 	}
 
 	// Anything on the path that the server never sent was fetched.
-	sent := map[string]bool{}
+	sent := map[certmodel.FP]bool{}
 	for _, c := range list {
-		sent[c.FingerprintHex()] = true
+		sent[c.Fingerprint()] = true
 	}
 	for _, c := range out.Path {
-		if !sent[c.FingerprintHex()] && !c.SelfSigned() {
+		if !sent[c.Fingerprint()] && !c.SelfSigned() {
 			actions = append(actions, Action{ActionFetchMissing, c})
 		}
 	}
@@ -196,7 +196,7 @@ func (f *Fixer) explain(list []*certmodel.Certificate, out pathbuild.Outcome) []
 	if last.SelfSigned() {
 		if f.KeepRoot {
 			actions = append(actions, Action{ActionKeepRoot, last})
-		} else if sent[last.FingerprintHex()] {
+		} else if sent[last.Fingerprint()] {
 			actions = append(actions, Action{ActionStripRoot, last})
 		}
 	}
@@ -206,16 +206,16 @@ func (f *Fixer) explain(list []*certmodel.Certificate, out pathbuild.Outcome) []
 // sameOrder reports whether the path-member certificates appear in the input
 // in path order (first occurrences).
 func sameOrder(list, path []*certmodel.Certificate) bool {
-	pos := map[string]int{}
+	pos := map[certmodel.FP]int{}
 	for i, c := range list {
-		fp := c.FingerprintHex()
+		fp := c.Fingerprint()
 		if _, ok := pos[fp]; !ok {
 			pos[fp] = i
 		}
 	}
 	prev := -1
 	for _, c := range path {
-		p, ok := pos[c.FingerprintHex()]
+		p, ok := pos[c.Fingerprint()]
 		if !ok {
 			continue // fetched via AIA
 		}

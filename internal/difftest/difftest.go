@@ -405,6 +405,9 @@ func buildWarmCache(pop *population.Population, warm []string) *rootstore.Store 
 			cache.Add(inter)
 		}
 	}
+	// Every harness builder reads this cache CacheReadOnly, so freeze it:
+	// the worker shards then hit it lock-free.
+	cache.Seal()
 	return cache
 }
 

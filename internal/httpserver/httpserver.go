@@ -144,9 +144,9 @@ func (m Model) Deploy(in ConfigInput) ([]*certmodel.Certificate, error) {
 		}
 	}
 	if m.ChecksDuplicateLeaf {
-		leafFP := list[0].FingerprintHex()
+		leafFP := list[0].Fingerprint()
 		for _, c := range list[1:] {
-			if c.FingerprintHex() == leafFP {
+			if c.Fingerprint() == leafFP {
 				return nil, ErrDuplicateLeaf
 			}
 		}

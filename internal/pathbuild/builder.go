@@ -45,7 +45,10 @@ type Outcome struct {
 
 	// CandidatesConsidered counts issuer candidates examined, the resource
 	// metric behind the paper's duplicate/irrelevant-certificate cost
-	// observations.
+	// observations. It counts presented-list entries a sequential scanner
+	// visits per step (all of them under Reorder, the forward tail
+	// otherwise), so the metric is independent of how the lookup is
+	// implemented internally.
 	CandidatesConsidered int
 
 	// PathsTried counts complete candidate paths validated (1 without
@@ -60,6 +63,13 @@ type Outcome struct {
 func (o Outcome) OK() bool { return o.Err == nil && o.Validation.OK }
 
 // Builder constructs certification paths under a Policy.
+//
+// A Builder owns reusable construction scratch (candidate pool, pool index,
+// search stacks), so calling Build repeatedly on one Builder runs
+// allocation-lean; the differential harness keeps one Builder per
+// (shard, profile) for exactly this reason. A Builder is therefore NOT safe
+// for concurrent use — share certificates and (sealed) stores across
+// goroutines, not Builders.
 type Builder struct {
 	Policy Policy
 	// Roots is the builder's trust store.
@@ -82,9 +92,27 @@ type Builder struct {
 	Revocation *revocation.List
 	// Trace, when non-nil, records every construction decision.
 	Trace *Trace
+
+	// scratch is the builder-owned search state, lazily created on the
+	// first Build and reused (cleared, not reallocated) on every later one.
+	scratch *searcher
 }
 
 const defaultMaxAttempts = 32
+
+// searcher returns the builder's reusable search scratch.
+func (b *Builder) searcher() *searcher {
+	if b.scratch == nil {
+		b.scratch = &searcher{
+			builder:   b,
+			used:      make(map[certmodel.FP]bool, 8),
+			poolSeen:  make(map[certmodel.FP]bool, 8),
+			bySubject: make(map[certmodel.Name]int32, 8),
+			bySKID:    make(map[skidKey]int32, 8),
+		}
+	}
+	return b.scratch
+}
 
 // Build constructs and validates a path for the presented list. domain, when
 // non-empty, is checked against the leaf during validation.
@@ -105,18 +133,8 @@ func (b *Builder) Build(list []*certmodel.Certificate, domain string) Outcome {
 		return out
 	}
 
-	pool := b.buildPool(list)
-	search := &searcher{
-		builder: b,
-		pool:    pool,
-		domain:  domain,
-		out:     &out,
-		maxTry:  b.Policy.MaxAttempts,
-	}
-	if search.maxTry <= 0 {
-		search.maxTry = defaultMaxAttempts
-	}
-
+	search := b.searcher()
+	search.begin(list, domain, &out)
 	search.run(leaf)
 
 	if out.Err == nil && len(out.Path) > 0 && out.Validation.OK && b.Policy.UseCache && b.Cache != nil && !b.CacheReadOnly {
@@ -138,28 +156,34 @@ type poolEntry struct {
 
 // buildPool converts the list into the candidate pool, folding duplicates
 // when the policy eliminates them. The leaf (position 0) stays in the pool:
-// a duplicated leaf must still be skipped over, at scanning cost.
-func (b *Builder) buildPool(list []*certmodel.Certificate) []poolEntry {
-	pool := make([]poolEntry, 0, len(list))
-	if b.Policy.EliminateDuplicates {
-		seen := make(map[string]bool, len(list))
+// a duplicated leaf must still be skipped over, at scanning cost. The pool
+// slice and dedup set live in the searcher scratch and are reused across
+// Build calls.
+func (s *searcher) buildPool(list []*certmodel.Certificate) {
+	pool := s.poolBuf[:0]
+	if s.builder.Policy.EliminateDuplicates {
+		clear(s.poolSeen)
 		for i, c := range list {
-			fp := c.FingerprintHex()
-			if seen[fp] {
+			fp := c.Fingerprint()
+			if s.poolSeen[fp] {
 				continue
 			}
-			seen[fp] = true
+			s.poolSeen[fp] = true
 			pool = append(pool, poolEntry{c, i})
 		}
-		return pool
+	} else {
+		for i, c := range list {
+			pool = append(pool, poolEntry{c, i})
+		}
 	}
-	for i, c := range list {
-		pool = append(pool, poolEntry{c, i})
-	}
-	return pool
+	s.poolBuf = pool
+	s.pool = pool
 }
 
-// searcher runs the (possibly backtracking) DFS over issuer choices.
+// searcher runs the (possibly backtracking) DFS over issuer choices. One
+// searcher is owned by its Builder and reused across Build calls: the pool,
+// the pool index, the path stack, the used set and the per-depth candidate
+// buffers are cleared — not reallocated — by begin.
 type searcher struct {
 	builder *Builder
 	pool    []poolEntry
@@ -167,14 +191,62 @@ type searcher struct {
 	out     *Outcome
 	maxTry  int
 
+	// Reusable scratch.
+
+	// poolBuf backs pool; poolSeen dedups it when the policy eliminates
+	// duplicates.
+	poolBuf  []poolEntry
+	poolSeen map[certmodel.FP]bool
+	// bySubject/bySKID head per-key chains threaded through nextSubject/
+	// nextSKID, indexing pool entries so candidate lookup touches only
+	// entries that can match (see indexPool).
+	bySubject   map[certmodel.Name]int32
+	bySKID      map[skidKey]int32
+	nextSubject []int32
+	nextSKID    []int32
+	// path is the DFS stack of the partial path; used marks the
+	// fingerprints on it.
+	path []*certmodel.Certificate
+	used map[certmodel.FP]bool
+	// candStack holds one reusable candidate buffer per search depth, so
+	// backtracking frames never share (or reallocate) a shortlist.
+	candStack [][]candidate
+	// issuerBuf is the reusable buffer handed to rootstore.AppendIssuers.
+	// Safe to share across the roots and cache lookups within one step:
+	// each is fully consumed (copied into cands) before the other runs.
+	issuerBuf []*certmodel.Certificate
+
+	// Per-Build results.
 	firstPath       []*certmodel.Certificate
 	firstValidation validate.Result
 	haveFirst       bool
 	done            bool
 }
 
+// begin resets the searcher for a new Build call: per-call results are
+// zeroed, the candidate pool is rebuilt into the reusable buffers, and the
+// pool index is rewired.
+func (s *searcher) begin(list []*certmodel.Certificate, domain string, out *Outcome) {
+	s.domain = domain
+	s.out = out
+	s.maxTry = s.builder.Policy.MaxAttempts
+	if s.maxTry <= 0 {
+		s.maxTry = defaultMaxAttempts
+	}
+	s.path = s.path[:0]
+	clear(s.used)
+	s.firstPath = nil
+	s.firstValidation = validate.Result{}
+	s.haveFirst = false
+	s.done = false
+	s.buildPool(list)
+	s.indexPool()
+}
+
 func (s *searcher) run(leaf *certmodel.Certificate) {
-	s.extend([]*certmodel.Certificate{leaf}, map[string]bool{leaf.FingerprintHex(): true}, 0)
+	s.path = append(s.path, leaf)
+	s.used[leaf.Fingerprint()] = true
+	s.extend(0)
 	if s.done {
 		return
 	}
@@ -191,7 +263,8 @@ func (s *searcher) run(leaf *certmodel.Certificate) {
 }
 
 // finish validates a complete candidate path and records it. It returns true
-// when the search should stop.
+// when the search should stop. The recorded paths are fresh copies — the
+// live path slice is builder-owned scratch and must never escape.
 func (s *searcher) finish(path []*certmodel.Certificate) bool {
 	s.out.PathsTried++
 	res := validate.Path(path, validate.Options{
@@ -243,36 +316,38 @@ func (s *searcher) effectiveLengthOK(path []*certmodel.Certificate) bool {
 	}
 	effective := len(path)
 	last := path[len(path)-1]
-	if s.builder.Roots != nil && !s.builder.Roots.Contains(last) && len(s.builder.Roots.FindIssuers(last)) > 0 {
+	if s.builder.Roots != nil && !s.builder.Roots.Contains(last) && s.builder.Roots.HasIssuer(last) {
 		effective++
 	}
 	return effective <= limit
 }
 
-// extend grows the path upward from its last certificate. lastPos is the
+// extend grows s.path upward from its last certificate. lastPos is the
 // list position of the most recently consumed in-list certificate, used by
-// forward-only (non-reordering) policies.
-func (s *searcher) extend(path []*certmodel.Certificate, used map[string]bool, lastPos int) {
+// forward-only (non-reordering) policies. The path stack is pushed/popped in
+// place; finish copies whatever escapes into the Outcome.
+func (s *searcher) extend(lastPos int) {
 	if s.done {
 		return
 	}
-	current := path[len(path)-1]
+	current := s.path[len(s.path)-1]
 
 	// A self-signed certificate terminates construction.
 	if current.SelfSigned() {
-		s.finish(path)
+		s.finish(s.path)
 		return
 	}
 
-	cands := s.collectCandidates(current, used, lastPos, len(path))
-	s.recordStep(current, len(path), cands)
+	cands := s.collectCandidates(current, lastPos, len(s.path))
+	s.recordStep(current, len(s.path), cands)
 
 	tried := false
-	for _, cand := range cands {
+	for i := range cands {
+		cand := cands[i]
 		if s.done {
 			return
 		}
-		if !s.withinLengthLimit(len(path) + 1) {
+		if !s.withinLengthLimit(len(s.path) + 1) {
 			// Every extension would blow the limit; terminate with the
 			// partial path so validation reports the dangling end —
 			// unless nothing has been tried, in which case fall through
@@ -280,19 +355,21 @@ func (s *searcher) extend(path []*certmodel.Certificate, used map[string]bool, l
 			break
 		}
 		tried = true
-		fp := cand.cert.FingerprintHex()
-		used[fp] = true
-		next := append(path, cand.cert)
+		fp := cand.cert.Fingerprint()
+		s.used[fp] = true
+		s.path = append(s.path, cand.cert)
 		if cand.terminal {
-			if !s.finish(next) && s.builder.Policy.Backtrack {
-				delete(used, fp)
+			finished := s.finish(s.path)
+			s.path = s.path[:len(s.path)-1]
+			delete(s.used, fp)
+			if !finished && s.builder.Policy.Backtrack {
 				continue
 			}
-			delete(used, fp)
 			return
 		}
-		s.extend(next, used, cand.nextLastPos(lastPos))
-		delete(used, fp)
+		s.extend(cand.nextLastPos(lastPos))
+		s.path = s.path[:len(s.path)-1]
+		delete(s.used, fp)
 		if s.done || !s.builder.Policy.Backtrack {
 			return
 		}
@@ -303,5 +380,5 @@ func (s *searcher) extend(path []*certmodel.Certificate, used map[string]bool, l
 
 	// Dead end: no candidate issuer anywhere. The client presents what it
 	// has; validation will flag the untrusted terminus.
-	s.finish(path)
+	s.finish(s.path)
 }

@@ -97,64 +97,167 @@ func kidStatus(parent, child *certmodel.Certificate) int {
 	return 2
 }
 
+// skidKey is the fixed-size map key for the SKID chain: the first 8 bytes
+// of the identifier (zero-padded). Using a prefix instead of the full
+// variable-length SKID keeps index construction allocation-free — a
+// map[string] insert would copy the byte slice on every pool entry. Prefix
+// collisions merely lengthen a chain; every chain entry is re-checked with
+// NameIndicatesIssuance (which compares the full identifiers) before use.
+type skidKey [8]byte
+
+func skidKeyOf(id []byte) (k skidKey) {
+	copy(k[:], id)
+	return k
+}
+
+// indexPool (re)builds the pool index for the current Build call: a
+// subject-DN chain and an SKID chain over the pool entries, so candidate
+// lookup touches only the entries that can satisfy NameIndicatesIssuance
+// for the path tip — O(matches) instead of O(pool) per step. Chain heads
+// live in the reusable bySubject/bySKID maps; links are threaded through the
+// nextSubject/nextSKID arrays. Entries are inserted in reverse pool order so
+// every chain iterates in ascending pool position, the same visit order as a
+// front-to-back sequential scan.
+//
+// Zero-subject entries never enter the subject chain (the DN criterion
+// requires a non-empty issuer name), and SKID-less entries never enter the
+// SKID chain, mirroring the guards inside NameIndicatesIssuance.
+func (s *searcher) indexPool() {
+	clear(s.bySubject)
+	clear(s.bySKID)
+	n := len(s.pool)
+	if cap(s.nextSubject) < n {
+		s.nextSubject = make([]int32, n)
+		s.nextSKID = make([]int32, n)
+	}
+	s.nextSubject = s.nextSubject[:n]
+	s.nextSKID = s.nextSKID[:n]
+	for i := n - 1; i >= 0; i-- {
+		c := s.pool[i].cert
+		s.nextSubject[i] = -1
+		s.nextSKID[i] = -1
+		if !c.Subject.IsZero() {
+			if head, ok := s.bySubject[c.Subject]; ok {
+				s.nextSubject[i] = head
+			}
+			s.bySubject[c.Subject] = int32(i)
+		}
+		if len(c.SubjectKeyID) > 0 {
+			k := skidKeyOf(c.SubjectKeyID)
+			if head, ok := s.bySKID[k]; ok {
+				s.nextSKID[i] = head
+			}
+			s.bySKID[k] = int32(i)
+		}
+	}
+}
+
+// addCandidate appends cert to cands unless it is already on the path,
+// already shortlisted, identical to the current tip, or (under partial
+// validation) cryptographically unusable. The shortlist is small, so the
+// dedup is a linear scan over the cached binary fingerprints rather than a
+// per-step map.
+func (s *searcher) addCandidate(cands []candidate, current, cert *certmodel.Certificate, pos int, source candSource, terminal bool) []candidate {
+	fp := cert.Fingerprint()
+	if s.used[fp] {
+		return cands
+	}
+	for i := range cands {
+		if cands[i].cert.Fingerprint() == fp {
+			return cands
+		}
+	}
+	if cert.Equal(current) {
+		return cands
+	}
+	b := s.builder
+	if b.Policy.PartialValidation {
+		// MbedTLS-style interleaving: check the signature (and validity,
+		// when a clock is set) before accepting the candidate at all.
+		if !current.SignatureVerifiedBy(cert) {
+			return cands
+		}
+		if !b.Now.IsZero() && !cert.ValidAt(b.Now) {
+			return cands
+		}
+		if b.Revocation.IsRevoked(cert) {
+			return cands
+		}
+	}
+	return append(cands, candidate{cert: cert, pos: pos, source: source, terminal: terminal})
+}
+
+// candBuf returns the reusable candidate buffer for a search depth, length
+// zero. One buffer per depth, because a frame iterates its shortlist while
+// deeper frames collect theirs.
+func (s *searcher) candBuf(depth int) []candidate {
+	for len(s.candStack) <= depth {
+		s.candStack = append(s.candStack, nil)
+	}
+	return s.candStack[depth][:0]
+}
+
 // collectCandidates gathers, filters, deduplicates and ranks the issuer
 // candidates for current. depth is the length of the path built so far
 // (candidate would become element depth); lastPos is the forward-only cursor
-// for non-reordering policies.
-func (s *searcher) collectCandidates(current *certmodel.Certificate, used map[string]bool, lastPos, depth int) []candidate {
+// for non-reordering policies. The returned slice is searcher-owned scratch,
+// valid until the next collection at the same depth.
+func (s *searcher) collectCandidates(current *certmodel.Certificate, lastPos, depth int) []candidate {
 	b := s.builder
-	var cands []candidate
-	seen := make(map[string]bool)
-
-	add := func(cert *certmodel.Certificate, pos int, source candSource, terminal bool) {
-		fp := cert.FingerprintHex()
-		if used[fp] || seen[fp] {
-			return
-		}
-		if cert.Equal(current) {
-			return
-		}
-		if b.Policy.PartialValidation {
-			// MbedTLS-style interleaving: check the signature (and
-			// validity, when a clock is set) before accepting the
-			// candidate at all.
-			if !current.SignatureVerifiedBy(cert) {
-				return
-			}
-			if !b.Now.IsZero() && !cert.ValidAt(b.Now) {
-				return
-			}
-			if b.Revocation.IsRevoked(cert) {
-				return
-			}
-		}
-		seen[fp] = true
-		cands = append(cands, candidate{cert: cert, pos: pos, source: source, terminal: terminal})
-	}
+	cands := s.candBuf(depth)
 
 	// Trust store first so that a root reachable both ways is flagged
 	// terminal.
 	if b.Roots != nil {
-		for _, root := range b.Roots.FindIssuers(current) {
-			add(root, -1, sourceRoots, true)
+		s.issuerBuf = b.Roots.AppendIssuers(s.issuerBuf[:0], current)
+		for _, root := range s.issuerBuf {
+			cands = s.addCandidate(cands, current, root, -1, sourceRoots, true)
 		}
 	}
 
-	// Presented list.
-	for _, entry := range s.pool {
-		if !b.Policy.Reorder && entry.pos <= lastPos {
-			continue
+	// Presented list, via the pool index. CandidatesConsidered keeps the
+	// sequential-scan semantics — every pool entry a front-to-back scanner
+	// would visit counts, whether or not the index touches it: reordering
+	// policies scan the whole pool, forward-only ones the tail past
+	// lastPos (pool positions are strictly increasing).
+	if b.Policy.Reorder {
+		s.out.CandidatesConsidered += len(s.pool)
+	} else {
+		first := sort.Search(len(s.pool), func(i int) bool { return s.pool[i].pos > lastPos })
+		s.out.CandidatesConsidered += len(s.pool) - first
+	}
+	if !current.Issuer.IsZero() {
+		if head, ok := s.bySubject[current.Issuer]; ok {
+			for i := head; i >= 0; i = s.nextSubject[i] {
+				entry := s.pool[i]
+				if !b.Policy.Reorder && entry.pos <= lastPos {
+					continue
+				}
+				if certmodel.NameIndicatesIssuance(entry.cert, current) {
+					cands = s.addCandidate(cands, current, entry.cert, entry.pos, sourceList, false)
+				}
+			}
 		}
-		s.out.CandidatesConsidered++
-		if certmodel.NameIndicatesIssuance(entry.cert, current) {
-			add(entry.cert, entry.pos, sourceList, false)
+	}
+	if len(current.AuthorityKeyID) > 0 {
+		if head, ok := s.bySKID[skidKeyOf(current.AuthorityKeyID)]; ok {
+			for i := head; i >= 0; i = s.nextSKID[i] {
+				entry := s.pool[i]
+				if !b.Policy.Reorder && entry.pos <= lastPos {
+					continue
+				}
+				if certmodel.NameIndicatesIssuance(entry.cert, current) {
+					cands = s.addCandidate(cands, current, entry.cert, entry.pos, sourceList, false)
+				}
+			}
 		}
 	}
 
 	// Intermediate cache (Firefox).
 	if b.Policy.UseCache && b.Cache != nil {
-		for _, cached := range b.Cache.FindIssuers(current) {
-			add(cached, -1, sourceCache, false)
+		s.issuerBuf = b.Cache.AppendIssuers(s.issuerBuf[:0], current)
+		for _, cached := range s.issuerBuf {
+			cands = s.addCandidate(cands, current, cached, -1, sourceCache, false)
 		}
 	}
 
@@ -168,7 +271,7 @@ func (s *searcher) collectCandidates(current *certmodel.Certificate, used map[st
 				continue
 			}
 			if certmodel.Issued(fetched, current) {
-				add(fetched, -1, sourceAIA, false)
+				cands = s.addCandidate(cands, current, fetched, -1, sourceAIA, false)
 				break
 			}
 		}
@@ -178,6 +281,7 @@ func (s *searcher) collectCandidates(current *certmodel.Certificate, used map[st
 		cands[i].rank = s.rankCandidate(current, cands[i], depth)
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rank.less(cands[j].rank) })
+	s.candStack[depth] = cands
 	return cands
 }
 

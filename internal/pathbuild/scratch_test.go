@@ -1,0 +1,259 @@
+package pathbuild
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/rootstore"
+)
+
+// figureTopologies builds the paper's canonical chain shapes — Figure 2's
+// four topologies, a Figure 3-style long duplicate-heavy list, and Figure 4's
+// cross-signed multi-path list — with synthetic certificates, each paired
+// with a trust store.
+func figureTopologies(tag string) []struct {
+	name  string
+	list  []*certmodel.Certificate
+	roots *rootstore.Store
+} {
+	root := certmodel.SyntheticRoot("Fig Root "+tag, base)
+	top := certmodel.SyntheticIntermediate("Fig CA 2 "+tag, root, base)
+	issuing := certmodel.SyntheticIntermediate("Fig CA 1 "+tag, top, base)
+	leaf := certmodel.SyntheticLeaf("fig."+tag+".example", "1", issuing, base, base.AddDate(1, 0, 0))
+	stranger := certmodel.SyntheticRoot("Fig Stranger "+tag, base)
+
+	legacy := certmodel.SyntheticRoot("Fig Legacy "+tag, base.AddDate(-8, 0, 0))
+	cross := certmodel.NewSynthetic(certmodel.SyntheticConfig{
+		Subject: top.Subject, Issuer: legacy.Subject, Serial: "fig-cross-" + tag,
+		NotBefore: base, NotAfter: base.AddDate(4, 0, 0),
+		Key: certmodel.KeyOf(top), SignedBy: certmodel.KeyOf(legacy),
+		IsCA: true, BasicConstraintsValid: true,
+		KeyUsage: certmodel.KeyUsageCertSign, HasKeyUsage: true,
+	})
+
+	// Figure 3 shape: a pile of stale sibling leaves and duplicate copies
+	// before the usable intermediates.
+	long := []*certmodel.Certificate{leaf}
+	for i := 0; i < 6; i++ {
+		stale := certmodel.SyntheticLeaf("fig."+tag+".example", fmt.Sprintf("stale-%d", i),
+			issuing, base.AddDate(-2, 0, 0), base.AddDate(-1, 0, 0))
+		long = append(long, stale, stale) // bit-identical duplicate copies
+	}
+	long = append(long, top, issuing, root)
+
+	store := rootstore.NewWith("fig-"+tag, root)
+	crossStore := rootstore.NewWith("fig-cross-"+tag, root, legacy)
+	// Exercise the sealed read paths too: these stores never grow again.
+	store.Seal()
+	crossStore.Seal()
+
+	return []struct {
+		name  string
+		list  []*certmodel.Certificate
+		roots *rootstore.Store
+	}{
+		{"fig2a-compliant", []*certmodel.Certificate{leaf, issuing, top, root}, store},
+		{"fig2b-irrelevant", []*certmodel.Certificate{leaf, stranger, issuing, top, root}, store},
+		{"fig2c-crosssigned", []*certmodel.Certificate{leaf, issuing, legacy, cross, top, root}, crossStore},
+		{"fig2d-duplicated", []*certmodel.Certificate{leaf, issuing, top, root, top, issuing}, store},
+		{"fig3-long", long, store},
+		{"fig4-multipath", []*certmodel.Certificate{leaf, issuing, cross, top}, crossStore},
+	}
+}
+
+func oraclePolicies() []Policy {
+	chrome := Policy{Name: "chrome-like", Reorder: true, EliminateDuplicates: true,
+		ValidityPref: ValidityMostRecent, KIDPref: KIDMatchFirst, KeyUsagePref: true,
+		BasicConstraintsPref: true, PreferTrustedRoot: true, Backtrack: true}
+	openssl := Policy{Name: "openssl-like", Reorder: true, EliminateDuplicates: true,
+		ValidityPref: ValidityFirstValid, KIDPref: KIDMatchOrAbsentFirst}
+	mbed := Policy{Name: "mbed-like", PartialValidation: true, AllowSelfSignedLeaf: true}
+	rec := DefaultPolicy()
+	rec.AIA = false
+	return []Policy{chrome, openssl, mbed, rec}
+}
+
+// linearCollectOracle reimplements candidate collection as the sequential
+// scan the index replaced: fresh seen map, full front-to-back pool walk,
+// then ranking. It is the test oracle for collectCandidates.
+func linearCollectOracle(s *searcher, current *certmodel.Certificate, lastPos, depth int) ([]candidate, int) {
+	b := s.builder
+	var cands []candidate
+	seen := make(map[certmodel.FP]bool)
+	considered := 0
+
+	add := func(cert *certmodel.Certificate, pos int, source candSource, terminal bool) {
+		fp := cert.Fingerprint()
+		if s.used[fp] || seen[fp] {
+			return
+		}
+		if cert.Equal(current) {
+			return
+		}
+		if b.Policy.PartialValidation {
+			if !current.SignatureVerifiedBy(cert) {
+				return
+			}
+			if !b.Now.IsZero() && !cert.ValidAt(b.Now) {
+				return
+			}
+			if b.Revocation.IsRevoked(cert) {
+				return
+			}
+		}
+		seen[fp] = true
+		cands = append(cands, candidate{cert: cert, pos: pos, source: source, terminal: terminal})
+	}
+
+	if b.Roots != nil {
+		for _, root := range b.Roots.FindIssuers(current) {
+			add(root, -1, sourceRoots, true)
+		}
+	}
+	for _, entry := range s.pool {
+		if !b.Policy.Reorder && entry.pos <= lastPos {
+			continue
+		}
+		considered++
+		if certmodel.NameIndicatesIssuance(entry.cert, current) {
+			add(entry.cert, entry.pos, sourceList, false)
+		}
+	}
+	if b.Policy.UseCache && b.Cache != nil {
+		for _, cached := range b.Cache.FindIssuers(current) {
+			add(cached, -1, sourceCache, false)
+		}
+	}
+	for i := range cands {
+		cands[i].rank = s.rankCandidate(current, cands[i], depth)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rank.less(cands[j].rank) })
+	return cands, considered
+}
+
+// TestPoolIndexOracle: on every Figure 2/3/4 topology, under every policy
+// family, for every path tip and forward-only cursor, the indexed
+// collectCandidates must return the same ranked slice — and account the same
+// CandidatesConsidered — as the sequential scan it replaced.
+func TestPoolIndexOracle(t *testing.T) {
+	for _, pol := range oraclePolicies() {
+		for _, tc := range figureTopologies(pol.Name) {
+			b := &Builder{Policy: pol, Roots: tc.roots, Now: base.AddDate(0, 1, 0)}
+			var out Outcome
+			s := b.searcher()
+			s.begin(tc.list, "", &out)
+			s.used[tc.list[0].Fingerprint()] = true
+
+			for _, current := range tc.list {
+				for lastPos := 0; lastPos <= len(tc.list); lastPos++ {
+					before := out.CandidatesConsidered
+					got := append([]candidate(nil), s.collectCandidates(current, lastPos, 1)...)
+					gotConsidered := out.CandidatesConsidered - before
+					want, wantConsidered := linearCollectOracle(s, current, lastPos, 1)
+
+					label := fmt.Sprintf("%s/%s tip=%s lastPos=%d", pol.Name, tc.name, current.Subject.CommonName, lastPos)
+					if gotConsidered != wantConsidered {
+						t.Fatalf("%s: CandidatesConsidered %d, linear scan %d", label, gotConsidered, wantConsidered)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d candidates, linear scan %d", label, len(got), len(want))
+					}
+					for i := range got {
+						g, w := got[i], want[i]
+						if g.cert != w.cert || g.pos != w.pos || g.source != w.source || g.terminal != w.terminal || g.rank != w.rank {
+							t.Fatalf("%s: candidate %d = {%s pos=%d src=%d term=%v %+v}, linear scan {%s pos=%d src=%d term=%v %+v}",
+								label, i,
+								g.cert.Subject.CommonName, g.pos, g.source, g.terminal, g.rank,
+								w.cert.Subject.CommonName, w.pos, w.source, w.terminal, w.rank)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// outcomesEqual compares everything a caller can observe about two Outcomes.
+func outcomesEqual(a, b Outcome) bool {
+	if (a.Err == nil) != (b.Err == nil) {
+		return false
+	}
+	if a.Err != nil && a.Err.Error() != b.Err.Error() {
+		return false
+	}
+	if a.Validation.OK != b.Validation.OK ||
+		len(a.Validation.Findings) != len(b.Validation.Findings) ||
+		a.CandidatesConsidered != b.CandidatesConsidered ||
+		a.PathsTried != b.PathsTried ||
+		a.AIAFetches != b.AIAFetches ||
+		len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i].Fingerprint() != b.Path[i].Fingerprint() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScratchReuseMatchesFreshBuilder: a Builder reused across many Build
+// calls with different lists must behave exactly like a fresh Builder per
+// call — no scratch state (pool, index, used set, candidate buffers) may
+// leak between calls.
+func TestScratchReuseMatchesFreshBuilder(t *testing.T) {
+	for _, pol := range oraclePolicies() {
+		cases := figureTopologies(pol.Name + "-reuse")
+		reused := &Builder{Policy: pol, Now: base.AddDate(0, 1, 0)}
+		// Interleave the topologies twice over, so every pairing of
+		// consecutive lists (long after short, duplicated after distinct)
+		// crosses the reused scratch.
+		for round := 0; round < 2; round++ {
+			for _, tc := range cases {
+				reused.Roots = tc.roots
+				got := reused.Build(tc.list, "")
+				fresh := &Builder{Policy: pol, Roots: tc.roots, Now: base.AddDate(0, 1, 0)}
+				want := fresh.Build(tc.list, "")
+				if !outcomesEqual(got, want) {
+					t.Errorf("%s/%s round %d: reused builder outcome diverges from fresh builder\nreused: path=%d ok=%v cand=%d tried=%d err=%v\nfresh:  path=%d ok=%v cand=%d tried=%d err=%v",
+						pol.Name, tc.name, round,
+						len(got.Path), got.Validation.OK, got.CandidatesConsidered, got.PathsTried, got.Err,
+						len(want.Path), want.Validation.OK, want.CandidatesConsidered, want.PathsTried, want.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildOutcomePathIsIndependent: the path returned by Build must be a
+// copy, not a view of builder scratch — a later Build on the same Builder
+// must not mutate an earlier Outcome.
+func TestBuildOutcomePathIsIndependent(t *testing.T) {
+	cases := figureTopologies("indep")
+	b := &Builder{Policy: DefaultPolicy(), Roots: cases[0].roots, Now: base.AddDate(0, 1, 0)}
+	b.Policy.AIA = false
+
+	first := b.Build(cases[0].list, "")
+	snapshot := make([]certmodel.FP, len(first.Path))
+	for i, c := range first.Path {
+		snapshot[i] = c.Fingerprint()
+	}
+	for _, tc := range cases[1:] {
+		b.Roots = tc.roots
+		b.Build(tc.list, "")
+	}
+	if len(first.Path) != len(snapshot) {
+		t.Fatalf("earlier outcome path length changed")
+	}
+	for i, c := range first.Path {
+		if c.Fingerprint() != snapshot[i] {
+			t.Fatalf("earlier outcome path element %d mutated by a later Build", i)
+		}
+	}
+	if first.Err != nil && !errors.Is(first.Err, ErrPathTooLong) {
+		t.Fatalf("unexpected error: %v", first.Err)
+	}
+}

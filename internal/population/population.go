@@ -149,16 +149,19 @@ func Generate(cfg Config) *Population {
 	hierarchies := buildHierarchies(cfg, repo)
 
 	var allRoots []*certmodel.Certificate
-	omitsOf := make(map[string]map[int]bool)
+	omitsOf := make(map[certmodel.FP]map[int]bool)
 	for _, h := range hierarchies {
 		allRoots = append(allRoots, h.iss.Root, h.iss.CrossRoot)
 		if h.storeOmit != nil {
-			omitsOf[h.iss.Root.FingerprintHex()] = h.storeOmit
+			omitsOf[h.iss.Root.Fingerprint()] = h.storeOmit
 		}
 	}
 	vendors := rootstore.NewVendorSet(allRoots, func(root *certmodel.Certificate, vendor int) bool {
-		return omitsOf[root.FingerprintHex()][vendor]
+		return omitsOf[root.Fingerprint()][vendor]
 	})
+	// The vendor stores are complete; freeze them so every build across the
+	// population reads them lock-free.
+	vendors.Seal()
 
 	pop := &Population{Cfg: cfg, Repo: repo, Vendors: vendors}
 	for _, h := range hierarchies {

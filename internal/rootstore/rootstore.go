@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chainchaos/internal/certmodel"
 )
@@ -16,10 +17,18 @@ import (
 // completion needs: by certificate identity (is this exact cert trusted?),
 // by subject key identifier (does any root's SKID match this AKID?), and by
 // subject DN (candidate roots for an orphan whose AKID is absent).
+//
+// Stores follow a write-once-then-read-many lifecycle: populate with Add,
+// then call Seal before handing the store to concurrent readers. Sealed
+// stores answer every read without touching the mutex and without copying,
+// which keeps the path-building hot loop allocation-free; unsealed stores
+// remain fully mutex-guarded (the Firefox-style learning intermediate cache
+// stays unsealed because successful builds keep feeding it).
 type Store struct {
 	mu        sync.RWMutex
+	sealed    atomic.Bool
 	name      string
-	byFP      map[string]*certmodel.Certificate
+	byFP      map[certmodel.FP]*certmodel.Certificate
 	bySKID    map[string][]*certmodel.Certificate
 	bySubject map[certmodel.Name][]*certmodel.Certificate
 }
@@ -28,7 +37,7 @@ type Store struct {
 func New(name string) *Store {
 	return &Store{
 		name:      name,
-		byFP:      make(map[string]*certmodel.Certificate),
+		byFP:      make(map[certmodel.FP]*certmodel.Certificate),
 		bySKID:    make(map[string][]*certmodel.Certificate),
 		bySubject: make(map[certmodel.Name][]*certmodel.Certificate),
 	}
@@ -46,14 +55,29 @@ func NewWith(name string, roots ...*certmodel.Certificate) *Store {
 // Name returns the store's name ("Mozilla", "union", ...).
 func (s *Store) Name() string { return s.name }
 
-// Add inserts a root. Adding the same certificate twice is a no-op.
+// Seal freezes the store: subsequent Add calls panic and every read path
+// skips the mutex. Seal must happen-before any read it is meant to
+// de-synchronize (seal during single-threaded construction, then share);
+// sealing twice is a no-op.
+func (s *Store) Seal() {
+	s.sealed.Store(true)
+}
+
+// Sealed reports whether the store has been sealed.
+func (s *Store) Sealed() bool { return s.sealed.Load() }
+
+// Add inserts a root. Adding the same certificate twice is a no-op. Add
+// panics on a sealed store.
 func (s *Store) Add(root *certmodel.Certificate) {
 	if root == nil {
 		return
 	}
+	if s.sealed.Load() {
+		panic("rootstore: Add on sealed store " + s.name)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fp := root.FingerprintHex()
+	fp := root.Fingerprint()
 	if _, ok := s.byFP[fp]; ok {
 		return
 	}
@@ -70,25 +94,37 @@ func (s *Store) Contains(cert *certmodel.Certificate) bool {
 	if cert == nil {
 		return false
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.byFP[cert.FingerprintHex()]
+	if !s.sealed.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	_, ok := s.byFP[cert.Fingerprint()]
 	return ok
 }
 
 // FindBySKID returns the trusted roots whose SKID equals akid — the store
 // lookup the paper performs for the AKID of a path's last certificate.
+// Sealed stores return an internal slice that callers must not mutate;
+// unsealed stores return a copy.
 func (s *Store) FindBySKID(akid []byte) []*certmodel.Certificate {
 	if len(akid) == 0 {
 		return nil
+	}
+	if s.sealed.Load() {
+		return s.bySKID[string(akid)]
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]*certmodel.Certificate(nil), s.bySKID[string(akid)]...)
 }
 
-// FindBySubject returns the trusted roots with the given subject DN.
+// FindBySubject returns the trusted roots with the given subject DN. Sealed
+// stores return an internal slice that callers must not mutate; unsealed
+// stores return a copy.
 func (s *Store) FindBySubject(subject certmodel.Name) []*certmodel.Certificate {
+	if s.sealed.Load() {
+		return s.bySubject[subject]
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]*certmodel.Certificate(nil), s.bySubject[subject]...)
@@ -97,50 +133,96 @@ func (s *Store) FindBySubject(subject certmodel.Name) []*certmodel.Certificate {
 // FindIssuers returns the trusted roots that actually issued cert under the
 // paper's issuance rule (signature plus DN-or-KID).
 func (s *Store) FindIssuers(cert *certmodel.Certificate) []*certmodel.Certificate {
+	return s.AppendIssuers(nil, cert)
+}
+
+// AppendIssuers appends the trusted roots that issued cert to dst and
+// returns the extended slice — the allocation-free form of FindIssuers for
+// callers that own a reusable buffer. Duplicate roots reachable through both
+// the SKID and the subject index are folded by pointer identity, which is
+// sound because Add deduplicates by fingerprint: within one store, equal
+// bytes means the same pointer.
+func (s *Store) AppendIssuers(dst []*certmodel.Certificate, cert *certmodel.Certificate) []*certmodel.Certificate {
 	if cert == nil {
-		return nil
+		return dst
 	}
-	var out []*certmodel.Certificate
-	seen := map[string]bool{}
-	consider := func(root *certmodel.Certificate) {
-		fp := root.FingerprintHex()
-		if seen[fp] {
-			return
+	if !s.sealed.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	base := len(dst)
+	if len(cert.AuthorityKeyID) > 0 {
+		// A root appears at most once per chain, so no dedup is needed
+		// within the SKID pass.
+		for _, root := range s.bySKID[string(cert.AuthorityKeyID)] {
+			if certmodel.Issued(root, cert) {
+				dst = append(dst, root)
+			}
 		}
+	}
+	for _, root := range s.bySubject[cert.Issuer] {
+		dup := false
+		for _, have := range dst[base:] {
+			if have == root {
+				dup = true
+				break
+			}
+		}
+		if !dup && certmodel.Issued(root, cert) {
+			dst = append(dst, root)
+		}
+	}
+	return dst
+}
+
+// HasIssuer reports whether any trusted root issued cert, without
+// materializing the issuer list.
+func (s *Store) HasIssuer(cert *certmodel.Certificate) bool {
+	if cert == nil {
+		return false
+	}
+	if !s.sealed.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	if len(cert.AuthorityKeyID) > 0 {
+		for _, root := range s.bySKID[string(cert.AuthorityKeyID)] {
+			if certmodel.Issued(root, cert) {
+				return true
+			}
+		}
+	}
+	for _, root := range s.bySubject[cert.Issuer] {
 		if certmodel.Issued(root, cert) {
-			seen[fp] = true
-			out = append(out, root)
+			return true
 		}
 	}
-	for _, root := range s.FindBySKID(cert.AuthorityKeyID) {
-		consider(root)
-	}
-	for _, root := range s.FindBySubject(cert.Issuer) {
-		consider(root)
-	}
-	return out
+	return false
 }
 
 // Len returns the number of roots in the store.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	return len(s.byFP)
 }
 
 // All returns the roots in a deterministic (fingerprint-sorted) order.
 func (s *Store) All() []*certmodel.Certificate {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fps := make([]string, 0, len(s.byFP))
-	for fp := range s.byFP {
-		fps = append(fps, fp)
+	if !s.sealed.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 	}
-	sort.Strings(fps)
-	out := make([]*certmodel.Certificate, 0, len(fps))
-	for _, fp := range fps {
-		out = append(out, s.byFP[fp])
+	out := make([]*certmodel.Certificate, 0, len(s.byFP))
+	for _, root := range s.byFP {
+		out = append(out, root)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].Fingerprint(), out[j].Fingerprint()
+		return bytes.Compare(fi[:], fj[:]) < 0
+	})
 	return out
 }
 
@@ -169,6 +251,14 @@ type VendorSet struct {
 // Stores returns the four vendor stores in the paper's column order.
 func (v *VendorSet) Stores() []*Store {
 	return []*Store{v.Mozilla, v.Chrome, v.Microsoft, v.Apple}
+}
+
+// Seal freezes all five stores (the four vendors and their union).
+func (v *VendorSet) Seal() {
+	for _, s := range v.Stores() {
+		s.Seal()
+	}
+	v.Union.Seal()
 }
 
 // NewVendorSet builds four vendor stores over the given roots. Membership is

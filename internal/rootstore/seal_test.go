@@ -1,0 +1,117 @@
+package rootstore
+
+import (
+	"testing"
+
+	"chainchaos/internal/certmodel"
+)
+
+func TestSealPanicsOnAdd(t *testing.T) {
+	root := certmodel.SyntheticRoot("Seal Root", base)
+	late := certmodel.SyntheticRoot("Seal Latecomer", base)
+
+	s := NewWith("seal", root)
+	if s.Sealed() {
+		t.Fatal("fresh store reports sealed")
+	}
+	s.Seal()
+	s.Seal() // idempotent
+	if !s.Sealed() {
+		t.Fatal("Sealed() false after Seal")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a sealed store did not panic")
+		}
+	}()
+	s.Add(late)
+}
+
+// TestSealedReadsMatchUnsealed: sealing must not change any answer, only the
+// synchronization strategy behind it.
+func TestSealedReadsMatchUnsealed(t *testing.T) {
+	root := certmodel.SyntheticRoot("Seal RM Root", base)
+	other := certmodel.SyntheticRoot("Seal RM Other", base)
+	inter := certmodel.SyntheticIntermediate("Seal RM CA", root, base)
+	orphan := certmodel.SyntheticIntermediate("Seal RM Orphan", other, base)
+
+	unsealed := NewWith("rm", root)
+	sealed := NewWith("rm", root)
+	sealed.Seal()
+
+	for _, cert := range []*certmodel.Certificate{root, inter, orphan} {
+		if unsealed.Contains(cert) != sealed.Contains(cert) {
+			t.Errorf("Contains(%s) differs after seal", cert.Subject.CommonName)
+		}
+		u, s := unsealed.FindIssuers(cert), sealed.FindIssuers(cert)
+		if len(u) != len(s) {
+			t.Fatalf("FindIssuers(%s): %d unsealed, %d sealed", cert.Subject.CommonName, len(u), len(s))
+		}
+		for i := range u {
+			if !u[i].Equal(s[i]) {
+				t.Errorf("FindIssuers(%s)[%d] differs after seal", cert.Subject.CommonName, i)
+			}
+		}
+		if unsealed.HasIssuer(cert) != sealed.HasIssuer(cert) {
+			t.Errorf("HasIssuer(%s) differs after seal", cert.Subject.CommonName)
+		}
+	}
+	if unsealed.Len() != sealed.Len() {
+		t.Error("Len differs after seal")
+	}
+	ua, sa := unsealed.All(), sealed.All()
+	if len(ua) != len(sa) {
+		t.Fatal("All length differs after seal")
+	}
+	for i := range ua {
+		if !ua[i].Equal(sa[i]) {
+			t.Errorf("All()[%d] differs after seal", i)
+		}
+	}
+}
+
+// TestHasIssuerMatchesFindIssuers on a mixed store: orphans, SKID matches
+// and DN-only matches.
+func TestHasIssuerMatchesFindIssuers(t *testing.T) {
+	rootA := certmodel.SyntheticRoot("HI Root A", base)
+	rootB := certmodel.SyntheticRoot("HI Root B", base)
+	childA := certmodel.SyntheticIntermediate("HI CA A", rootA, base)
+	childB := certmodel.SyntheticIntermediate("HI CA B", rootB, base)
+
+	s := NewWith("hi", rootA)
+	for _, cert := range []*certmodel.Certificate{childA, childB, rootA, nil} {
+		want := len(s.FindIssuers(cert)) > 0
+		if got := s.HasIssuer(cert); got != want {
+			t.Errorf("HasIssuer = %v, FindIssuers finds %v", got, want)
+		}
+	}
+}
+
+// TestAppendIssuersReusesBuffer: AppendIssuers must extend the passed slice
+// in place and leave earlier elements alone.
+func TestAppendIssuersReusesBuffer(t *testing.T) {
+	root := certmodel.SyntheticRoot("AI Root", base)
+	inter := certmodel.SyntheticIntermediate("AI CA", root, base)
+	s := NewWith("ai", root)
+	s.Seal()
+
+	buf := make([]*certmodel.Certificate, 0, 4)
+	buf = s.AppendIssuers(buf, inter)
+	if len(buf) != 1 || !buf[0].Equal(root) {
+		t.Fatalf("AppendIssuers = %v", buf)
+	}
+	marker := buf[0]
+	buf = s.AppendIssuers(buf, inter)
+	if len(buf) != 2 || buf[0] != marker {
+		t.Fatalf("second append disturbed the buffer: %v", buf)
+	}
+
+	vs := NewVendorSet([]*certmodel.Certificate{root}, nil)
+	vs.Seal()
+	for _, st := range append(vs.Stores(), vs.Union) {
+		if !st.Sealed() {
+			t.Errorf("VendorSet.Seal left %s unsealed", st.Name())
+		}
+	}
+}

@@ -190,6 +190,11 @@ func Run(cfg Config) (*Report, error) {
 	repo := aia.NewRepository()
 	repo.Put(ca2URI, ca2.Cert)
 	roots := rootstore.NewWith("study", root.Cert)
+	// The study trust store never grows after this point; sealed, the
+	// parallel site-grading workers read it without locking. The per-site
+	// intermediate caches created below stay unsealed — Firefox-style
+	// builders keep feeding them during the measurement.
+	roots.Seal()
 
 	servers := []httpserver.Model{
 		httpserver.ApacheOld(), httpserver.Apache(), httpserver.Nginx(),

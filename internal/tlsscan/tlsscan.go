@@ -8,9 +8,11 @@ package tlsscan
 
 import (
 	"context"
+	"crypto/sha256"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -158,7 +160,7 @@ func (s *Scanner) ScanAll(ctx context.Context, targets []Target) []Result {
 // vantage's chain is.
 func MergeVantages(vantages ...[]Result) map[string][]Result {
 	merged := make(map[string][]Result)
-	seen := make(map[string]map[string]bool) // domain -> chain digest
+	seen := make(map[string]map[certmodel.FP]bool) // domain -> chain digest
 	for _, results := range vantages {
 		for _, r := range results {
 			if r.Err != nil {
@@ -167,7 +169,7 @@ func MergeVantages(vantages ...[]Result) map[string][]Result {
 			d := r.Target.Domain
 			digest := chainDigest(r.List)
 			if seen[d] == nil {
-				seen[d] = make(map[string]bool)
+				seen[d] = make(map[certmodel.FP]bool)
 			}
 			if seen[d][digest] {
 				continue
@@ -179,10 +181,27 @@ func MergeVantages(vantages ...[]Result) map[string][]Result {
 	return merged
 }
 
-func chainDigest(list []*certmodel.Certificate) string {
-	s := ""
-	for _, c := range list {
-		s += c.FingerprintHex()
+// Domains returns the keys of a MergeVantages result in sorted order, so
+// callers iterate deterministically instead of walking the map directly.
+func Domains(merged map[string][]Result) []string {
+	out := make([]string, 0, len(merged))
+	for d := range merged {
+		out = append(out, d)
 	}
-	return s
+	sort.Strings(out)
+	return out
+}
+
+// chainDigest identifies a presented list by hashing the certificates'
+// binary fingerprints in order — constant work per certificate, unlike the
+// string concatenation it replaced.
+func chainDigest(list []*certmodel.Certificate) certmodel.FP {
+	h := sha256.New()
+	for _, c := range list {
+		fp := c.Fingerprint()
+		h.Write(fp[:])
+	}
+	var digest certmodel.FP
+	h.Sum(digest[:0])
+	return digest
 }

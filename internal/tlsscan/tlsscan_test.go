@@ -143,6 +143,39 @@ func TestScanAllAndMergeVantages(t *testing.T) {
 			t.Errorf("%s: identical chains from both vantages should merge to 1, got %d", d, len(rs))
 		}
 	}
+
+	// Domains returns the merged keys in sorted order.
+	got := Domains(merged)
+	if len(got) != len(domains) {
+		t.Fatalf("Domains = %v, want %v", got, domains)
+	}
+	for i, d := range domains {
+		if got[i] != d {
+			t.Fatalf("Domains = %v, want sorted %v", got, domains)
+		}
+	}
+}
+
+// TestChainDigestDistinguishesOrder: the digest must separate different
+// lists, orderings and lengths, and agree on identical lists.
+func TestChainDigestDistinguishesOrder(t *testing.T) {
+	leaf, i1, i2, root := buildPKI(t, "digest.scan.example")
+	a := []*certmodel.Certificate{leaf.Cert, i1, i2, root}
+	b := []*certmodel.Certificate{leaf.Cert, i2, i1, root}
+	c := a[:3]
+
+	if chainDigest(a) != chainDigest(a) {
+		t.Error("digest not deterministic")
+	}
+	if chainDigest(a) == chainDigest(b) {
+		t.Error("digest blind to certificate order")
+	}
+	if chainDigest(a) == chainDigest(c) {
+		t.Error("digest blind to list length")
+	}
+	if chainDigest(nil) != chainDigest([]*certmodel.Certificate{}) {
+		t.Error("empty digests differ")
+	}
 }
 
 func TestThrottleBounds(t *testing.T) {

@@ -9,6 +9,7 @@ package topo
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"chainchaos/internal/certmodel"
 )
@@ -36,22 +37,33 @@ type Node struct {
 // occurrence; duplicates are described via Occurrences.
 func (n *Node) Label() string { return fmt.Sprintf("%d", n.Index) }
 
-// Graph is the folded issuance topology of a certificate list.
+// Graph is the folded issuance topology of a certificate list. A Graph is
+// immutable after Build; the derived path enumeration and ancestor closure
+// are memoized, so the compliance analyzers and difftest grading that each
+// interrogate the same graph several times per chain pay for the DFS once.
+// Use Graphs by pointer — the memoization state makes them non-copyable.
 type Graph struct {
 	// List is the original server-provided order, including duplicates.
 	List []*certmodel.Certificate
 	// Nodes holds the distinct certificates in first-occurrence order.
 	Nodes []*Node
 
-	byFP map[string]*Node
+	byFP map[certmodel.FP]*Node
+
+	// Memoized query results (goroutine-safe: difftest and the experiment
+	// Env grade precomputed graphs from worker pools).
+	pathsOnce    sync.Once
+	paths        [][]*Node
+	relevantOnce sync.Once
+	relevant     map[*Node]bool
 }
 
 // Build folds duplicates and wires issuance edges. It accepts an empty list,
 // producing an empty graph.
 func Build(list []*certmodel.Certificate) *Graph {
-	g := &Graph{List: list, byFP: make(map[string]*Node, len(list))}
+	g := &Graph{List: list, byFP: make(map[certmodel.FP]*Node, len(list))}
 	for i, cert := range list {
-		fp := cert.FingerprintHex()
+		fp := cert.Fingerprint()
 		if node, ok := g.byFP[fp]; ok {
 			node.Occurrences = append(node.Occurrences, i)
 			continue
@@ -121,7 +133,15 @@ func (g *Graph) DuplicatedNodes() []*Node {
 // upward until a node has no in-list issuer or only issuers already on the
 // path (cycles from mutually cross-signed certificates are cut, the
 // CVE-2024-0567 shape). At most maxPaths paths are returned.
+//
+// The result is computed once and shared by every later call; callers must
+// not mutate the returned slices.
 func (g *Graph) Paths() [][]*Node {
+	g.pathsOnce.Do(func() { g.paths = g.computePaths() })
+	return g.paths
+}
+
+func (g *Graph) computePaths() [][]*Node {
 	leaf := g.Leaf()
 	if leaf == nil {
 		return nil
@@ -161,15 +181,20 @@ func (g *Graph) Paths() [][]*Node {
 }
 
 // RelevantNodes returns the ancestor closure of the leaf (every node that
-// appears on some path), including the leaf itself.
+// appears on some path), including the leaf itself. The result is computed
+// once and shared by every later call; callers must not mutate the returned
+// map.
 func (g *Graph) RelevantNodes() map[*Node]bool {
-	relevant := make(map[*Node]bool)
-	for _, path := range g.Paths() {
-		for _, n := range path {
-			relevant[n] = true
+	g.relevantOnce.Do(func() {
+		relevant := make(map[*Node]bool)
+		for _, path := range g.Paths() {
+			for _, n := range path {
+				relevant[n] = true
+			}
 		}
-	}
-	return relevant
+		g.relevant = relevant
+	})
+	return g.relevant
 }
 
 // IrrelevantNodes returns the distinct certificates with no direct or
