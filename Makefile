@@ -8,15 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-test the packages that own goroutines (the parallel substrate and its
-# users); population and study gained worker pools too, so they ride along.
+# Race-test the packages that own goroutines: the parallel substrate and its
+# users, plus the network layer (scanner retries, server accept loops, the
+# faults clock) that runs goroutines against real sockets.
+RACE_PKGS = ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/...
+
 race:
-	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/...
+	$(GO) test -race $(RACE_PKGS)
 
 # check is the pre-commit gate: vet everything, race-test the concurrent core.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/...
+	$(GO) test -race $(RACE_PKGS)
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -20,6 +20,7 @@ import (
 
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/compliance"
+	"chainchaos/internal/faults"
 	"chainchaos/internal/report"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/tlsscan"
@@ -33,6 +34,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-target connection timeout")
 	tls12 := flag.Bool("tls12", false, "cap the handshake at TLS 1.2 (the paper's primary dataset)")
 	rate := flag.Int("rate", 500<<10, "aggregate certificate bytes per second (0 = unlimited)")
+	retries := flag.Int("retries", 1, "extra attempts after a transient dial/handshake failure (0 = scan once)")
 	flag.Parse()
 
 	anchors := loadRoots(*rootsFile)
@@ -49,6 +51,9 @@ func main() {
 	}
 
 	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate}
+	if *retries > 0 {
+		scanner.Retry = faults.Policy{Attempts: *retries + 1, BaseDelay: 200 * time.Millisecond, Jitter: 0.5}
+	}
 	if *tls12 {
 		scanner.MaxVersion = tls.VersionTLS12
 	}
@@ -65,7 +70,8 @@ func main() {
 	exit := 0
 	for _, res := range results {
 		if res.Err != nil {
-			fmt.Fprintf(os.Stderr, "chainscan: %s: %v\n", res.Target.Addr, res.Err)
+			fmt.Fprintf(os.Stderr, "chainscan: %s: %v (cause: %s, attempts: %d)\n",
+				res.Target.Addr, res.Err, res.Cause, res.Attempts)
 			exit = 1
 			continue
 		}

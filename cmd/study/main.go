@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0]
+//	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"chainchaos/internal/study"
+	"chainchaos/internal/tlsserve"
 )
 
 func main() {
@@ -23,10 +24,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "defect assignment seed")
 	vantages := flag.Int("vantages", 2, "scan passes to merge")
 	workers := flag.Int("workers", 0, "parallel workers for the grading loop (0 = GOMAXPROCS)")
+	retries := flag.Int("retries", 2, "extra handshake attempts per transport failure (0 = scan once)")
+	chaos := flag.Bool("chaos", false, "inject faults into every listener (reset first connection, slow writes) to exercise the retry path")
 	flag.Parse()
 
+	cfg := study.Config{
+		Sites: *sites, Seed: *seed, Vantages: *vantages,
+		Workers: *workers, Retries: *retries,
+	}
+	if *chaos {
+		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
+	}
 	start := time.Now()
-	rep, err := study.Run(study.Config{Sites: *sites, Seed: *seed, Vantages: *vantages, Workers: *workers})
+	rep, err := study.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
 		os.Exit(1)
@@ -34,6 +44,9 @@ func main() {
 	for _, t := range rep.Tables() {
 		fmt.Println(t)
 	}
-	fmt.Printf("%d/%d sites compliant, %d scan errors, %v elapsed\n",
-		rep.CompliantCount(), len(rep.Sites), rep.ScanErrors, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%d/%d sites compliant, %d scan errors (dial %d / handshake %d / parse %d / cancelled %d), %d rescanned, %d lost, %v elapsed\n",
+		rep.CompliantCount(), len(rep.Sites), rep.ScanErrors,
+		rep.ScanErrorCauses.Dial, rep.ScanErrorCauses.Handshake,
+		rep.ScanErrorCauses.Parse, rep.ScanErrorCauses.Cancelled,
+		rep.Rescanned, rep.Lost, time.Since(start).Round(time.Millisecond))
 }

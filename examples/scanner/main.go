@@ -7,6 +7,11 @@
 // and prints a compliance report per site — the full RQ1 pipeline end to
 // end.
 //
+// One site is additionally flaky at the transport level (it resets its
+// first connection, like a mid-scan outage on the live Internet); the
+// scanner's retry policy absorbs it, so the compliance tables still cover
+// every site.
+//
 // Run with: go run ./examples/scanner
 package main
 
@@ -19,6 +24,7 @@ import (
 	"chainchaos/internal/certgen"
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/compliance"
+	"chainchaos/internal/faults"
 	"chainchaos/internal/report"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/tlsscan"
@@ -68,12 +74,18 @@ func main() {
 	farm := tlsserve.NewFarm()
 	defer farm.Close()
 	var targets []tlsscan.Target
-	for _, dep := range deployments {
+	for i, dep := range deployments {
 		leaf, err := ca1.NewLeaf(dep.domain)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := farm.Add(tlsserve.Config{List: dep.list(leaf), Key: leaf.Key, Domain: dep.domain})
+		cfg := tlsserve.Config{List: dep.list(leaf), Key: leaf.Key, Domain: dep.domain}
+		if i == 0 {
+			// The first site is transport-flaky on top of its deployment:
+			// it resets its first connection before any TLS byte.
+			cfg.Faults = tlsserve.FaultConfig{FailFirst: 1}
+		}
+		srv, err := farm.Add(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,10 +93,23 @@ func main() {
 		fmt.Printf("serving %-28s at %s\n", dep.domain, srv.Addr())
 	}
 
-	// Two vantage scans, merged like the paper's US/Australia pair.
-	scanner := &tlsscan.Scanner{Timeout: 3 * time.Second, Concurrency: 4, BytesPerSecond: 500 << 10}
+	// Two vantage scans, merged like the paper's US/Australia pair. The
+	// retry policy turns the injected reset into one extra attempt instead
+	// of a lost site.
+	scanner := &tlsscan.Scanner{
+		Timeout: 3 * time.Second, Concurrency: 4, BytesPerSecond: 500 << 10,
+		Retry: faults.Policy{Attempts: 3, BaseDelay: 20 * time.Millisecond},
+	}
 	vantage1 := scanner.ScanAll(context.Background(), targets)
 	vantage2 := scanner.ScanAll(context.Background(), targets)
+	for _, res := range vantage1 {
+		if res.Attempts > 1 {
+			fmt.Printf("recovered %s after %d attempts (injected reset)\n", res.Target.Domain, res.Attempts)
+		}
+		if res.Err != nil {
+			fmt.Printf("scan failed: %s: %v (cause %s)\n", res.Target.Domain, res.Err, res.Cause)
+		}
+	}
 	merged := tlsscan.MergeVantages(vantage1, vantage2)
 
 	roots := rootstore.NewWith("farm", root.Cert)

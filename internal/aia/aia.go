@@ -133,7 +133,10 @@ func (t Terminal) String() string {
 type ChaseResult struct {
 	Fetched  []*certmodel.Certificate
 	Terminal Terminal
-	// Err carries the fetch error when Terminal is FetchFailed.
+	// Err carries the underlying fetch error: always set when Terminal is
+	// FetchFailed, and also set for WrongIssuer when some URIs failed while
+	// others answered with the wrong certificate — the dead-URI/wrong-cert
+	// distinction the paper draws in §4.3 is preserved, not collapsed.
 	Err error
 }
 
@@ -179,14 +182,16 @@ func (c *Chaser) Chase(cert *certmodel.Certificate) ChaseResult {
 			result.Terminal = NoAIA
 			return result
 		}
-		next, err := c.fetchIssuer(current)
-		if err != nil {
-			result.Terminal = FetchFailed
-			result.Err = err
-			return result
-		}
+		next, answered, ferr := c.fetchIssuer(current)
 		if next == nil {
-			result.Terminal = WrongIssuer
+			if answered {
+				// At least one URI served a certificate, just not the
+				// issuer; ferr still records any URIs that also failed.
+				result.Terminal = WrongIssuer
+			} else {
+				result.Terminal = FetchFailed
+			}
+			result.Err = ferr
 			return result
 		}
 		if seen[next.Fingerprint()] {
@@ -202,24 +207,21 @@ func (c *Chaser) Chase(cert *certmodel.Certificate) ChaseResult {
 }
 
 // fetchIssuer tries each caIssuers URI in order and returns the first
-// certificate that actually issued cert. It returns (nil, nil) when every
-// URI answered but none held the issuer — the WrongIssuer case.
-func (c *Chaser) fetchIssuer(cert *certmodel.Certificate) (*certmodel.Certificate, error) {
-	var lastErr error
-	sawAnswer := false
+// certificate that actually issued cert, whether any URI answered at all,
+// and the last fetch error. A nil certificate with answered=true is the
+// WrongIssuer case; the error is carried either way so a chase with one
+// dead URI and one wrong-cert URI loses neither signal.
+func (c *Chaser) fetchIssuer(cert *certmodel.Certificate) (found *certmodel.Certificate, answered bool, lastErr error) {
 	for _, uri := range cert.AIAIssuerURLs {
 		fetched, err := c.Fetcher.Fetch(uri)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		sawAnswer = true
+		answered = true
 		if certmodel.Issued(fetched, cert) {
-			return fetched, nil
+			return fetched, true, lastErr
 		}
 	}
-	if sawAnswer {
-		return nil, nil
-	}
-	return nil, lastErr
+	return nil, answered, lastErr
 }

@@ -187,6 +187,53 @@ func TestChaseMultipleURIs(t *testing.T) {
 	}
 }
 
+// TestChaseTerminalErrClassification pins down the terminal/error matrix:
+// which URIs fail and which answer wrongly must be distinguishable from the
+// ChaseResult alone — the paper's dead-URI (88 chains, §4.3) vs wrong-cert
+// (CAcert) split.
+func TestChaseTerminalErrClassification(t *testing.T) {
+	repo := NewRepository()
+	root, ca2, _ := chain(nil)
+	repo.Put("http://repo/root.der", root)
+	repo.Put("http://repo/wrong.der", root) // answers, but root did not issue the test certs
+	repo.Put("http://repo/ca2.der", ca2)
+	repo.PutError("http://repo/dead.der", fmt.Errorf("connection refused"))
+
+	mkCert := func(name string, uris ...string) *certmodel.Certificate {
+		return certmodel.NewSynthetic(certmodel.SyntheticConfig{
+			Subject: certmodel.Name{CommonName: name}, Issuer: ca2.Subject,
+			Serial: "9", NotBefore: base, NotAfter: base.AddDate(1, 0, 0),
+			Key: certmodel.NewSyntheticKey(name), SignedBy: certmodel.KeyOf(ca2),
+			AIAIssuerURLs: uris,
+		})
+	}
+
+	cases := []struct {
+		name     string
+		uris     []string
+		terminal Terminal
+		wantErr  bool
+	}{
+		{"all-dead", []string{"http://repo/dead.der"}, FetchFailed, true},
+		{"wrong-only", []string{"http://repo/wrong.der"}, WrongIssuer, false},
+		{"dead-then-wrong", []string{"http://repo/dead.der", "http://repo/wrong.der"}, WrongIssuer, true},
+		{"wrong-then-dead", []string{"http://repo/wrong.der", "http://repo/dead.der"}, WrongIssuer, true},
+		{"dead-then-good", []string{"http://repo/dead.der", "http://repo/ca2.der"}, ReachedRoot, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			chaser := &Chaser{Fetcher: repo}
+			res := chaser.Chase(mkCert("Cls "+c.name, c.uris...))
+			if res.Terminal != c.terminal {
+				t.Errorf("terminal = %v, want %v", res.Terminal, c.terminal)
+			}
+			if (res.Err != nil) != c.wantErr {
+				t.Errorf("err = %v, want err=%v", res.Err, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestTerminalStrings(t *testing.T) {
 	for term := ReachedRoot; term <= DepthExceeded; term++ {
 		if s := term.String(); s == "" {

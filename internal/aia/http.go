@@ -1,6 +1,8 @@
 package aia
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/faults"
 )
 
 // Handler serves a Repository over HTTP: GET <prefix>/<name> answers with
@@ -33,6 +36,48 @@ func Handler(repo *Repository, baseURL string) http.Handler {
 	})
 }
 
+// maxBody caps AIA response bodies; no legitimate issuer certificate is
+// larger.
+const maxBody = 64 << 10
+
+// ErrTruncated marks a response body that exceeded the 64 KiB limit.
+// Previously the LimitReader silently cut such bodies down to a misleading
+// parse error; now the oversize is reported as what it is.
+var ErrTruncated = errors.New("aia: response body exceeds 64 KiB certificate limit")
+
+// defaultClient is shared by every HTTPFetcher with a nil Client, so
+// connections are reused across a chase instead of a fresh client (and
+// transport) being allocated per fetch.
+var defaultClient = &http.Client{Timeout: 10 * time.Second}
+
+// StatusError is a non-200 AIA response.
+type StatusError struct {
+	URL  string
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("aia: GET %s: status %d", e.URL, e.Code)
+}
+
+// Transient reports whether the status is worth retrying (429 and 5xx).
+func (e *StatusError) Transient() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code >= 500
+}
+
+// transientFetch classifies HTTP fetch failures for the retry policy:
+// transient network errors plus retryable status codes.
+func transientFetch(err error) bool {
+	var serr *StatusError
+	if errors.As(err, &serr) {
+		return serr.Transient()
+	}
+	if errors.Is(err, ErrTruncated) {
+		return false
+	}
+	return faults.IsTransient(err)
+}
+
 // HTTPFetcher fetches issuer certificates over real HTTP. Rewrite, when
 // non-nil, maps the URI embedded in the certificate to the URL actually
 // requested — tests use it to point fixed in-cert URIs at an ephemeral
@@ -40,10 +85,13 @@ func Handler(repo *Repository, baseURL string) http.Handler {
 type HTTPFetcher struct {
 	Client  *http.Client
 	Rewrite func(uri string) string
+	// Retry re-attempts transient GET failures (network errors, 429/5xx).
+	// The zero value fetches exactly once — the pre-existing behaviour.
+	Retry faults.Policy
 }
 
 // Fetch implements Fetcher over HTTP. The response body is limited to 64 KiB
-// (no legitimate certificate is larger).
+// and oversized bodies fail explicitly with ErrTruncated.
 func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
 	target := uri
 	if f.Rewrite != nil {
@@ -54,23 +102,45 @@ func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
 	}
 	client := f.Client
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = defaultClient
 	}
-	resp, err := client.Get(target)
+	policy := f.Retry
+	if policy.Retryable == nil {
+		policy.Retryable = transientFetch
+	}
+	var der []byte
+	err := policy.Do(context.Background(), func(context.Context) error {
+		var getErr error
+		der, getErr = get(client, target)
+		return getErr
+	})
 	if err != nil {
-		return nil, fmt.Errorf("aia: GET %s: %w", target, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("aia: GET %s: status %d", target, resp.StatusCode)
-	}
-	der, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-	if err != nil {
-		return nil, fmt.Errorf("aia: read %s: %w", target, err)
+		return nil, err
 	}
 	cert, err := certmodel.ParseDER(der)
 	if err != nil {
 		return nil, fmt.Errorf("aia: parse %s: %w", target, err)
 	}
 	return cert, nil
+}
+
+// get performs one GET and returns the body, failing on bad status or a
+// body past the certificate size limit.
+func get(client *http.Client, target string) ([]byte, error) {
+	resp, err := client.Get(target)
+	if err != nil {
+		return nil, fmt.Errorf("aia: GET %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{URL: target, Code: resp.StatusCode}
+	}
+	der, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("aia: read %s: %w", target, err)
+	}
+	if len(der) > maxBody {
+		return nil, fmt.Errorf("aia: read %s: %w", target, ErrTruncated)
+	}
+	return der, nil
 }

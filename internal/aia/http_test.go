@@ -1,12 +1,16 @@
 package aia
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"chainchaos/internal/certgen"
+	"chainchaos/internal/faults"
 )
 
 // TestHTTPRoundTrip serves a repository over a real loopback HTTP listener
@@ -91,5 +95,76 @@ func TestHTTPFetcherBadURI(t *testing.T) {
 	f := &HTTPFetcher{}
 	if _, err := f.Fetch("http://127.0.0.1:1/dead.der"); err == nil {
 		t.Error("connection-refused fetch succeeded")
+	}
+}
+
+// TestHTTPFetcherTruncation: a body past the 64 KiB certificate limit must
+// fail with ErrTruncated, not silently truncate into a parse error.
+func TestHTTPFetcherTruncation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write(make([]byte, 80<<10))
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{Client: srv.Client()}
+	_, err := f.Fetch(srv.URL + "/huge.der")
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("oversized body err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestHTTPFetcherRetriesTransient: 503s are retried under the policy and
+// the eventual 200 wins; backoff runs on the injected clock.
+func TestHTTPFetcherRetriesTransient(t *testing.T) {
+	root, err := certgen.NewRoot("Retry AIA Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		fail := failures > 0
+		if fail {
+			failures--
+		}
+		mu.Unlock()
+		if fail {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(root.Cert.Raw)
+	}))
+	defer srv.Close()
+
+	clock := faults.NewFakeClock(time.Now())
+	f := &HTTPFetcher{
+		Client: srv.Client(),
+		Retry:  faults.Policy{Attempts: 4, BaseDelay: 10 * time.Millisecond, Clock: clock},
+	}
+	got, err := f.Fetch(srv.URL + "/root.der")
+	if err != nil {
+		t.Fatalf("retrying fetch failed: %v", err)
+	}
+	if !got.Equal(root.Cert) {
+		t.Error("fetched certificate differs")
+	}
+	if n := len(clock.Sleeps()); n != 2 {
+		t.Errorf("backoff sleeps = %d, want 2", n)
+	}
+
+	// Without retry budget, the same failure surfaces as a StatusError.
+	mu.Lock()
+	failures = 1
+	mu.Unlock()
+	_, err = (&HTTPFetcher{Client: srv.Client()}).Fetch(srv.URL + "/root.der")
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusServiceUnavailable {
+		t.Errorf("one-shot fetch err = %v, want 503 StatusError", err)
+	}
+	if !serr.Transient() {
+		t.Error("503 not classified transient")
+	}
+	if (&StatusError{Code: 404}).Transient() {
+		t.Error("404 classified transient")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
+	"chainchaos/internal/faults"
 	"chainchaos/internal/httpserver"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
@@ -50,6 +51,18 @@ type Config struct {
 	// sites; <= 0 means GOMAXPROCS. Results are deterministic for any
 	// worker count.
 	Workers int
+	// Retries is the extra handshake attempts the scanner spends on each
+	// transport failure (0 = scan once).
+	Retries int
+	// RescanPasses bounds the re-scan sweeps over sites that every vantage
+	// failed to capture (default 1; negative disables).
+	RescanPasses int
+	// Faults misconfigures every listener on purpose, so the run exercises
+	// the retry/re-scan machinery instead of assuming a polite network.
+	Faults tlsserve.FaultConfig
+	// Clock paces scan backoff, throttling, and injected server faults;
+	// nil means the wall clock.
+	Clock faults.Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -64,6 +77,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Second
+	}
+	if c.RescanPasses == 0 {
+		c.RescanPasses = 1
+	}
+	if c.RescanPasses < 0 {
+		c.RescanPasses = 0
 	}
 }
 
@@ -109,12 +128,47 @@ type Site struct {
 	Verdicts map[string]bool
 }
 
+// ErrorBreakdown counts failed scan attempts per cause — the transport-vs-
+// finding distinction a single integer conflated.
+type ErrorBreakdown struct {
+	Dial, Handshake, Parse, Cancelled int
+}
+
+func (b *ErrorBreakdown) add(c tlsscan.ErrorCause) {
+	switch c {
+	case tlsscan.CauseDial:
+		b.Dial++
+	case tlsscan.CauseHandshake:
+		b.Handshake++
+	case tlsscan.CauseParse:
+		b.Parse++
+	case tlsscan.CauseCancelled:
+		b.Cancelled++
+	}
+}
+
+// Total is the sum over all causes.
+func (b ErrorBreakdown) Total() int {
+	return b.Dial + b.Handshake + b.Parse + b.Cancelled
+}
+
 // Report is a completed study.
 type Report struct {
 	Cfg   Config
 	Sites []*Site
 
+	// ScanErrors is the total number of failed scan results across every
+	// vantage and re-scan pass (a site recovered by a later pass still
+	// counts its earlier failures here).
 	ScanErrors int
+	// ScanErrorCauses breaks ScanErrors down by cause.
+	ScanErrorCauses ErrorBreakdown
+	// Rescanned is how many sites were recovered by the bounded re-scan
+	// passes after every vantage missed them.
+	Rescanned int
+	// Lost is how many sites were never captured by any pass; grading
+	// skips them, and a healthy run reports zero.
+	Lost int
 }
 
 // CompliantCount returns how many scanned sites graded compliant.
@@ -161,7 +215,16 @@ func (r *Report) Tables() []*report.Table {
 	for _, p := range clients.All() {
 		perClient.Add(p.Name, report.Count(passes[p.Name], bad))
 	}
-	return []*report.Table{overview, perClient}
+
+	failures := report.New("scan failures by cause (all passes)", "Cause", "Failed attempts")
+	failures.Addf("dial", r.ScanErrorCauses.Dial)
+	failures.Addf("handshake", r.ScanErrorCauses.Handshake)
+	failures.Addf("parse", r.ScanErrorCauses.Parse)
+	failures.Addf("cancelled", r.ScanErrorCauses.Cancelled)
+	failures.Addf("total", r.ScanErrors)
+	failures.Addf("sites recovered by re-scan", r.Rescanned)
+	failures.Addf("sites lost", r.Lost)
+	return []*report.Table{overview, perClient, failures}
 }
 
 // Run executes the study.
@@ -256,7 +319,10 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("study: deploy %s on %s: %w", domain, model.Name, err)
 		}
-		srv, err := farm.Add(tlsserve.Config{List: wire, Key: leaf.Key, Domain: domain})
+		srv, err := farm.Add(tlsserve.Config{
+			List: wire, Key: leaf.Key, Domain: domain,
+			Faults: cfg.Faults, Clock: cfg.Clock,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -265,18 +331,66 @@ func Run(cfg Config) (*Report, error) {
 		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: domain})
 	}
 
-	// Multi-vantage scan and merge.
-	scanner := &tlsscan.Scanner{Timeout: cfg.Timeout, Concurrency: cfg.Concurrency}
-	vantages := make([][]tlsscan.Result, cfg.Vantages)
-	for v := 0; v < cfg.Vantages; v++ {
-		vantages[v] = scanner.ScanAll(context.Background(), targets)
-		for _, res := range vantages[v] {
+	// Multi-vantage scan and merge. Transient failures are retried inside
+	// the scanner; whatever still fails is counted per cause.
+	scanner := &tlsscan.Scanner{
+		Timeout:     cfg.Timeout,
+		Concurrency: cfg.Concurrency,
+		Clock:       cfg.Clock,
+	}
+	if cfg.Retries > 0 {
+		scanner.Retry = faults.Policy{
+			Attempts:  cfg.Retries + 1,
+			BaseDelay: 20 * time.Millisecond,
+			MaxDelay:  500 * time.Millisecond,
+			Seed:      cfg.Seed,
+			Clock:     cfg.Clock,
+		}
+	}
+	countErrors := func(results []tlsscan.Result) {
+		for _, res := range results {
 			if res.Err != nil {
 				rep.ScanErrors++
+				rep.ScanErrorCauses.add(res.Cause)
 			}
 		}
 	}
-	merged := tlsscan.MergeVantages(vantages...)
+	passes := make([][]tlsscan.Result, 0, cfg.Vantages+cfg.RescanPasses)
+	for v := 0; v < cfg.Vantages; v++ {
+		results := scanner.ScanAll(context.Background(), targets)
+		countErrors(results)
+		passes = append(passes, results)
+	}
+	merged := tlsscan.MergeVantages(passes...)
+
+	// Bounded re-scan: sites that every vantage failed to capture get up
+	// to RescanPasses more sweeps, so one flaky window does not lose a
+	// site for the whole study.
+	for pass := 0; pass < cfg.RescanPasses; pass++ {
+		var missing []tlsscan.Target
+		for i, site := range rep.Sites {
+			if len(merged[site.Domain]) == 0 {
+				missing = append(missing, targets[i])
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		results := scanner.ScanAll(context.Background(), missing)
+		countErrors(results)
+		passes = append(passes, results)
+		merged = tlsscan.MergeVantages(passes...)
+		for _, res := range results {
+			if res.Err == nil {
+				rep.Rescanned++
+			}
+		}
+	}
+	for _, site := range rep.Sites {
+		if len(merged[site.Domain]) == 0 {
+			rep.Lost++
+		}
+	}
 
 	// Grade and differentially test every captured chain. Iterating
 	// rep.Sites (not the merged map) keeps report tables and error

@@ -1,6 +1,12 @@
 package study
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"chainchaos/internal/faults"
+	"chainchaos/internal/tlsserve"
+)
 
 func TestStudyEndToEnd(t *testing.T) {
 	rep, err := Run(Config{Sites: 24, Seed: 4, Vantages: 2, Concurrency: 8})
@@ -56,10 +62,107 @@ func TestStudyEndToEnd(t *testing.T) {
 	}
 
 	tables := rep.Tables()
-	if len(tables) != 2 {
+	if len(tables) != 3 {
 		t.Fatalf("tables = %d", len(tables))
 	}
-	if tables[0].String() == "" || tables[1].String() == "" {
-		t.Error("empty table rendering")
+	for i, table := range tables {
+		if table.String() == "" {
+			t.Errorf("table %d renders empty", i)
+		}
+	}
+	if rep.Lost != 0 || rep.Rescanned != 0 || rep.ScanErrorCauses.Total() != 0 {
+		t.Errorf("clean run reported lost=%d rescanned=%d causes=%+v",
+			rep.Lost, rep.Rescanned, rep.ScanErrorCauses)
+	}
+}
+
+// TestStudyFaultsRecoveredByRetry: every listener resets its first
+// connection; the scanner's retry budget absorbs it and the report shows a
+// clean run — zero lost sites, zero residual errors.
+func TestStudyFaultsRecoveredByRetry(t *testing.T) {
+	clock := faults.NewFakeClock(time.Now())
+	rep, err := Run(Config{
+		Sites: 10, Seed: 4, Vantages: 2, Concurrency: 4,
+		Retries: 3,
+		Faults:  tlsserve.FaultConfig{FailFirst: 1},
+		Clock:   clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScanErrors != 0 {
+		t.Errorf("scan errors = %d (%+v); retries should have absorbed the resets",
+			rep.ScanErrors, rep.ScanErrorCauses)
+	}
+	if rep.Lost != 0 {
+		t.Errorf("lost sites = %d", rep.Lost)
+	}
+	for _, s := range rep.Sites {
+		if s.Verdicts == nil {
+			t.Errorf("%s: never graded", s.Domain)
+		}
+	}
+	if clock.SleptTotal() == 0 {
+		t.Error("retry backoff never used the injected clock")
+	}
+}
+
+// TestStudyFaultsRecoveredByRescan: with no retry budget and two failing
+// connections per listener, both vantages miss every site; the bounded
+// re-scan pass recovers all of them, and the failures land under the
+// handshake cause (TCP connected, TLS reset).
+func TestStudyFaultsRecoveredByRescan(t *testing.T) {
+	const sites = 8
+	rep, err := Run(Config{
+		Sites: sites, Seed: 4, Vantages: 2, Concurrency: 4,
+		Faults: tlsserve.FaultConfig{FailFirst: 2},
+		Clock:  faults.NewFakeClock(time.Now()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScanErrors != 2*sites {
+		t.Errorf("scan errors = %d, want %d (two reset vantages per site)", rep.ScanErrors, 2*sites)
+	}
+	if got := rep.ScanErrorCauses.Total(); got != rep.ScanErrors {
+		t.Errorf("cause breakdown sums to %d, want %d", got, rep.ScanErrors)
+	}
+	if rep.ScanErrorCauses.Parse != 0 || rep.ScanErrorCauses.Cancelled != 0 {
+		t.Errorf("transport faults misclassified: %+v", rep.ScanErrorCauses)
+	}
+	if rep.Rescanned != sites {
+		t.Errorf("rescanned = %d, want %d", rep.Rescanned, sites)
+	}
+	if rep.Lost != 0 {
+		t.Errorf("lost sites = %d, want 0", rep.Lost)
+	}
+	for _, s := range rep.Sites {
+		if s.Verdicts == nil {
+			t.Errorf("%s: lost despite re-scan", s.Domain)
+		}
+	}
+}
+
+// TestStudySlowAndStallFaults: every FaultConfig mode that still completes a
+// handshake (slow write, short stall) must cost wall patience, not sites.
+func TestStudySlowAndStallFaults(t *testing.T) {
+	rep, err := Run(Config{
+		Sites: 6, Seed: 2, Vantages: 1, Concurrency: 6,
+		Retries: 2,
+		Faults: tlsserve.FaultConfig{
+			StallHandshake: 5 * time.Millisecond,
+			SlowWrite:      time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost != 0 {
+		t.Errorf("lost sites = %d under stall+slow-write", rep.Lost)
+	}
+	for _, s := range rep.Sites {
+		if s.Verdicts == nil {
+			t.Errorf("%s: never graded", s.Domain)
+		}
 	}
 }

@@ -12,11 +12,13 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/faults"
 )
 
 // Target is one scan work item.
@@ -26,6 +28,48 @@ type Target struct {
 	// Domain is the SNI name and the label under which results are keyed.
 	Domain string
 }
+
+// ErrorCause classifies why a scan failed — the distinction the paper's
+// pipeline needs between transport loss (dial, handshake) and protocol
+// findings (parse), which a single error counter conflates.
+type ErrorCause int
+
+const (
+	// CauseNone: the scan succeeded.
+	CauseNone ErrorCause = iota
+	// CauseDial: the TCP connection could not be established.
+	CauseDial
+	// CauseHandshake: TCP connected but the TLS handshake failed or timed
+	// out (resets, stalls, protocol errors).
+	CauseHandshake
+	// CauseParse: the handshake delivered bytes that do not parse as DER
+	// certificates — a finding about the endpoint, never retried.
+	CauseParse
+	// CauseCancelled: the scan context was cancelled.
+	CauseCancelled
+)
+
+// String returns the cause's report label.
+func (c ErrorCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseDial:
+		return "dial"
+	case CauseHandshake:
+		return "handshake"
+	case CauseParse:
+		return "parse"
+	case CauseCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// Retryable reports whether a scan failure with this cause is worth another
+// attempt: transport losses are, findings and cancellations are not.
+func (c ErrorCause) Retryable() bool { return c == CauseDial || c == CauseHandshake }
 
 // Result is the scan record for one target — the analogue of a ZGrab2 log
 // line.
@@ -40,7 +84,11 @@ type Result struct {
 	Version uint16
 	// Bytes is the total certificate payload size, fed to the rate limiter.
 	Bytes int
-	Err   error
+	// Attempts is how many handshakes were tried (>= 1 once scanned).
+	Attempts int
+	Err      error
+	// Cause classifies Err; CauseNone when Err is nil.
+	Cause ErrorCause
 }
 
 // Scanner performs the handshakes.
@@ -55,20 +103,71 @@ type Scanner struct {
 	// MaxVersion caps the offered TLS version (tls.VersionTLS12 replicates
 	// the paper's primary dataset); 0 means the stdlib default.
 	MaxVersion uint16
+	// Retry governs re-attempts after transport failures (dial, handshake).
+	// The zero value scans each target exactly once. Parse failures and
+	// cancellations are never retried regardless of the policy.
+	Retry faults.Policy
+	// Clock paces the throttle and retry backoff; nil means the wall clock.
+	Clock faults.Clock
 
 	limiterMu    sync.Mutex
 	limiterSpent float64
 	limiterMark  time.Time
 }
 
-// Scan handshakes one target and captures its certificate list.
+func (s *Scanner) clock() faults.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	if s.Retry.Clock != nil {
+		return s.Retry.Clock
+	}
+	return faults.Wall()
+}
+
+// Scan handshakes one target and captures its certificate list, retrying
+// transport failures under the scanner's retry policy.
 func (s *Scanner) Scan(ctx context.Context, target Target) Result {
+	attempts := s.Retry.MaxAttempts()
+	var res Result
+	for attempt := 0; ; attempt++ {
+		res = s.scanOnce(ctx, target)
+		res.Attempts = attempt + 1
+		if res.Err == nil || attempt+1 >= attempts || !res.Cause.Retryable() {
+			return res
+		}
+		if s.Retry.Retryable != nil && !s.Retry.Retryable(res.Err) {
+			return res
+		}
+		if s.clock().Sleep(ctx, s.Retry.Delay(attempt)) != nil {
+			return res // cancelled mid-backoff; keep the transport error
+		}
+	}
+}
+
+// scanOnce performs a single dial + handshake + capture. The dial and the
+// handshake run as separate steps so failures are attributed to the right
+// cause — the tls.Dialer one-shot hid that distinction.
+func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 	res := Result{Target: target}
 	timeout := s.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	dialer := &tls.Dialer{Config: &tls.Config{
+	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	dialer := &net.Dialer{}
+	rawConn, err := dialer.DialContext(attemptCtx, "tcp", target.Addr)
+	if err != nil {
+		res.Cause = CauseDial
+		if ctx.Err() != nil {
+			res.Cause = CauseCancelled
+		}
+		res.Err = fmt.Errorf("tlsscan: dial %s: %w", target.Addr, err)
+		return res
+	}
+	conn := tls.Client(rawConn, &tls.Config{
 		ServerName:         target.Domain,
 		InsecureSkipVerify: true, // capture, never judge
 		MaxVersion:         s.MaxVersion,
@@ -80,37 +179,40 @@ func (s *Scanner) Scan(ctx context.Context, target Target) Result {
 			}
 			return nil
 		},
-	}}
-	dialCtx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
-	conn, err := dialer.DialContext(dialCtx, "tcp", target.Addr)
-	if err != nil {
-		res.Err = fmt.Errorf("tlsscan: %s: %w", target.Addr, err)
+	})
+	if err := conn.HandshakeContext(attemptCtx); err != nil {
+		rawConn.Close()
+		res.Cause = CauseHandshake
+		if ctx.Err() != nil {
+			res.Cause = CauseCancelled
+		}
+		res.Err = fmt.Errorf("tlsscan: handshake %s: %w", target.Addr, err)
 		return res
 	}
-	if tc, ok := conn.(*tls.Conn); ok {
-		res.Version = tc.ConnectionState().Version
-	}
+	res.Version = conn.ConnectionState().Version
 	conn.Close()
 
 	list, err := certmodel.ParseDERList(res.Raw)
 	if err != nil {
+		res.Cause = CauseParse
 		res.Err = err
 		return res
 	}
 	res.List = list
-	s.throttle(res.Bytes)
+	s.throttle(ctx, res.Bytes)
 	return res
 }
 
 // throttle enforces the aggregate byte budget by sleeping workers once the
-// allowance is spent.
-func (s *Scanner) throttle(bytes int) {
+// allowance is spent. The sleep is context-aware: cancelling the scan frees
+// workers immediately instead of leaving them sleeping off rate-limit debt.
+func (s *Scanner) throttle(ctx context.Context, bytes int) {
 	if s.BytesPerSecond <= 0 || bytes == 0 {
 		return
 	}
+	clock := s.clock()
 	s.limiterMu.Lock()
-	now := time.Now()
+	now := clock.Now()
 	if s.limiterMark.IsZero() {
 		s.limiterMark = now
 	}
@@ -123,7 +225,7 @@ func (s *Scanner) throttle(bytes int) {
 	sleep := time.Duration(s.limiterSpent / float64(s.BytesPerSecond) * float64(time.Second))
 	s.limiterMu.Unlock()
 	if sleep > 0 {
-		time.Sleep(sleep)
+		_ = clock.Sleep(ctx, sleep)
 	}
 }
 
@@ -139,7 +241,7 @@ func (s *Scanner) ScanAll(ctx context.Context, targets []Target) []Result {
 	sem := make(chan struct{}, workers)
 	for i, t := range targets {
 		if ctx.Err() != nil {
-			results[i] = Result{Target: t, Err: ctx.Err()}
+			results[i] = Result{Target: t, Err: ctx.Err(), Cause: CauseCancelled}
 			continue
 		}
 		wg.Add(1)

@@ -9,6 +9,7 @@ import (
 	"chainchaos/internal/certgen"
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/compliance"
+	"chainchaos/internal/faults"
 	"chainchaos/internal/tlsserve"
 	"chainchaos/internal/topo"
 )
@@ -181,8 +182,136 @@ func TestChainDigestDistinguishesOrder(t *testing.T) {
 func TestThrottleBounds(t *testing.T) {
 	s := &Scanner{BytesPerSecond: 1 << 20}
 	start := time.Now()
-	s.throttle(1 << 10) // 1 KiB against 1 MiB/s: negligible sleep
+	s.throttle(context.Background(), 1<<10) // 1 KiB against 1 MiB/s: negligible sleep
 	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
 		t.Errorf("throttle slept %v for a tiny payload", elapsed)
+	}
+}
+
+func TestThrottlePacesOnInjectedClock(t *testing.T) {
+	clock := faults.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	s := &Scanner{BytesPerSecond: 1000, Clock: clock}
+	s.throttle(context.Background(), 2000) // 2s of debt at 1000 B/s
+	if got := clock.SleptTotal(); got != 2*time.Second {
+		t.Errorf("throttle slept %v on the fake clock, want 2s", got)
+	}
+}
+
+// TestThrottleCancellation: cancelling the scan context must release a
+// worker that owes rate-limit debt immediately — the old time.Sleep kept it
+// pinned for the full debt.
+func TestThrottleCancellation(t *testing.T) {
+	s := &Scanner{BytesPerSecond: 1} // 1 B/s: any payload is hours of debt
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	s.throttle(ctx, 1<<20)
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("cancelled throttle blocked %v", elapsed)
+	}
+}
+
+func TestScanRetryRecoversFailFirstN(t *testing.T) {
+	const domain = "flaky.scan.example"
+	leaf, i1, i2, root := buildPKI(t, domain)
+	srv, err := tlsserve.Start(tlsserve.Config{
+		List: []*certmodel.Certificate{leaf.Cert, i1, i2, root}, Key: leaf.Key,
+		Domain: domain, Faults: tlsserve.FaultConfig{FailFirst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clock := faults.NewFakeClock(time.Now())
+	scanner := &Scanner{
+		Timeout: 2 * time.Second,
+		Retry:   faults.Policy{Attempts: 4, BaseDelay: 10 * time.Millisecond, Clock: clock},
+	}
+	res := scanner.Scan(context.Background(), Target{Addr: srv.Addr(), Domain: domain})
+	if res.Err != nil {
+		t.Fatalf("retrying scan failed: %v (cause %v, attempts %d)", res.Err, res.Cause, res.Attempts)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two resets, one success)", res.Attempts)
+	}
+	if len(res.List) != 4 {
+		t.Errorf("captured %d certs", len(res.List))
+	}
+	if clock.SleptTotal() == 0 {
+		t.Error("retry backoff never consulted the injected clock")
+	}
+}
+
+func TestScanStallHitsDeadline(t *testing.T) {
+	const domain = "stall.scan.example"
+	leaf, i1, _, _ := buildPKI(t, domain)
+	srv, err := tlsserve.Start(tlsserve.Config{
+		List: []*certmodel.Certificate{leaf.Cert, i1}, Key: leaf.Key,
+		Domain: domain, Faults: tlsserve.FaultConfig{StallHandshake: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scanner := &Scanner{Timeout: 50 * time.Millisecond}
+	res := scanner.Scan(context.Background(), Target{Addr: srv.Addr(), Domain: domain})
+	if res.Err == nil {
+		t.Fatal("scan of a stalled server succeeded")
+	}
+	if res.Cause != CauseHandshake {
+		t.Errorf("cause = %v, want handshake (TCP connected, TLS stalled)", res.Cause)
+	}
+}
+
+func TestScanErrorCauses(t *testing.T) {
+	// Dead port: dial failure.
+	scanner := &Scanner{Timeout: time.Second}
+	res := scanner.Scan(context.Background(), Target{Addr: "127.0.0.1:1", Domain: "dead.example"})
+	if res.Cause != CauseDial || res.Err == nil {
+		t.Errorf("dead port: cause = %v, err = %v", res.Cause, res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("zero-value policy made %d attempts", res.Attempts)
+	}
+
+	// Cancelled context: every result is marked cancelled, not dial.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := scanner.ScanAll(ctx, []Target{{Addr: "127.0.0.1:1", Domain: "x"}})
+	if results[0].Cause != CauseCancelled {
+		t.Errorf("cancelled scan cause = %v", results[0].Cause)
+	}
+
+	// Cause strings are stable report labels.
+	for c, want := range map[ErrorCause]string{
+		CauseNone: "none", CauseDial: "dial", CauseHandshake: "handshake",
+		CauseParse: "parse", CauseCancelled: "cancelled",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+	if !CauseDial.Retryable() || !CauseHandshake.Retryable() ||
+		CauseParse.Retryable() || CauseCancelled.Retryable() || CauseNone.Retryable() {
+		t.Error("cause retryability wrong")
+	}
+}
+
+func TestScanRetryStopsOnCancellation(t *testing.T) {
+	clock := faults.NewFakeClock(time.Now())
+	scanner := &Scanner{
+		Timeout: time.Second,
+		Retry:   faults.Policy{Attempts: 5, BaseDelay: time.Millisecond, Clock: clock},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := scanner.Scan(ctx, Target{Addr: "127.0.0.1:1", Domain: "x"})
+	if res.Cause != CauseCancelled {
+		t.Fatalf("cause = %v, want cancelled", res.Cause)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("cancelled scan retried: %d attempts", res.Attempts)
 	}
 }

@@ -4,27 +4,69 @@
 // a deployment model produced goes onto the wire exactly as-is, because
 // crypto/tls sends the configured [][]byte chain verbatim in the Certificate
 // message.
+//
+// Servers can also misbehave on purpose: a FaultConfig turns a listener into
+// the hostile endpoints a live scan meets — connections reset after accept,
+// handshakes that stall, listeners that fail their first N clients, writers
+// that trickle bytes — so the scanner's retry and deadline machinery can be
+// exercised deterministically on loopback.
 package tlsserve
 
 import (
+	"context"
 	"crypto"
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/faults"
 )
+
+// FaultConfig describes the misbehaviours a server injects. The zero value
+// injects nothing.
+type FaultConfig struct {
+	// FailFirst resets the first N accepted connections (TCP RST before any
+	// TLS byte) and then behaves — the transient-outage shape a retrying
+	// scanner must survive.
+	FailFirst int
+	// AcceptThenReset resets every accepted connection: the listener is up,
+	// the handshake never happens.
+	AcceptThenReset bool
+	// StallHandshake delays the server side of the handshake by this long
+	// after accepting — long stalls provoke the client's timeout, short
+	// ones its patience.
+	StallHandshake time.Duration
+	// SlowWrite inserts this delay before every write on the connection, so
+	// the Certificate message trickles out.
+	SlowWrite time.Duration
+}
+
+// Active reports whether any fault is configured.
+func (fc FaultConfig) Active() bool {
+	return fc.FailFirst > 0 || fc.AcceptThenReset || fc.StallHandshake > 0 || fc.SlowWrite > 0
+}
 
 // Server is one TLS listener presenting a fixed certificate list.
 type Server struct {
 	listener net.Listener
+	tlsCfg   *tls.Config
 	domain   string
+	faults   FaultConfig
+	timeout  time.Duration
+	clock    faults.Clock
 
-	mu        sync.Mutex
-	conns     int
-	closed    bool
+	closeCtx  context.Context
+	closeFn   context.CancelFunc
 	closeOnce sync.Once
+
+	mu            sync.Mutex
+	conns         int
+	faultsFired   int
+	acceptRetries int
 }
 
 // Config describes the deployment to serve.
@@ -40,6 +82,15 @@ type Config struct {
 	// MaxVersion optionally caps the TLS version (the paper scanned with
 	// TLS 1.2 and compared against 1.3); zero means the stdlib default.
 	MaxVersion uint16
+	// HandshakeTimeout bounds each accepted connection's handshake (default
+	// 10s): a peer that connects and never writes must not pin a goroutine
+	// forever.
+	HandshakeTimeout time.Duration
+	// Faults makes the server misbehave on purpose.
+	Faults FaultConfig
+	// Clock paces accept-error backoff and injected stalls; nil means the
+	// wall clock. Tests inject a fake clock so nothing really sleeps.
+	Clock faults.Clock
 }
 
 // Start launches a listener on 127.0.0.1 (ephemeral port) presenting the
@@ -56,37 +107,138 @@ func Start(cfg Config) (*Server, error) {
 		}
 		raw[i] = c.Raw
 	}
-	tlsCfg := &tls.Config{
-		Certificates: []tls.Certificate{{Certificate: raw, PrivateKey: cfg.Key}},
-		MaxVersion:   cfg.MaxVersion,
-	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("tlsserve: listen: %w", err)
 	}
-	s := &Server{listener: tls.NewListener(ln, tlsCfg), domain: cfg.Domain}
-	go s.acceptLoop()
-	return s, nil
+	return startWithListener(ln, cfg, raw), nil
 }
 
+// startWithListener finishes construction over an already-open listener;
+// tests use it to inject listeners that fail Accept on purpose.
+func startWithListener(ln net.Listener, cfg Config, raw [][]byte) *Server {
+	timeout := cfg.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = faults.Wall()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		listener: ln,
+		tlsCfg: &tls.Config{
+			Certificates: []tls.Certificate{{Certificate: raw, PrivateKey: cfg.Key}},
+			MaxVersion:   cfg.MaxVersion,
+		},
+		domain:   cfg.Domain,
+		faults:   cfg.Faults,
+		timeout:  timeout,
+		clock:    clock,
+		closeCtx: ctx,
+		closeFn:  cancel,
+	}
+	go s.acceptLoop()
+	return s
+}
+
+// acceptLoop accepts until the listener is closed. Temporary errors —
+// EMFILE, aborted connections, timeouts — are retried with capped
+// exponential backoff instead of silently killing the listener mid-study;
+// only a closed listener (or a genuinely permanent error) ends the loop.
 func (s *Server) acceptLoop() {
+	const (
+		baseBackoff = 5 * time.Millisecond
+		maxBackoff  = time.Second
+	)
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			return
+			if s.closeCtx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if !faults.IsTemporaryAccept(err) {
+				return
+			}
+			if backoff == 0 {
+				backoff = baseBackoff
+			} else if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			s.mu.Lock()
+			s.acceptRetries++
+			s.mu.Unlock()
+			if s.clock.Sleep(s.closeCtx, backoff) != nil {
+				return
+			}
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		s.conns++
+		n := s.conns
 		s.mu.Unlock()
-		go func(c net.Conn) {
-			defer c.Close()
-			if tc, ok := c.(*tls.Conn); ok {
-				// Complete the handshake so the client receives the
-				// Certificate message even if it never writes.
-				_ = tc.Handshake()
-			}
-		}(conn)
+		go s.handle(conn, n)
 	}
+}
+
+// handle runs one accepted connection: fault injection first, then a
+// deadline-bounded handshake.
+func (s *Server) handle(conn net.Conn, n int) {
+	defer conn.Close()
+	fc := s.faults
+	if fc.AcceptThenReset || n <= fc.FailFirst {
+		s.mu.Lock()
+		s.faultsFired++
+		s.mu.Unlock()
+		reset(conn)
+		return
+	}
+	if fc.StallHandshake > 0 {
+		s.mu.Lock()
+		s.faultsFired++
+		s.mu.Unlock()
+		if s.clock.Sleep(s.closeCtx, fc.StallHandshake) != nil {
+			return // server closed mid-stall
+		}
+	}
+	if fc.SlowWrite > 0 {
+		conn = &slowConn{Conn: conn, delay: fc.SlowWrite, clock: s.clock, ctx: s.closeCtx}
+	}
+	tc := tls.Server(conn, s.tlsCfg)
+	defer tc.Close()
+	// A peer that connects and never writes must not hold this goroutine
+	// (and its counted connection) forever.
+	_ = conn.SetDeadline(time.Now().Add(s.timeout))
+	// Complete the handshake so the client receives the Certificate
+	// message even if it never writes afterwards.
+	_ = tc.Handshake()
+}
+
+// reset closes conn abruptly (RST instead of FIN where the transport allows
+// it), modelling a peer that accepts and immediately drops.
+func reset(conn net.Conn) {
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		_ = tcp.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+// slowConn delays every write, trickling the handshake onto the wire.
+type slowConn struct {
+	net.Conn
+	delay time.Duration
+	clock faults.Clock
+	ctx   context.Context
+}
+
+func (c *slowConn) Write(p []byte) (int, error) {
+	if err := c.clock.Sleep(c.ctx, c.delay); err != nil {
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Write(p)
 }
 
 // Addr returns the listener's host:port.
@@ -102,12 +254,24 @@ func (s *Server) Connections() int {
 	return s.conns
 }
 
+// FaultsInjected returns how many connections had a fault injected.
+func (s *Server) FaultsInjected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faultsFired
+}
+
+// AcceptRetries returns how many temporary Accept errors were retried.
+func (s *Server) AcceptRetries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptRetries
+}
+
 // Close shuts the listener down. Safe to call multiple times.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
+		s.closeFn()
 		s.listener.Close()
 	})
 }

@@ -3,11 +3,15 @@ package tlsserve
 import (
 	"crypto/tls"
 	"crypto/x509"
+	"net"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"chainchaos/internal/certgen"
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/faults"
 )
 
 func testChain(t *testing.T, domain string) (*certgen.Leaf, []*certmodel.Certificate) {
@@ -101,6 +105,158 @@ func TestMaxVersionCap(t *testing.T) {
 	defer conn.Close()
 	if v := conn.ConnectionState().Version; v != tls.VersionTLS12 {
 		t.Errorf("negotiated %x, want TLS 1.2", v)
+	}
+}
+
+// flakyListener fails its first N Accept calls with a temporary error
+// before delegating to the real listener — the EMFILE shape that used to
+// kill acceptLoop permanently.
+type flakyListener struct {
+	net.Listener
+	mu       sync.Mutex
+	failures int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failures > 0 {
+		l.failures--
+		l.mu.Unlock()
+		return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
+	leaf, list := testChain(t, "flaky.example")
+	raw := make([][]byte, len(list))
+	for i, c := range list {
+		raw[i] = c.Raw
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := faults.NewFakeClock(time.Now())
+	srv := startWithListener(&flakyListener{Listener: ln, failures: 3},
+		Config{Key: leaf.Key, Domain: "flaky.example", Clock: clock}, raw)
+	defer srv.Close()
+
+	// The listener must survive the three EMFILEs and still serve.
+	captured := capture(t, srv.Addr(), "flaky.example", 0)
+	if len(captured) != 3 {
+		t.Fatalf("captured %d certs after temporary accept errors", len(captured))
+	}
+	if got := srv.AcceptRetries(); got != 3 {
+		t.Errorf("accept retries = %d, want 3", got)
+	}
+	// Backoff was paced on the fake clock: recorded, never really slept.
+	if n := len(clock.Sleeps()); n != 3 {
+		t.Errorf("backoff sleeps recorded = %d, want 3", n)
+	}
+}
+
+func TestAcceptThenResetFault(t *testing.T) {
+	leaf, list := testChain(t, "reset.example")
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "reset.example",
+		Faults: FaultConfig{AcceptThenReset: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = tls.Dial("tcp", srv.Addr(), &tls.Config{InsecureSkipVerify: true, ServerName: "reset.example"})
+	if err == nil {
+		t.Fatal("handshake succeeded against an accept-then-reset server")
+	}
+	if srv.FaultsInjected() == 0 {
+		t.Error("fault not counted")
+	}
+}
+
+func TestFailFirstNFault(t *testing.T) {
+	leaf, list := testChain(t, "failfirst.example")
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "failfirst.example",
+		Faults: FaultConfig{FailFirst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fails := 0
+	for i := 0; i < 2; i++ {
+		if _, err := tls.Dial("tcp", srv.Addr(), &tls.Config{InsecureSkipVerify: true, ServerName: "failfirst.example"}); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("first two connections: %d failed, want 2", fails)
+	}
+	// The third connection is served normally.
+	if raw := capture(t, srv.Addr(), "failfirst.example", 0); len(raw) != 3 {
+		t.Errorf("post-fault capture got %d certs", len(raw))
+	}
+	if srv.FaultsInjected() != 2 {
+		t.Errorf("faults injected = %d, want 2", srv.FaultsInjected())
+	}
+}
+
+func TestHandshakeDeadlineFreesSilentPeer(t *testing.T) {
+	leaf, list := testChain(t, "silent.example")
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "silent.example",
+		HandshakeTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Connect raw TCP and never send a ClientHello: the server-side
+	// deadline must close the connection rather than pin it forever.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server wrote data to a silent peer")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server never closed the silent connection (client read timed out)")
+	}
+}
+
+func TestSlowWriteStillServes(t *testing.T) {
+	leaf, list := testChain(t, "slow.example")
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "slow.example",
+		Faults: FaultConfig{SlowWrite: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if raw := capture(t, srv.Addr(), "slow.example", 0); len(raw) != 3 {
+		t.Errorf("slow-write capture got %d certs", len(raw))
+	}
+}
+
+func TestFaultConfigActive(t *testing.T) {
+	if (FaultConfig{}).Active() {
+		t.Error("zero FaultConfig reports active")
+	}
+	for _, fc := range []FaultConfig{
+		{FailFirst: 1}, {AcceptThenReset: true},
+		{StallHandshake: time.Second}, {SlowWrite: time.Second},
+	} {
+		if !fc.Active() {
+			t.Errorf("%+v reports inactive", fc)
+		}
 	}
 }
 
