@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race
+.PHONY: build test check bench race obs
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,17 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/...
+RACE_PKGS = ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# obs race-tests the metrics registry alone (counter/histogram hammering from
+# parallel workers, snapshot determinism) and runs the instrumentation
+# overhead guard.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/...
+	$(GO) test -run xxx -bench ObsOverheadGuard -benchtime 1x .
 
 # check is the pre-commit gate: vet everything, race-test the concurrent core.
 check:

@@ -8,6 +8,7 @@ package chainchaos_test
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/difftest"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
@@ -283,6 +285,92 @@ func BenchmarkDifferentialHarness2k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		(&difftest.Harness{}).Run(pop)
+	}
+}
+
+// BenchmarkDifferentialHarness2kInstrumented is the same run with a live
+// metrics registry wired through the harness and every builder — the number
+// to diff against BenchmarkDifferentialHarness2k when eyeballing
+// instrumentation cost.
+func BenchmarkDifferentialHarness2kInstrumented(b *testing.B) {
+	pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&difftest.Harness{Metrics: reg}).Run(pop)
+	}
+}
+
+// obsOverhead caches the bare-vs-instrumented comparison so the benchmark
+// framework's N-ramping does not re-measure on every invocation.
+var (
+	obsOverheadOnce sync.Once
+	obsOverheadPct  float64
+)
+
+// BenchmarkObsOverheadGuard enforces the observability budget: a fully
+// instrumented difftest harness must cost less than 3% over the bare one
+// (DESIGN.md "Observability"). Wall-clock noise on shared hardware dwarfs
+// a sub-3% signal, so the estimator is layered: min-of-trials inside each
+// repetition discards slow outliers, the median across repetitions discards
+// unlucky minima, and a breach must then reproduce on three independent
+// estimates before the guard fails — a real regression reproduces every
+// time, a noise spike does not. Bench-gated so plain `go test` never runs it.
+func BenchmarkObsOverheadGuard(b *testing.B) {
+	obsOverheadOnce.Do(func() {
+		pop := population.Generate(population.Config{Size: 2000, Seed: 5})
+		// Single-worker runs: a serial run is the honest measurement —
+		// every instrumentation event is on the critical path instead of
+		// hidden behind idle cores.
+		one := func(reg *obs.Registry) time.Duration {
+			start := time.Now()
+			(&difftest.Harness{Workers: 1, Metrics: reg}).Run(pop)
+			return time.Since(start)
+		}
+		reg := obs.NewRegistry()
+		// Warm both paths (page cache, lazily-built client sets).
+		one(nil)
+		one(reg)
+		estimate := func() float64 {
+			const reps, trials = 5, 8
+			ratios := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				var bare, instr time.Duration
+				for i := 0; i < trials; i++ {
+					// Alternate order inside each pair so load drift hits
+					// both sides symmetrically.
+					var wb, wi time.Duration
+					if i%2 == 0 {
+						wb, wi = one(nil), one(reg)
+					} else {
+						wi, wb = one(reg), one(nil)
+					}
+					if bare == 0 || wb < bare {
+						bare = wb
+					}
+					if instr == 0 || wi < instr {
+						instr = wi
+					}
+				}
+				ratios = append(ratios, float64(instr)/float64(bare))
+			}
+			sort.Float64s(ratios)
+			return (ratios[reps/2] - 1) * 100
+		}
+		obsOverheadPct = estimate()
+		for retry := 0; retry < 2 && obsOverheadPct >= 3.0; retry++ {
+			if e := estimate(); e < obsOverheadPct {
+				obsOverheadPct = e
+			}
+		}
+	})
+	b.ReportMetric(obsOverheadPct, "overhead-%")
+	if obsOverheadPct >= 3.0 {
+		b.Fatalf("instrumentation overhead %.2f%% breaches the 3%% budget", obsOverheadPct)
+	}
+	for i := 0; i < b.N; i++ {
+		// The guard's work is the cached comparison above.
 	}
 }
 

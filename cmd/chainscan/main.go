@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chainscan [-tls12] [-timeout 5s] host[:port] ...
+//	chainscan [-tls12] [-timeout 5s] [-metrics metrics.json] [-pprof localhost:6060] host[:port] ...
 //	chainscan -pem bundle.pem -domain example.com
 package main
 
@@ -21,6 +21,7 @@ import (
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/report"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/tlsscan"
@@ -35,7 +36,16 @@ func main() {
 	tls12 := flag.Bool("tls12", false, "cap the handshake at TLS 1.2 (the paper's primary dataset)")
 	rate := flag.Int("rate", 500<<10, "aggregate certificate bytes per second (0 = unlimited)")
 	retries := flag.Int("retries", 1, "extra attempts after a transient dial/handshake failure (0 = scan once)")
+	metricsFile := flag.String("metrics", "", "write scan metrics snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the scan's duration")
 	flag.Parse()
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "chainscan:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "chainscan: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	anchors := loadRoots(*rootsFile)
 	if *pemFile != "" {
@@ -50,7 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate}
+	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate, Metrics: obs.NewRegistry()}
 	if *retries > 0 {
 		scanner.Retry = faults.Policy{Attempts: *retries + 1, BaseDelay: 200 * time.Millisecond, Jitter: 0.5}
 	}
@@ -80,6 +90,14 @@ func main() {
 			d = res.Target.Domain
 		}
 		printReport(d, res.List, anchors)
+	}
+	if *metricsFile != "" {
+		if err := obs.WriteJSON(scanner.Metrics, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "chainscan:", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "chainscan: metrics written to %s\n", *metricsFile)
+		}
 	}
 	os.Exit(exit)
 }

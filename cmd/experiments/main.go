@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-size 100000] [-seed 1] [-run t3,t9,d1] [-workers 0]
+//	            [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Experiment ids: t1 t3 t4 t5 t6 t7 t8 t9 t10 t11 f2 f3 f4 f5 d1 d2 d3 (default:
 // all, in paper order).
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"chainchaos/internal/experiments"
+	"chainchaos/internal/obs"
 )
 
 func main() {
@@ -24,10 +26,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "population seed")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	workers := flag.Int("workers", 0, "parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
+	metricsFile := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	flag.Parse()
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	env := experiments.NewEnv(*size, *seed)
 	env.Workers = *workers
+	env.Metrics = obs.NewRegistry()
 	type exp struct {
 		id string
 		fn func() (fmt.Stringer, error)
@@ -75,5 +87,12 @@ func main() {
 		}
 		fmt.Println(t)
 		fmt.Printf("[%s took %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsFile != "" {
+		if err := obs.WriteJSON(env.Metrics, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: metrics written to %s\n", *metricsFile)
 	}
 }

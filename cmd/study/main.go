@@ -7,6 +7,7 @@
 // Usage:
 //
 //	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
+//	      [-metrics metrics.json] [-pprof localhost:6060]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"chainchaos/internal/obs"
 	"chainchaos/internal/study"
 	"chainchaos/internal/tlsserve"
 )
@@ -26,11 +28,21 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for the grading loop (0 = GOMAXPROCS)")
 	retries := flag.Int("retries", 2, "extra handshake attempts per transport failure (0 = scan once)")
 	chaos := flag.Bool("chaos", false, "inject faults into every listener (reset first connection, slow writes) to exercise the retry path")
+	metricsFile := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	flag.Parse()
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "study:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "study: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := study.Config{
 		Sites: *sites, Seed: *seed, Vantages: *vantages,
 		Workers: *workers, Retries: *retries,
+		Metrics: obs.NewRegistry(),
 	}
 	if *chaos {
 		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
@@ -43,6 +55,13 @@ func main() {
 	}
 	for _, t := range rep.Tables() {
 		fmt.Println(t)
+	}
+	if *metricsFile != "" {
+		if err := obs.WriteJSON(cfg.Metrics, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "study:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "study: metrics written to %s\n", *metricsFile)
 	}
 	fmt.Printf("%d/%d sites compliant, %d scan errors (dial %d / handshake %d / parse %d / cancelled %d), %d rescanned, %d lost, %v elapsed\n",
 		rep.CompliantCount(), len(rep.Sites), rep.ScanErrors,

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/obs"
 )
 
 // ErrNotFound is returned when no certificate is published at a URI.
@@ -33,6 +34,22 @@ type Repository struct {
 	certs    map[string]*certmodel.Certificate
 	failures map[string]error
 	fetches  int
+
+	mFetches *obs.Counter // aia.fetches
+	mHits    *obs.Counter // aia.hits: a certificate was published at the URI
+	mMisses  *obs.Counter // aia.misses: dead or unknown URI
+}
+
+// Instrument wires the repository's fetch counters into reg (aia.fetches /
+// aia.hits / aia.misses) and returns the repository for chaining. A nil
+// registry detaches the counters.
+func (r *Repository) Instrument(reg *obs.Registry) *Repository {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mFetches = reg.Counter("aia.fetches")
+	r.mHits = reg.Counter("aia.hits")
+	r.mMisses = reg.Counter("aia.misses")
+	return r
 }
 
 // NewRepository creates an empty repository.
@@ -68,12 +85,16 @@ func (r *Repository) Fetch(uri string) (*certmodel.Certificate, error) {
 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	r.mFetches.Inc()
 	if err, ok := r.failures[uri]; ok {
+		r.mMisses.Inc()
 		return nil, fmt.Errorf("aia: fetch %s: %w", uri, err)
 	}
 	if cert, ok := r.certs[uri]; ok {
+		r.mHits.Inc()
 		return cert, nil
 	}
+	r.mMisses.Inc()
 	return nil, fmt.Errorf("aia: fetch %s: %w", uri, ErrNotFound)
 }
 

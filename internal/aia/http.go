@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
 )
 
 // Handler serves a Repository over HTTP: GET <prefix>/<name> answers with
@@ -88,6 +90,35 @@ type HTTPFetcher struct {
 	// Retry re-attempts transient GET failures (network errors, 429/5xx).
 	// The zero value fetches exactly once — the pre-existing behaviour.
 	Retry faults.Policy
+	// Metrics, when non-nil, receives fetch counters and a latency
+	// histogram: aia.http.fetches / aia.http.errors / aia.http.truncated /
+	// aia.http.fetch_latency.
+	Metrics *obs.Registry
+
+	metricsOnce sync.Once
+	m           httpMetrics
+}
+
+// httpMetrics holds the fetcher's resolved handles; all no-op without a
+// registry.
+type httpMetrics struct {
+	fetches   *obs.Counter
+	errors    *obs.Counter
+	truncated *obs.Counter
+	latency   *obs.Histogram
+}
+
+func (f *HTTPFetcher) metrics() *httpMetrics {
+	f.metricsOnce.Do(func() {
+		r := f.Metrics
+		f.m = httpMetrics{
+			fetches:   r.Counter("aia.http.fetches"),
+			errors:    r.Counter("aia.http.errors"),
+			truncated: r.Counter("aia.http.truncated"),
+			latency:   r.Histogram("aia.http.fetch_latency", obs.LatencyBuckets),
+		}
+	})
+	return &f.m
 }
 
 // Fetch implements Fetcher over HTTP. The response body is limited to 64 KiB
@@ -108,13 +139,25 @@ func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
 	if policy.Retryable == nil {
 		policy.Retryable = transientFetch
 	}
+	m := f.metrics()
+	clock := policy.Clock
+	if clock == nil {
+		clock = faults.Wall()
+	}
 	var der []byte
+	start := clock.Now()
 	err := policy.Do(context.Background(), func(context.Context) error {
+		m.fetches.Inc()
 		var getErr error
 		der, getErr = get(client, target)
 		return getErr
 	})
+	m.latency.ObserveDuration(clock.Now().Sub(start))
 	if err != nil {
+		m.errors.Inc()
+		if errors.Is(err, ErrTruncated) {
+			m.truncated.Inc()
+		}
 		return nil, err
 	}
 	cert, err := certmodel.ParseDER(der)

@@ -13,6 +13,7 @@ import (
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/core"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/population"
@@ -186,6 +187,11 @@ type Harness struct {
 	// GOMAXPROCS. Per-worker summaries are merged in shard order, so the
 	// Summary is bit-identical to a serial run for any worker count.
 	Workers int
+	// Metrics, when non-nil, receives the run's stage timer
+	// (difftest.run), a per-shard wall-time histogram (difftest.shard_wall)
+	// and counters (difftest.chains, difftest.noncompliant), and is
+	// propagated to every per-shard Builder for construction metrics.
+	Metrics *obs.Registry
 }
 
 // Analysis carries precomputed per-domain topology graphs and compliance
@@ -260,9 +266,13 @@ func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summar
 	if workers < 1 {
 		workers = 1
 	}
+	run := h.Metrics.Timer("difftest.run").Start()
+	shardWall := h.Metrics.Histogram("difftest.shard_wall", obs.LatencyBuckets)
 	partials := make([]*Summary, workers)
 	parallel.Shards(context.Background(), len(pop.Domains), workers, func(shard, lo, hi int) {
+		sw := h.Metrics.Timer("difftest.shard").Start()
 		partials[shard] = h.runShard(pop, pre, profiles, cache, lo, hi)
+		shardWall.ObserveDuration(sw.Stop())
 	})
 
 	sum := newSummary()
@@ -271,6 +281,9 @@ func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summar
 			sum.merge(p)
 		}
 	}
+	run.Stop()
+	h.Metrics.Counter("difftest.chains").Add(int64(sum.Total))
+	h.Metrics.Counter("difftest.noncompliant").Add(int64(sum.NonCompliant))
 	return sum
 }
 
@@ -297,6 +310,7 @@ func (h *Harness) runShard(pop *population.Population, pre *Analysis, profiles [
 			// not state accumulated during this measurement.
 			CacheReadOnly: true,
 			Now:           pop.Cfg.Base,
+			Metrics:       h.Metrics,
 		}
 	}
 
@@ -356,6 +370,11 @@ func (h *Harness) runShard(pop *population.Population, pre *Analysis, profiles [
 		if h.KeepRecords {
 			sum.Records = append(sum.Records, rec)
 		}
+	}
+	// Builders retire with the shard: publish their final partial batch of
+	// construction metrics.
+	for _, b := range builders {
+		b.FlushMetrics()
 	}
 	return sum
 }

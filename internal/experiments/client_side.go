@@ -225,7 +225,7 @@ func (e *Env) CaseValidityPriority() (*report.Table, error) {
 // server-side tables through Env.Analysis, not recomputed.
 func (e *Env) DifferentialOverview() *report.Table {
 	pop := e.Population()
-	sum := (&difftest.Harness{Workers: e.Workers}).RunAnalyzed(pop, e.Analysis())
+	sum := (&difftest.Harness{Workers: e.Workers, Metrics: e.Metrics}).RunAnalyzed(pop, e.Analysis())
 
 	t := report.New("§5.2 — Differential testing overview", "Metric", "Value")
 	t.Addf("chains analyzed", sum.Total)

@@ -11,6 +11,7 @@ import (
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/difftest"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/population"
 	"chainchaos/internal/topo"
@@ -26,6 +27,10 @@ type Env struct {
 	// Workers bounds parallelism in population generation, per-domain
 	// analysis, and the differential harness; <= 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, instruments the analysis stage (a stage timer
+	// under experiments.analyze) and every differential harness the
+	// experiments run; nil runs uninstrumented.
+	Metrics *obs.Registry
 
 	popOnce sync.Once
 	pop     *population.Population
@@ -61,6 +66,8 @@ func (e *Env) Population() *population.Population {
 // in parallel.
 func (e *Env) analyze() {
 	e.analysisOnce.Do(func() {
+		sw := e.Metrics.Timer("experiments.analyze").Start()
+		defer sw.Stop()
 		pop := e.Population()
 		n := len(pop.Domains)
 		e.graphs = make([]*topo.Graph, n)

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// StartPprof serves the net/http/pprof handlers on addr (e.g.
+// "localhost:6060") in a background goroutine, returning the bound address.
+// The commands expose it behind a -pprof flag so a long scan can be profiled
+// live; an empty addr is a no-op returning "".
+//
+// The listener is bound synchronously — a bad address fails here, not later
+// in a goroutine whose error nobody sees.
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	return ln.Addr().String(), nil
+}
+
+// WriteJSON renders the registry's snapshot as indented JSON and writes it
+// to path — the -metrics flag's implementation. A nil registry writes an
+// empty snapshot, so the flag behaves identically whether or not the run
+// wired metrics.
+func WriteJSON(r *Registry, path string) error {
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

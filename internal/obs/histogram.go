@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the default bucket layout for network latencies: upper
+// bounds in nanoseconds, exponential from 100µs to 30s. The span covers
+// everything the pipeline times — loopback handshakes land in the first few
+// buckets, stalled/retried ones toward the tail, and the +Inf bucket catches
+// pathology.
+var LatencyBuckets = durations(
+	100*time.Microsecond, 250*time.Microsecond, 500*time.Microsecond,
+	time.Millisecond, 2500*time.Microsecond, 5*time.Millisecond,
+	10*time.Millisecond, 25*time.Millisecond, 50*time.Millisecond,
+	100*time.Millisecond, 250*time.Millisecond, 500*time.Millisecond,
+	time.Second, 2500*time.Millisecond, 5*time.Second,
+	10*time.Second, 30*time.Second,
+)
+
+// SizeBuckets is the default bucket layout for small cardinalities — chain
+// lengths, candidate counts per step, path lengths.
+var SizeBuckets = []int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+func durations(ds ...time.Duration) []int64 {
+	out := make([]int64, len(ds))
+	for i, d := range ds {
+		out[i] = int64(d)
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations (nanoseconds
+// for latencies, plain counts for sizes). Buckets are chosen at creation and
+// never change, so Observe is lock-free: a binary search over the bounds and
+// two atomic adds.
+type Histogram struct {
+	bounds  []int64        // sorted upper bounds; observations > last land in the overflow bucket
+	buckets []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records v. No-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds. No-op on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Tally is a single-goroutine accumulator for a histogram. Hot loops that
+// observe per item from many workers would ping-pong the histogram's shared
+// cache lines on every event; a Tally updates plain ints locally and Flush
+// publishes the whole batch with one atomic add per touched bucket. A nil
+// Tally (from a nil Histogram) is a no-op everywhere.
+type Tally struct {
+	h       *Histogram
+	buckets []int64
+	count   int64
+	sum     int64
+}
+
+// Tally creates a local accumulator for h; nil on a nil histogram.
+func (h *Histogram) Tally() *Tally {
+	if h == nil {
+		return nil
+	}
+	return &Tally{h: h, buckets: make([]int64, len(h.buckets))}
+}
+
+// Observe records v locally. No-op on nil.
+func (t *Tally) Observe(v int64) {
+	if t == nil {
+		return
+	}
+	i := sort.Search(len(t.h.bounds), func(i int) bool { return t.h.bounds[i] >= v })
+	t.buckets[i]++
+	t.count++
+	t.sum += v
+}
+
+// Flush publishes the batch into the histogram and resets the tally. No-op
+// on nil or when empty.
+func (t *Tally) Flush() {
+	if t == nil || t.count == 0 {
+		return
+	}
+	for i, n := range t.buckets {
+		if n != 0 {
+			t.h.buckets[i].Add(n)
+			t.buckets[i] = 0
+		}
+	}
+	t.h.count.Add(t.count)
+	t.h.sum.Add(t.sum)
+	t.count, t.sum = 0, 0
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank; observations in the overflow
+// bucket report the largest finite bound. Returns 0 with no observations or
+// on nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate
+			// against; report the largest finite bound.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - seen) / n
+		return lo + int64(float64(hi-lo)*frac)
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}

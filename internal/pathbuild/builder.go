@@ -3,10 +3,12 @@ package pathbuild
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"chainchaos/internal/aia"
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/revocation"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/validate"
@@ -92,10 +94,96 @@ type Builder struct {
 	Revocation *revocation.List
 	// Trace, when non-nil, records every construction decision.
 	Trace *Trace
+	// Metrics, when non-nil, receives per-build counters (builds,
+	// candidates considered, paths tried, AIA fetches, build failures) and
+	// a constructed-chain-length histogram. Builds tally into plain
+	// builder-local ints (the Builder is single-goroutine, like scratch)
+	// and the batch is published every flushEvery builds and on
+	// FlushMetrics — per-build atomics on registry-shared counters would
+	// ping-pong cache lines across difftest workers.
+	Metrics *obs.Registry
+
+	metricsOnce sync.Once
+	m           buildMetrics
 
 	// scratch is the builder-owned search state, lazily created on the
 	// first Build and reused (cleared, not reallocated) on every later one.
 	scratch *searcher
+}
+
+// buildMetrics holds the builder's resolved handles plus the builder-local
+// tallies batched between flushes; everything no-ops without a registry.
+type buildMetrics struct {
+	builds     *obs.Counter   // pathbuild.builds
+	ok         *obs.Counter   // pathbuild.builds_ok
+	candidates *obs.Counter   // pathbuild.candidates: sequential-scan candidates considered
+	pathsTried *obs.Counter   // pathbuild.paths_tried
+	aiaFetches *obs.Counter   // pathbuild.aia_fetches
+	chainLen   *obs.Tally     // pathbuild.chain_length: constructed path lengths
+
+	nBuilds, nOK, nCandidates, nPathsTried, nAIAFetches int64
+}
+
+// flushEvery bounds how stale the published pathbuild counters can get:
+// long-running builders publish at least every this many builds even if the
+// owner never calls FlushMetrics.
+const flushEvery = 64
+
+func (b *Builder) metrics() *buildMetrics {
+	b.metricsOnce.Do(func() {
+		r := b.Metrics
+		b.m = buildMetrics{
+			builds:     r.Counter("pathbuild.builds"),
+			ok:         r.Counter("pathbuild.builds_ok"),
+			candidates: r.Counter("pathbuild.candidates"),
+			pathsTried: r.Counter("pathbuild.paths_tried"),
+			aiaFetches: r.Counter("pathbuild.aia_fetches"),
+			chainLen:   r.Histogram("pathbuild.chain_length", obs.SizeBuckets).Tally(),
+		}
+	})
+	return &b.m
+}
+
+// record tallies one finished Build locally, publishing every flushEvery-th
+// batch.
+func (m *buildMetrics) record(out *Outcome) {
+	if m.builds == nil {
+		return // unwired
+	}
+	m.nBuilds++
+	if out.OK() {
+		m.nOK++
+	}
+	m.nCandidates += int64(out.CandidatesConsidered)
+	m.nPathsTried += int64(out.PathsTried)
+	m.nAIAFetches += int64(out.AIAFetches)
+	if len(out.Path) > 0 {
+		m.chainLen.Observe(int64(len(out.Path)))
+	}
+	if m.nBuilds >= flushEvery {
+		m.flush()
+	}
+}
+
+// flush publishes the local batch into the shared counters and resets it.
+func (m *buildMetrics) flush() {
+	if m.builds == nil || m.nBuilds == 0 {
+		return
+	}
+	m.builds.Add(m.nBuilds)
+	m.ok.Add(m.nOK)
+	m.candidates.Add(m.nCandidates)
+	m.pathsTried.Add(m.nPathsTried)
+	m.aiaFetches.Add(m.nAIAFetches)
+	m.chainLen.Flush()
+	m.nBuilds, m.nOK, m.nCandidates, m.nPathsTried, m.nAIAFetches = 0, 0, 0, 0, 0
+}
+
+// FlushMetrics publishes any batched tallies into the registry. Owners that
+// wire Metrics should call it when a builder retires (end of a shard) so the
+// final partial batch is not lost; harmless without a registry.
+func (b *Builder) FlushMetrics() {
+	b.metrics().flush()
 }
 
 const defaultMaxAttempts = 32
@@ -117,7 +205,9 @@ func (b *Builder) searcher() *searcher {
 // Build constructs and validates a path for the presented list. domain, when
 // non-empty, is checked against the leaf during validation.
 func (b *Builder) Build(list []*certmodel.Certificate, domain string) Outcome {
+	m := b.metrics()
 	var out Outcome
+	defer m.record(&out)
 	if len(list) == 0 {
 		out.Err = ErrEmptyList
 		return out

@@ -24,6 +24,7 @@ import (
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/faults"
 	"chainchaos/internal/httpserver"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/report"
@@ -63,6 +64,14 @@ type Config struct {
 	// Clock paces scan backoff, throttling, and injected server faults;
 	// nil means the wall clock.
 	Clock faults.Clock
+	// Metrics, when non-nil, instruments the whole pipeline: scanner and
+	// listener counters, AIA repository hits, per-client construction
+	// metrics, and per-stage timers (study.deploy / study.scan /
+	// study.rescan / study.grade). The final Report carries a Snapshot and
+	// its Tables() gain the pipeline stage table. When Clock is also set
+	// and the registry has no Now of its own, the registry is put on the
+	// same clock, so fault-injection runs snapshot deterministically.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -169,6 +178,23 @@ type Report struct {
 	// Lost is how many sites were never captured by any pass; grading
 	// skips them, and a healthy run reports zero.
 	Lost int
+	// FaultsInjected is the total number of misbehaviours the listeners
+	// fired (sum over the farm).
+	FaultsInjected int
+	// AcceptRetries is the total number of temporary Accept errors the
+	// listeners retried.
+	AcceptRetries int
+	// DeadlineExpiries is how many server-side handshakes were cut by the
+	// per-connection deadline.
+	DeadlineExpiries int
+	// LeavesGenerated counts end-entity certificates minted for the farm.
+	// Exactly one leaf is generated per site — stale-leaf sites mint their
+	// expired leaf directly instead of minting a fresh one first and
+	// discarding it — so this always equals len(Sites).
+	LeavesGenerated int
+	// Snapshot is the metrics export taken after the run when Cfg.Metrics
+	// was wired; nil otherwise.
+	Snapshot *obs.Snapshot
 }
 
 // CompliantCount returns how many scanned sites graded compliant.
@@ -224,14 +250,35 @@ func (r *Report) Tables() []*report.Table {
 	failures.Addf("total", r.ScanErrors)
 	failures.Addf("sites recovered by re-scan", r.Rescanned)
 	failures.Addf("sites lost", r.Lost)
-	return []*report.Table{overview, perClient, failures}
+	failures.Addf("server faults injected", r.FaultsInjected)
+	failures.Addf("server accept retries", r.AcceptRetries)
+	failures.Addf("server deadline expiries", r.DeadlineExpiries)
+	tables := []*report.Table{overview, perClient, failures}
+	if r.Snapshot != nil {
+		if pt := r.Snapshot.PipelineTable(); pt != nil {
+			tables = append(tables, pt)
+		}
+	}
+	return tables
 }
 
 // Run executes the study.
 func Run(cfg Config) (*Report, error) {
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg := cfg.Metrics
+	if reg != nil && cfg.Clock != nil && reg.Now == nil {
+		// Deterministic fault runs: stage timers tick on the same injected
+		// clock as the faults and backoff they time.
+		reg.Now = cfg.Clock.Now
+	}
+	deployTimer := reg.Timer("study.deploy")
+	scanTimer := reg.Timer("study.scan")
+	rescanTimer := reg.Timer("study.rescan")
+	gradeTimer := reg.Timer("study.grade")
+	leavesCounter := reg.Counter("study.leaves_generated")
 
+	deploySW := deployTimer.Start()
 	// Real PKI: a root with two intermediates, AIA-wired.
 	root, err := certgen.NewRoot("Study Root")
 	if err != nil {
@@ -250,7 +297,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	repo := aia.NewRepository()
+	repo := aia.NewRepository().Instrument(reg)
 	repo.Put(ca2URI, ca2.Cert)
 	roots := rootstore.NewWith("study", root.Cert)
 	// The study trust store never grows after this point; sealed, the
@@ -273,14 +320,28 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{Cfg: cfg}
 	var targets []tlsscan.Target
+	var listeners []*tlsserve.Server
 	for i := 0; i < cfg.Sites; i++ {
 		domain := fmt.Sprintf("site-%03d.study.example", i)
-		leaf, err := ca1.NewLeaf(domain)
+		inj := defects[rng.Intn(len(defects))]
+		model := servers[rng.Intn(len(servers))]
+
+		// Exactly one leaf per site: a stale-leaf site mints its expired
+		// leaf directly (the admin who never renewed) instead of minting a
+		// fresh leaf first and then a second, stale one — the old path
+		// silently doubled certgen work. LeavesGenerated proves no cert is
+		// wasted.
+		var leafOpts []certgen.Option
+		if inj == defectStaleLeaf {
+			leafOpts = append(leafOpts, certgen.WithValidity(
+				certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
+		}
+		leaf, err := ca1.NewLeaf(domain, leafOpts...)
 		if err != nil {
 			return nil, err
 		}
-		inj := defects[rng.Intn(len(defects))]
-		model := servers[rng.Intn(len(servers))]
+		rep.LeavesGenerated++
+		leavesCounter.Inc()
 
 		chain := []*certmodel.Certificate{ca1.Cert, ca2.Cert}
 		switch inj {
@@ -292,13 +353,6 @@ func Run(cfg Config) (*Report, error) {
 			chain = []*certmodel.Certificate{ca1.Cert}
 		case defectIrrelevant:
 			chain = append(chain, stray.Cert)
-		case defectStaleLeaf:
-			staleLeaf, err := ca1.NewLeaf(domain,
-				certgen.WithValidity(certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
-			if err != nil {
-				return nil, err
-			}
-			chain = append([]*certmodel.Certificate{staleLeaf.Cert}, chain...)
 		}
 
 		in := httpserver.ConfigInput{
@@ -321,15 +375,17 @@ func Run(cfg Config) (*Report, error) {
 		}
 		srv, err := farm.Add(tlsserve.Config{
 			List: wire, Key: leaf.Key, Domain: domain,
-			Faults: cfg.Faults, Clock: cfg.Clock,
+			Faults: cfg.Faults, Clock: cfg.Clock, Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
+		listeners = append(listeners, srv)
 		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
 		rep.Sites = append(rep.Sites, site)
 		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: domain})
 	}
+	deploySW.Stop()
 
 	// Multi-vantage scan and merge. Transient failures are retried inside
 	// the scanner; whatever still fails is counted per cause.
@@ -337,6 +393,7 @@ func Run(cfg Config) (*Report, error) {
 		Timeout:     cfg.Timeout,
 		Concurrency: cfg.Concurrency,
 		Clock:       cfg.Clock,
+		Metrics:     cfg.Metrics,
 	}
 	if cfg.Retries > 0 {
 		scanner.Retry = faults.Policy{
@@ -356,16 +413,19 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	passes := make([][]tlsscan.Result, 0, cfg.Vantages+cfg.RescanPasses)
+	scanSW := scanTimer.Start()
 	for v := 0; v < cfg.Vantages; v++ {
 		results := scanner.ScanAll(context.Background(), targets)
 		countErrors(results)
 		passes = append(passes, results)
 	}
+	scanSW.Stop()
 	merged := tlsscan.MergeVantages(passes...)
 
 	// Bounded re-scan: sites that every vantage failed to capture get up
 	// to RescanPasses more sweeps, so one flaky window does not lose a
 	// site for the whole study.
+	rescannedCounter := reg.Counter("study.rescanned")
 	for pass := 0; pass < cfg.RescanPasses; pass++ {
 		var missing []tlsscan.Target
 		for i, site := range rep.Sites {
@@ -376,13 +436,16 @@ func Run(cfg Config) (*Report, error) {
 		if len(missing) == 0 {
 			break
 		}
+		rescanSW := rescanTimer.Start()
 		results := scanner.ScanAll(context.Background(), missing)
+		rescanSW.Stop()
 		countErrors(results)
 		passes = append(passes, results)
 		merged = tlsscan.MergeVantages(passes...)
 		for _, res := range results {
 			if res.Err == nil {
 				rep.Rescanned++
+				rescannedCounter.Inc()
 			}
 		}
 	}
@@ -399,12 +462,14 @@ func Run(cfg Config) (*Report, error) {
 	// worker writes only to its own sites, so no locking is needed.
 	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
 	profiles := clients.All()
+	gradeSW := gradeTimer.Start()
 	parallel.Shards(context.Background(), len(rep.Sites), cfg.Workers, func(_, lo, hi int) {
 		builders := make([]*pathbuild.Builder, len(profiles))
 		for i, p := range profiles {
 			builders[i] = &pathbuild.Builder{
 				Policy: p.Policy, Roots: roots, Fetcher: repo,
 				Cache: rootstore.New("cache"), Now: certgen.Reference,
+				Metrics: cfg.Metrics,
 			}
 		}
 		for i := lo; i < hi; i++ {
@@ -423,6 +488,22 @@ func Run(cfg Config) (*Report, error) {
 				site.Verdicts[p.Name] = builders[j].Build(list, site.Domain).OK()
 			}
 		}
+		for _, b := range builders {
+			b.FlushMetrics()
+		}
 	})
+	gradeSW.Stop()
+
+	// Fold the listeners' own tallies into the report before the deferred
+	// farm.Close tears them down. These mirror the serve.* counters exactly,
+	// which the reconciliation test pins.
+	for _, srv := range listeners {
+		rep.FaultsInjected += srv.FaultsInjected()
+		rep.AcceptRetries += srv.AcceptRetries()
+		rep.DeadlineExpiries += srv.DeadlineExpiries()
+	}
+	if reg != nil {
+		rep.Snapshot = reg.Snapshot()
+	}
 	return rep, nil
 }

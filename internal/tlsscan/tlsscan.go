@@ -19,6 +19,7 @@ import (
 
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
 )
 
 // Target is one scan work item.
@@ -109,10 +110,72 @@ type Scanner struct {
 	Retry faults.Policy
 	// Clock paces the throttle and retry backoff; nil means the wall clock.
 	Clock faults.Clock
+	// Metrics, when non-nil, receives scan counters and latency histograms
+	// (see scanMetrics for the names). Handles are resolved once; the scan
+	// hot path then costs one atomic op per event.
+	Metrics *obs.Registry
 
 	limiterMu    sync.Mutex
 	limiterSpent float64
 	limiterMark  time.Time
+
+	metricsOnce sync.Once
+	m           scanMetrics
+}
+
+// scanMetrics holds the scanner's resolved metric handles. All fields are
+// nil (no-op) when no registry is wired.
+type scanMetrics struct {
+	handshakes   *obs.Counter   // scan.handshakes: successful captures
+	retries      *obs.Counter   // scan.retries: extra attempts spent on transport failures
+	errDial      *obs.Counter   // scan.errors.dial
+	errHandshake *obs.Counter   // scan.errors.handshake
+	errParse     *obs.Counter   // scan.errors.parse
+	errCancelled *obs.Counter   // scan.errors.cancelled
+	dialLat      *obs.Histogram // scan.dial_latency
+	handshakeLat *obs.Histogram // scan.handshake_latency
+}
+
+// metrics resolves (once) the scanner's metric handles.
+func (s *Scanner) metrics() *scanMetrics {
+	s.metricsOnce.Do(func() {
+		r := s.Metrics
+		s.m = scanMetrics{
+			handshakes:   r.Counter("scan.handshakes"),
+			retries:      r.Counter("scan.retries"),
+			errDial:      r.Counter("scan.errors.dial"),
+			errHandshake: r.Counter("scan.errors.handshake"),
+			errParse:     r.Counter("scan.errors.parse"),
+			errCancelled: r.Counter("scan.errors.cancelled"),
+			dialLat:      r.Histogram("scan.dial_latency", obs.LatencyBuckets),
+			handshakeLat: r.Histogram("scan.handshake_latency", obs.LatencyBuckets),
+		}
+	})
+	return &s.m
+}
+
+// countResult records a finished Scan (after all retries) in the metrics:
+// one success or one per-cause failure, plus the retries it consumed. Scoped
+// to final results — never attempts — so the counters reconcile exactly with
+// report-level error accounting (study.Report.ScanErrorCauses).
+func (m *scanMetrics) countResult(res Result) {
+	if res.Attempts > 1 {
+		m.retries.Add(int64(res.Attempts - 1))
+	}
+	if res.Err == nil {
+		m.handshakes.Inc()
+		return
+	}
+	switch res.Cause {
+	case CauseDial:
+		m.errDial.Inc()
+	case CauseHandshake:
+		m.errHandshake.Inc()
+	case CauseParse:
+		m.errParse.Inc()
+	case CauseCancelled:
+		m.errCancelled.Inc()
+	}
 }
 
 func (s *Scanner) clock() faults.Clock {
@@ -129,17 +192,21 @@ func (s *Scanner) clock() faults.Clock {
 // transport failures under the scanner's retry policy.
 func (s *Scanner) Scan(ctx context.Context, target Target) Result {
 	attempts := s.Retry.MaxAttempts()
+	m := s.metrics()
 	var res Result
 	for attempt := 0; ; attempt++ {
 		res = s.scanOnce(ctx, target)
 		res.Attempts = attempt + 1
 		if res.Err == nil || attempt+1 >= attempts || !res.Cause.Retryable() {
+			m.countResult(res)
 			return res
 		}
 		if s.Retry.Retryable != nil && !s.Retry.Retryable(res.Err) {
+			m.countResult(res)
 			return res
 		}
 		if s.clock().Sleep(ctx, s.Retry.Delay(attempt)) != nil {
+			m.countResult(res)
 			return res // cancelled mid-backoff; keep the transport error
 		}
 	}
@@ -156,8 +223,11 @@ func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 	}
 	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	m := s.metrics()
+	clock := s.clock()
 
 	dialer := &net.Dialer{}
+	dialStart := clock.Now()
 	rawConn, err := dialer.DialContext(attemptCtx, "tcp", target.Addr)
 	if err != nil {
 		res.Cause = CauseDial
@@ -167,6 +237,7 @@ func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 		res.Err = fmt.Errorf("tlsscan: dial %s: %w", target.Addr, err)
 		return res
 	}
+	m.dialLat.ObserveDuration(clock.Now().Sub(dialStart))
 	conn := tls.Client(rawConn, &tls.Config{
 		ServerName:         target.Domain,
 		InsecureSkipVerify: true, // capture, never judge
@@ -180,6 +251,7 @@ func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 			return nil
 		},
 	})
+	hsStart := clock.Now()
 	if err := conn.HandshakeContext(attemptCtx); err != nil {
 		rawConn.Close()
 		res.Cause = CauseHandshake
@@ -189,6 +261,7 @@ func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 		res.Err = fmt.Errorf("tlsscan: handshake %s: %w", target.Addr, err)
 		return res
 	}
+	m.handshakeLat.ObserveDuration(clock.Now().Sub(hsStart))
 	res.Version = conn.ConnectionState().Version
 	conn.Close()
 

@@ -1,0 +1,131 @@
+package tlsserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
+)
+
+// TestHandshakeDeadlineUsesInjectedClock pins the satellite bugfix: the
+// per-connection handshake deadline must come off the injected faults.Clock,
+// not time.Now(). A fake clock parked two days in the past yields a deadline
+// that has already expired in real time, so a client that connects and never
+// speaks is cut immediately — under the old time.Now() deadline it would pin
+// the handler for the full 10s timeout and this test would hang.
+func TestHandshakeDeadlineUsesInjectedClock(t *testing.T) {
+	leaf, list := testChain(t, "deadline.example")
+	clk := faults.NewFakeClock(time.Now().Add(-48 * time.Hour))
+	reg := obs.NewRegistry()
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "deadline.example",
+		HandshakeTimeout: time.Second, Clock: clk, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing: the server's handshake read must fail on the expired
+	// deadline, not block.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.DeadlineExpiries() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("handshake deadline never expired — deadline not on the injected clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.DeadlineExpiries(); got != 1 {
+		t.Fatalf("DeadlineExpiries = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.deadline_expiries").Value(); got != 1 {
+		t.Fatalf("serve.deadline_expiries = %d, want 1", got)
+	}
+}
+
+// TestSlowWritePropagatesCause pins the other satellite bugfix: an aborted
+// slow write must surface the context's error (server close or external
+// cancellation), not collapse into net.ErrClosed.
+func TestSlowWritePropagatesCause(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := &slowConn{Conn: server, delay: time.Hour, clock: faults.Wall(), ctx: ctx}
+	_, err := sc.Write([]byte("hello"))
+	if err == nil {
+		t.Fatal("write on a cancelled slowConn must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if errors.Is(err, net.ErrClosed) {
+		t.Fatalf("err = %v; the old code collapsed the cause into net.ErrClosed", err)
+	}
+}
+
+// TestServeMetricsMirrorAccessors asserts the serve.* counters published to
+// a registry agree exactly with the per-server accessors — the invariant the
+// study's reconciliation rests on.
+func TestServeMetricsMirrorAccessors(t *testing.T) {
+	leaf, list := testChain(t, "metrics.example")
+	reg := obs.NewRegistry()
+	srv, err := Start(Config{
+		List: list, Key: leaf.Key, Domain: "metrics.example",
+		Faults:  FaultConfig{FailFirst: 2},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Two connections eaten by FailFirst, then one clean handshake. The
+	// RST can surface at connect time on loopback, so a failed dial still
+	// counts as a connection the server accepted and reset.
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			continue
+		}
+		buf := make([]byte, 1)
+		c.Read(buf) // wait for the reset so fault accounting is done
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.FaultsInjected() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d faults fired", srv.FaultsInjected())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	capture(t, srv.Addr(), "metrics.example", 0)
+
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.Connections() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d connections accepted", srv.Connections())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := reg.Counter("serve.accepts").Value(), int64(srv.Connections()); got != want {
+		t.Fatalf("serve.accepts = %d, accessor says %d", got, want)
+	}
+	if got, want := reg.Counter("serve.faults").Value(), int64(srv.FaultsInjected()); got != want || got != 2 {
+		t.Fatalf("serve.faults = %d, accessor says %d, want 2", got, want)
+	}
+	if got, want := reg.Counter("serve.accept_retries").Value(), int64(srv.AcceptRetries()); got != want {
+		t.Fatalf("serve.accept_retries = %d, accessor says %d", got, want)
+	}
+}

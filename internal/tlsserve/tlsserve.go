@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
 )
 
 // FaultConfig describes the misbehaviours a server injects. The zero value
@@ -63,10 +65,32 @@ type Server struct {
 	closeFn   context.CancelFunc
 	closeOnce sync.Once
 
-	mu            sync.Mutex
-	conns         int
-	faultsFired   int
-	acceptRetries int
+	m serveMetrics
+
+	mu               sync.Mutex
+	conns            int
+	faultsFired      int
+	acceptRetries    int
+	deadlineExpiries int
+}
+
+// serveMetrics holds the server's resolved metric handles; all nil (no-op)
+// without a registry. Counters are shared across every server wired to the
+// same registry, so a farm's totals aggregate without extra bookkeeping.
+type serveMetrics struct {
+	accepts          *obs.Counter // serve.accepts
+	faults           *obs.Counter // serve.faults: injected misbehaviours fired
+	acceptRetries    *obs.Counter // serve.accept_retries: temporary Accept errors retried
+	deadlineExpiries *obs.Counter // serve.deadline_expiries: handshakes cut by the per-conn deadline
+}
+
+func resolveServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		accepts:          r.Counter("serve.accepts"),
+		faults:           r.Counter("serve.faults"),
+		acceptRetries:    r.Counter("serve.accept_retries"),
+		deadlineExpiries: r.Counter("serve.deadline_expiries"),
+	}
 }
 
 // Config describes the deployment to serve.
@@ -88,9 +112,13 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// Faults makes the server misbehave on purpose.
 	Faults FaultConfig
-	// Clock paces accept-error backoff and injected stalls; nil means the
-	// wall clock. Tests inject a fake clock so nothing really sleeps.
+	// Clock paces accept-error backoff, injected stalls, and the per-
+	// connection handshake deadline; nil means the wall clock. Tests inject
+	// a fake clock so nothing really sleeps and deadlines are controlled.
 	Clock faults.Clock
+	// Metrics, when non-nil, receives accept/fault/retry/deadline counters
+	// (see serveMetrics for the names).
+	Metrics *obs.Registry
 }
 
 // Start launches a listener on 127.0.0.1 (ephemeral port) presenting the
@@ -136,6 +164,7 @@ func startWithListener(ln net.Listener, cfg Config, raw [][]byte) *Server {
 		faults:   cfg.Faults,
 		timeout:  timeout,
 		clock:    clock,
+		m:        resolveServeMetrics(cfg.Metrics),
 		closeCtx: ctx,
 		closeFn:  cancel,
 	}
@@ -170,6 +199,7 @@ func (s *Server) acceptLoop() {
 			s.mu.Lock()
 			s.acceptRetries++
 			s.mu.Unlock()
+			s.m.acceptRetries.Inc()
 			if s.clock.Sleep(s.closeCtx, backoff) != nil {
 				return
 			}
@@ -180,6 +210,7 @@ func (s *Server) acceptLoop() {
 		s.conns++
 		n := s.conns
 		s.mu.Unlock()
+		s.m.accepts.Inc()
 		go s.handle(conn, n)
 	}
 }
@@ -190,16 +221,12 @@ func (s *Server) handle(conn net.Conn, n int) {
 	defer conn.Close()
 	fc := s.faults
 	if fc.AcceptThenReset || n <= fc.FailFirst {
-		s.mu.Lock()
-		s.faultsFired++
-		s.mu.Unlock()
+		s.countFault()
 		reset(conn)
 		return
 	}
 	if fc.StallHandshake > 0 {
-		s.mu.Lock()
-		s.faultsFired++
-		s.mu.Unlock()
+		s.countFault()
 		if s.clock.Sleep(s.closeCtx, fc.StallHandshake) != nil {
 			return // server closed mid-stall
 		}
@@ -210,11 +237,26 @@ func (s *Server) handle(conn net.Conn, n int) {
 	tc := tls.Server(conn, s.tlsCfg)
 	defer tc.Close()
 	// A peer that connects and never writes must not hold this goroutine
-	// (and its counted connection) forever.
-	_ = conn.SetDeadline(time.Now().Add(s.timeout))
+	// (and its counted connection) forever. The deadline comes off the
+	// injected clock, not time.Now(), so FakeClock fault tests control
+	// exactly when it expires.
+	_ = conn.SetDeadline(s.clock.Now().Add(s.timeout))
 	// Complete the handshake so the client receives the Certificate
 	// message even if it never writes afterwards.
-	_ = tc.Handshake()
+	if err := tc.Handshake(); err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		s.mu.Lock()
+		s.deadlineExpiries++
+		s.mu.Unlock()
+		s.m.deadlineExpiries.Inc()
+	}
+}
+
+// countFault records one injected misbehaviour.
+func (s *Server) countFault() {
+	s.mu.Lock()
+	s.faultsFired++
+	s.mu.Unlock()
+	s.m.faults.Inc()
 }
 
 // reset closes conn abruptly (RST instead of FIN where the transport allows
@@ -234,9 +276,13 @@ type slowConn struct {
 	ctx   context.Context
 }
 
+// Write delays, then writes. An aborted sleep propagates its underlying
+// cause (the context error — server close or external cancellation) instead
+// of collapsing everything into net.ErrClosed, which mis-bucketed error
+// classification for anything inspecting the handshake failure.
 func (c *slowConn) Write(p []byte) (int, error) {
 	if err := c.clock.Sleep(c.ctx, c.delay); err != nil {
-		return 0, net.ErrClosed
+		return 0, fmt.Errorf("tlsserve: slow write aborted: %w", err)
 	}
 	return c.Conn.Write(p)
 }
@@ -266,6 +312,14 @@ func (s *Server) AcceptRetries() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.acceptRetries
+}
+
+// DeadlineExpiries returns how many handshakes were cut short by the
+// per-connection deadline.
+func (s *Server) DeadlineExpiries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadlineExpiries
 }
 
 // Close shuts the listener down. Safe to call multiple times.
