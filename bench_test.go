@@ -7,6 +7,7 @@ package chainchaos_test
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,8 +24,10 @@ import (
 	"chainchaos/internal/difftest"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
+	"chainchaos/internal/study"
 	"chainchaos/internal/tlsscan"
 	"chainchaos/internal/tlsserve"
 	"chainchaos/internal/topo"
@@ -409,6 +412,56 @@ func BenchmarkDifftestPrecomputedAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		(&difftest.Harness{}).RunAnalyzed(pop, pre)
 	}
+}
+
+// --- Streaming pipeline engine vs batch orchestration ---
+
+// BenchmarkPipelineDifftest compares the streaming differential evaluation —
+// domains generated, analyzed, and graded in flight through the staged
+// pipeline, peak memory bounded by the worker window — against the batch
+// path that materializes the population first. The two produce bit-identical
+// summaries; B/op is the memory story.
+func BenchmarkPipelineDifftest(b *testing.B) {
+	cfg := population.Config{Size: 2000, Seed: 5}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			(&difftest.Harness{}).Run(population.Generate(cfg))
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := population.NewSource(cfg)
+			if _, err := (&difftest.Harness{}).RunStream(context.Background(), src, pipeline.Options{}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPipelineStudy compares the streaming study — sites deployed,
+// scanned, and graded through the bounded deploy→scan→grade pipeline with a
+// JSONL sink — against the batch adapter that additionally retains every
+// graded Site.
+func BenchmarkPipelineStudy(b *testing.B) {
+	cfg := study.Config{Sites: 200, Seed: 4, Vantages: 1}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := study.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := study.RunStream(context.Background(), cfg, study.Stream{Out: io.Discard}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Path building per client model on a reversed chain ---

@@ -19,9 +19,14 @@ import (
 	"chainchaos/internal/aia"
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/clients"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/rootstore"
 )
+
+// cli carries the shared observability flags; package-level so findProfile's
+// error path can use the common Fatal.
+var cli = obs.NewCLI("chainbuild")
 
 func main() {
 	bundle := flag.String("bundle", "", "PEM bundle as presented by the server (required)")
@@ -32,7 +37,9 @@ func main() {
 	useAIA := flag.Bool("aia", false, "allow live HTTP AIA fetching (network access)")
 	all := flag.Bool("all", false, "run every client model and compare")
 	traceFlag := flag.Bool("trace", false, "print the construction decision trace")
+	cli.BindObs()
 	flag.Parse()
+	cli.Start()
 
 	if *bundle == "" {
 		fmt.Fprintln(os.Stderr, "usage: chainbuild -bundle chain.pem [flags]")
@@ -86,6 +93,7 @@ func main() {
 			Cache:   rootstore.New("cache"),
 			Now:     now,
 			Trace:   trace,
+			Metrics: cli.Metrics,
 		}
 		out := b.Build(list, *domain)
 		fmt.Printf("=== %s ===\n", p.Name)
@@ -114,6 +122,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	cli.Finish()
 }
 
 func readBundle(path string) ([]*certmodel.Certificate, error) {
@@ -138,6 +147,5 @@ func findProfile(name string) clients.Profile {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "chainbuild:", err)
-	os.Exit(1)
+	cli.Fatal(err)
 }

@@ -18,8 +18,11 @@ import (
 	"chainchaos/internal/aia"
 	"chainchaos/internal/certmodel"
 	"chainchaos/internal/chainfix"
+	"chainchaos/internal/obs"
 	"chainchaos/internal/rootstore"
 )
+
+var cli = obs.NewCLI("chainfix")
 
 func main() {
 	bundle := flag.String("bundle", "", "PEM bundle to repair (required)")
@@ -28,7 +31,9 @@ func main() {
 	useAIA := flag.Bool("aia", false, "allow live HTTP AIA fetching to complete the chain")
 	out := flag.String("o", "", "write the repaired PEM here (default: stdout)")
 	domain := flag.String("domain", "", "domain for the final compliance report")
+	cli.BindObs()
 	flag.Parse()
+	cli.Start()
 
 	if *bundle == "" {
 		fmt.Fprintln(os.Stderr, "usage: chainfix -bundle chain.pem [flags]")
@@ -88,14 +93,12 @@ func main() {
 	}
 	if *out == "" {
 		os.Stdout.Write(pemOut)
-		return
-	}
-	if err := os.WriteFile(*out, pemOut, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, pemOut, 0o644); err != nil {
 		fatal(err)
 	}
+	cli.Finish()
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "chainfix:", err)
-	os.Exit(1)
+	cli.Fatal(err)
 }

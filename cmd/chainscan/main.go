@@ -29,30 +29,24 @@ import (
 )
 
 func main() {
+	cli := obs.NewCLI("chainscan")
 	pemFile := flag.String("pem", "", "analyze a PEM bundle instead of scanning")
 	rootsFile := flag.String("roots", "", "PEM trust anchors for completeness analysis")
 	domain := flag.String("domain", "", "expected domain (defaults to the target host)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-target connection timeout")
 	tls12 := flag.Bool("tls12", false, "cap the handshake at TLS 1.2 (the paper's primary dataset)")
 	rate := flag.Int("rate", 500<<10, "aggregate certificate bytes per second (0 = unlimited)")
-	retries := flag.Int("retries", 1, "extra attempts after a transient dial/handshake failure (0 = scan once)")
-	metricsFile := flag.String("metrics", "", "write scan metrics snapshot as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the scan's duration")
+	cli.BindRetries(1, "extra attempts after a transient dial/handshake failure (0 = scan once)")
+	cli.BindObs()
 	flag.Parse()
-
-	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "chainscan:", err)
-		os.Exit(1)
-	} else if addr != "" {
-		fmt.Fprintf(os.Stderr, "chainscan: pprof on http://%s/debug/pprof/\n", addr)
-	}
+	cli.Start()
 
 	anchors := loadRoots(*rootsFile)
 	if *pemFile != "" {
 		if err := analyzePEM(*pemFile, *domain, anchors); err != nil {
-			fmt.Fprintln(os.Stderr, "chainscan:", err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
+		cli.Finish()
 		return
 	}
 	if flag.NArg() == 0 {
@@ -60,9 +54,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate, Metrics: obs.NewRegistry()}
-	if *retries > 0 {
-		scanner.Retry = faults.Policy{Attempts: *retries + 1, BaseDelay: 200 * time.Millisecond, Jitter: 0.5}
+	scanner := &tlsscan.Scanner{Timeout: *timeout, BytesPerSecond: *rate, Metrics: cli.Metrics}
+	if cli.Retries > 0 {
+		scanner.Retry = faults.Policy{Attempts: cli.Retries + 1, BaseDelay: 200 * time.Millisecond, Jitter: 0.5}
 	}
 	if *tls12 {
 		scanner.MaxVersion = tls.VersionTLS12
@@ -91,14 +85,7 @@ func main() {
 		}
 		printReport(d, res.List, anchors)
 	}
-	if *metricsFile != "" {
-		if err := obs.WriteJSON(scanner.Metrics, *metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "chainscan:", err)
-			exit = 1
-		} else {
-			fmt.Fprintf(os.Stderr, "chainscan: metrics written to %s\n", *metricsFile)
-		}
-	}
+	cli.Finish()
 	os.Exit(exit)
 }
 

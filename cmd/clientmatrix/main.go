@@ -7,18 +7,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"chainchaos/internal/experiments"
+	"chainchaos/internal/obs"
 )
 
 func main() {
+	cli := obs.NewCLI("clientmatrix")
+	cli.BindObs()
 	flag.Parse()
+	cli.Start()
 	env := experiments.NewEnv(1, 1) // population unused; the runner generates its own chains
+	env.Metrics = cli.Metrics
 	table, err := env.ClientCapabilities()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "clientmatrix:", err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	fmt.Println(table)
 
@@ -29,9 +32,9 @@ func main() {
 	} {
 		t, err := f()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "clientmatrix:", err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		fmt.Println(t)
 	}
+	cli.Finish()
 }

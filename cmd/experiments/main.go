@@ -4,13 +4,23 @@
 // Usage:
 //
 //	experiments [-size 100000] [-seed 1] [-run t3,t9,d1] [-workers 0]
+//	            [-stream] [-out verdicts.jsonl] [-checkpoint diff.ckpt]
 //	            [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Experiment ids: t1 t3 t4 t5 t6 t7 t8 t9 t10 t11 f2 f3 f4 f5 d1 d2 d3 (default:
 // all, in paper order).
+//
+// With -stream the differential evaluation (d1) runs over the streaming
+// population source — domains are generated, analyzed, and graded in flight
+// with bounded memory, which is how the paper-scale 906,336-chain run fits —
+// writing one JSON line per non-compliant chain to -out and checkpointing
+// progress to -checkpoint. The other experiments need the materialized
+// population, so -stream runs d1 only.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,27 +29,31 @@ import (
 
 	"chainchaos/internal/experiments"
 	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
 )
 
 func main() {
+	cli := obs.NewCLI("experiments")
 	size := flag.Int("size", 100000, "population size (906336 = paper scale)")
 	seed := flag.Int64("seed", 1, "population seed")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
-	workers := flag.Int("workers", 0, "parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
-	metricsFile := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+	stream := flag.Bool("stream", false, "run the differential evaluation (d1) over the streaming source with bounded memory")
+	outFile := flag.String("out", "", "with -stream: write per-chain verdict JSONL here")
+	checkpoint := flag.String("checkpoint", "", "with -stream: journal progress to this file and resume from it")
+	cli.BindWorkers("parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
+	cli.BindObs()
 	flag.Parse()
+	cli.Start()
 
-	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	} else if addr != "" {
-		fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", addr)
+	if *stream || *outFile != "" || *checkpoint != "" {
+		runStreaming(cli, *size, *seed, *run, *outFile, *checkpoint)
+		cli.Finish()
+		return
 	}
 
 	env := experiments.NewEnv(*size, *seed)
-	env.Workers = *workers
-	env.Metrics = obs.NewRegistry()
+	env.Workers = cli.Workers
+	env.Metrics = cli.Metrics
 	type exp struct {
 		id string
 		fn func() (fmt.Stringer, error)
@@ -88,11 +102,66 @@ func main() {
 		fmt.Println(t)
 		fmt.Printf("[%s took %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
-	if *metricsFile != "" {
-		if err := obs.WriteJSON(env.Metrics, *metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "experiments: metrics written to %s\n", *metricsFile)
+	cli.Finish()
+}
+
+// runStreaming is the -stream path: the §5.2 differential evaluation over
+// the streaming population source, with optional per-chain JSONL output and
+// checkpoint/resume.
+func runStreaming(cli *obs.CLI, size int, seed int64, run, outFile, checkpoint string) {
+	if run != "" && strings.TrimSpace(strings.ToLower(run)) != "d1" {
+		cli.Fatal(fmt.Errorf("-stream runs the differential evaluation only; drop -run or pass -run d1"))
 	}
+	cfg := experiments.StreamConfig{Size: size, Seed: seed, Workers: cli.Workers, Metrics: cli.Metrics}
+	if checkpoint != "" {
+		j, resume, err := pipeline.Checkpoint(checkpoint, "verdict")
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer j.Close()
+		if outFile != "" {
+			// The verdict JSONL is sparse — only non-compliant chains emit a
+			// line — so each line's 1-based rank field locates it.
+			resume, err = pipeline.RecoverOutput(outFile, 0, j, "verdict", verdictRank)
+			if err != nil {
+				cli.Fatal(err)
+			}
+		}
+		cfg.Journal, cfg.Resume = j, resume
+		if resume > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming from rank %d (summary covers the remaining chains only)\n", resume+1)
+		}
+	}
+	if outFile != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if checkpoint != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(outFile, mode, 0o644)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Out = f
+	}
+	fmt.Printf("population: %d domains, seed %d (streaming)\n\n", size, seed)
+	start := time.Now()
+	t, err := experiments.DifferentialStream(context.Background(), cfg)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Println(t)
+	fmt.Printf("[d1 took %v]\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+// verdictRank extracts the zero-based pipeline rank from one line of the
+// verdict JSONL (difftest.RecordLine carries the domain's 1-based rank).
+func verdictRank(line []byte) (int, bool) {
+	var rec struct {
+		Rank int `json:"rank"`
+	}
+	if json.Unmarshal(line, &rec) != nil || rec.Rank < 1 {
+		return 0, false
+	}
+	return rec.Rank - 1, true
 }

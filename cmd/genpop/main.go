@@ -6,94 +6,200 @@
 //
 //	genpop -size 10000 -seed 1 > population.tsv
 //	genpop -size 10000 -summary
+//	genpop -size 1000000 -stream -out population.tsv -checkpoint population.ckpt
+//
+// With -stream, rows are written as domains are generated — peak memory is
+// bounded by the worker pool, not the population — and the bytes are
+// identical to the batch path. -checkpoint journals progress so an
+// interrupted generation resumes where it stopped, appending to -out.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
 )
 
 func main() {
+	cli := obs.NewCLI("genpop")
 	size := flag.Int("size", 10000, "number of domains")
 	seed := flag.Int64("seed", 1, "generator seed")
 	summary := flag.Bool("summary", false, "print aggregate statistics instead of the TSV")
+	stream := flag.Bool("stream", false, "emit rows as domains are generated instead of materializing the population")
+	outFile := flag.String("out", "", "write the TSV here (default stdout; implies -stream)")
+	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
+	cli.BindWorkers("parallel workers for generation (0 = GOMAXPROCS)")
+	cli.BindObs()
 	flag.Parse()
+	cli.Start()
+	defer cli.Finish()
 
-	pop := population.Generate(population.Config{Size: *size, Seed: *seed})
-
-	if *summary {
-		printSummary(pop)
+	cfg := population.Config{Size: *size, Seed: *seed, Workers: cli.Workers}
+	if !(*stream || *outFile != "" || *checkpoint != "") {
+		pop := population.Generate(cfg)
+		if *summary {
+			printSummary(pop)
+			return
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		writeHeader(w)
+		for _, d := range pop.Domains {
+			writeRow(w, d)
+		}
 		return
 	}
-	w := bufio.NewWriter(os.Stdout)
+
+	src := population.NewSource(cfg)
+	opts := pipeline.Options{Name: "genpop", Metrics: cli.Metrics}
+	if *checkpoint != "" {
+		j, resume, err := pipeline.Checkpoint(*checkpoint, "generate")
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer j.Close()
+		if *outFile != "" && !*summary {
+			// Reconcile the TSV with the watermark: one header line, then
+			// one row per rank.
+			resume, err = pipeline.RecoverOutput(*outFile, 1, j, "generate", nil)
+			if err != nil {
+				cli.Fatal(err)
+			}
+		}
+		opts.Journal, opts.Resume = j, resume
+		if resume > 0 {
+			fmt.Fprintf(os.Stderr, "genpop: resuming from rank %d\n", resume+1)
+		}
+	}
+
+	if *summary {
+		pop := src.Population()
+		st := &stats{byCA: map[string]int{}, byServer: map[string]int{}}
+		err := src.Each(context.Background(), opts, func(d *population.Domain) error {
+			st.add(d)
+			return nil
+		})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		st.print(pop)
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFile != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *checkpoint != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*outFile, mode, 0o644)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
 	defer w.Flush()
+	if opts.Resume == 0 {
+		writeHeader(w)
+	}
+	err := src.Each(context.Background(), opts, func(d *population.Domain) error {
+		writeRow(w, d)
+		return nil
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+}
+
+func writeHeader(w io.Writer) {
 	fmt.Fprintln(w, "rank\tdomain\tca\tserver\tcerts\tdup\tirrelevant\tmultipath\treversed\tincomplete\tleaf_mismatch")
-	for _, d := range pop.Domains {
-		t := d.Truth
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
-			d.Rank, d.Name, d.CA, d.Server, len(d.List),
-			t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot,
-			t.Irrelevant != population.IrrelevantNone,
-			t.MultiplePaths, t.Reversed, t.Incomplete, t.LeafMismatch)
+}
+
+func writeRow(w io.Writer, d *population.Domain) {
+	t := d.Truth
+	fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+		d.Rank, d.Name, d.CA, d.Server, len(d.List),
+		t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot,
+		t.Irrelevant != population.IrrelevantNone,
+		t.MultiplePaths, t.Reversed, t.Incomplete, t.LeafMismatch)
+}
+
+// stats accumulates the -summary aggregates one domain at a time, so the
+// streaming path never holds the population.
+type stats struct {
+	n                                          int
+	dup, irr, multi, rev, inc, mismatch, other int
+	nc                                         int
+	byCA, byServer                             map[string]int
+}
+
+func (s *stats) add(d *population.Domain) {
+	t := d.Truth
+	s.n++
+	s.byCA[d.CA]++
+	s.byServer[d.Server]++
+	if t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot {
+		s.dup++
+	}
+	if t.Irrelevant != population.IrrelevantNone {
+		s.irr++
+	}
+	if t.MultiplePaths {
+		s.multi++
+	}
+	if t.Reversed {
+		s.rev++
+	}
+	if t.Incomplete {
+		s.inc++
+	}
+	if t.LeafMismatch {
+		s.mismatch++
+	}
+	if t.LeafOther {
+		s.other++
+	}
+	if t.NonCompliant() {
+		s.nc++
+	}
+}
+
+func (s *stats) print(pop *population.Population) {
+	pct := func(v int) string { return fmt.Sprintf("%d (%.2f%%)", v, 100*float64(v)/float64(s.n)) }
+	fmt.Printf("domains:              %d\n", s.n)
+	fmt.Printf("non-compliant:        %s\n", pct(s.nc))
+	fmt.Printf("  duplicates:         %s\n", pct(s.dup))
+	fmt.Printf("  irrelevant:         %s\n", pct(s.irr))
+	fmt.Printf("  multiple paths:     %s\n", pct(s.multi))
+	fmt.Printf("  reversed:           %s\n", pct(s.rev))
+	fmt.Printf("  incomplete:         %s\n", pct(s.inc))
+	fmt.Printf("leaf mismatch:        %s\n", pct(s.mismatch))
+	fmt.Printf("leaf 'other':         %s\n", pct(s.other))
+	fmt.Printf("issuer hierarchies:   %d, AIA repository entries: %d\n", len(pop.Issuers), pop.Repo.Len())
+	fmt.Printf("union root store:     %d roots\n", pop.Roots().Len())
+	fmt.Println("\nby CA:")
+	for name, c := range s.byCA {
+		fmt.Printf("  %-22s %s\n", name, pct(c))
+	}
+	fmt.Println("by server:")
+	for name, c := range s.byServer {
+		fmt.Printf("  %-38s %s\n", name, pct(c))
 	}
 }
 
 func printSummary(pop *population.Population) {
-	var dup, irr, multi, rev, inc, mismatch, other, nc int
-	byCA := map[string]int{}
-	byServer := map[string]int{}
+	st := &stats{byCA: map[string]int{}, byServer: map[string]int{}}
 	for _, d := range pop.Domains {
-		t := d.Truth
-		byCA[d.CA]++
-		byServer[d.Server]++
-		if t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot {
-			dup++
-		}
-		if t.Irrelevant != population.IrrelevantNone {
-			irr++
-		}
-		if t.MultiplePaths {
-			multi++
-		}
-		if t.Reversed {
-			rev++
-		}
-		if t.Incomplete {
-			inc++
-		}
-		if t.LeafMismatch {
-			mismatch++
-		}
-		if t.LeafOther {
-			other++
-		}
-		if t.NonCompliant() {
-			nc++
-		}
+		st.add(d)
 	}
-	n := len(pop.Domains)
-	pct := func(v int) string { return fmt.Sprintf("%d (%.2f%%)", v, 100*float64(v)/float64(n)) }
-	fmt.Printf("domains:              %d\n", n)
-	fmt.Printf("non-compliant:        %s\n", pct(nc))
-	fmt.Printf("  duplicates:         %s\n", pct(dup))
-	fmt.Printf("  irrelevant:         %s\n", pct(irr))
-	fmt.Printf("  multiple paths:     %s\n", pct(multi))
-	fmt.Printf("  reversed:           %s\n", pct(rev))
-	fmt.Printf("  incomplete:         %s\n", pct(inc))
-	fmt.Printf("leaf mismatch:        %s\n", pct(mismatch))
-	fmt.Printf("leaf 'other':         %s\n", pct(other))
-	fmt.Printf("issuer hierarchies:   %d, AIA repository entries: %d\n", len(pop.Issuers), pop.Repo.Len())
-	fmt.Printf("union root store:     %d roots\n", pop.Roots().Len())
-	fmt.Println("\nby CA:")
-	for name, c := range byCA {
-		fmt.Printf("  %-22s %s\n", name, pct(c))
-	}
-	fmt.Println("by server:")
-	for name, c := range byServer {
-		fmt.Printf("  %-38s %s\n", name, pct(c))
-	}
+	st.print(pop)
 }

@@ -7,65 +7,111 @@
 // Usage:
 //
 //	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
+//	      [-stream] [-out sites.jsonl] [-checkpoint study.ckpt]
 //	      [-metrics metrics.json] [-pprof localhost:6060]
+//
+// With -stream the run holds only in-flight sites in memory and writes one
+// JSON line per site to -out (stdout by default); -checkpoint journals
+// progress so an interrupted run resumes where it stopped, appending to the
+// same -out file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
 	"chainchaos/internal/study"
 	"chainchaos/internal/tlsserve"
 )
 
 func main() {
+	cli := obs.NewCLI("study")
 	sites := flag.Int("sites", 60, "number of loopback TLS sites to deploy")
 	seed := flag.Int64("seed", 1, "defect assignment seed")
 	vantages := flag.Int("vantages", 2, "scan passes to merge")
-	workers := flag.Int("workers", 0, "parallel workers for the grading loop (0 = GOMAXPROCS)")
-	retries := flag.Int("retries", 2, "extra handshake attempts per transport failure (0 = scan once)")
 	chaos := flag.Bool("chaos", false, "inject faults into every listener (reset first connection, slow writes) to exercise the retry path")
-	metricsFile := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+	stream := flag.Bool("stream", false, "stream results site by site instead of materializing the run (bounded memory)")
+	outFile := flag.String("out", "", "write per-site JSONL records here (default stdout; implies -stream)")
+	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
+	cli.BindWorkers("parallel workers for the grading loop (0 = GOMAXPROCS)")
+	cli.BindRetries(2, "extra handshake attempts per transport failure (0 = scan once)")
+	cli.BindObs()
 	flag.Parse()
-
-	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "study:", err)
-		os.Exit(1)
-	} else if addr != "" {
-		fmt.Fprintf(os.Stderr, "study: pprof on http://%s/debug/pprof/\n", addr)
-	}
+	cli.Start()
 
 	cfg := study.Config{
 		Sites: *sites, Seed: *seed, Vantages: *vantages,
-		Workers: *workers, Retries: *retries,
-		Metrics: obs.NewRegistry(),
+		Workers: cli.Workers, Retries: cli.Retries,
+		Metrics: cli.Metrics,
 	}
 	if *chaos {
 		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
 	}
+
 	start := time.Now()
-	rep, err := study.Run(cfg)
+	var rep *study.Report
+	var err error
+	if *stream || *outFile != "" || *checkpoint != "" {
+		rep, err = runStreaming(cfg, *outFile, *checkpoint)
+	} else {
+		rep, err = study.Run(cfg)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "study:", err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	for _, t := range rep.Tables() {
 		fmt.Println(t)
 	}
-	if *metricsFile != "" {
-		if err := obs.WriteJSON(cfg.Metrics, *metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "study:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "study: metrics written to %s\n", *metricsFile)
-	}
+	cli.Finish()
 	fmt.Printf("%d/%d sites compliant, %d scan errors (dial %d / handshake %d / parse %d / cancelled %d), %d rescanned, %d lost, %v elapsed\n",
-		rep.CompliantCount(), len(rep.Sites), rep.ScanErrors,
+		rep.CompliantCount(), rep.SiteCount(), rep.ScanErrors,
 		rep.ScanErrorCauses.Dial, rep.ScanErrorCauses.Handshake,
 		rep.ScanErrorCauses.Parse, rep.ScanErrorCauses.Cancelled,
 		rep.Rescanned, rep.Lost, time.Since(start).Round(time.Millisecond))
+}
+
+// runStreaming wires the -stream/-out/-checkpoint trio: per-site JSONL to
+// out (appending under a checkpoint so resumed output continues the file),
+// a journal of retired ranks, and a resume rank picked up from it.
+func runStreaming(cfg study.Config, outFile, checkpoint string) (*study.Report, error) {
+	st := study.Stream{}
+	if checkpoint != "" {
+		j, resume, err := pipeline.Checkpoint(checkpoint, "grade")
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		if outFile != "" {
+			// Reconcile the JSONL with the watermark: one line per site.
+			resume, err = pipeline.RecoverOutput(outFile, 0, j, "grade", nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.Journal, st.Resume = j, resume
+		if resume > 0 {
+			fmt.Fprintf(os.Stderr, "study: resuming from site %d\n", resume)
+		}
+	}
+	var out io.Writer = os.Stdout
+	if outFile != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if checkpoint != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(outFile, mode, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		out = f
+	}
+	st.Out = out
+	return study.RunStream(context.Background(), cfg, st)
 }

@@ -7,7 +7,9 @@ package difftest
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"strings"
 
 	"chainchaos/internal/clients"
@@ -16,6 +18,7 @@ import (
 	"chainchaos/internal/obs"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/topo"
@@ -75,23 +78,56 @@ type ChainRecord struct {
 	Report   compliance.Report
 	Verdicts []ClientVerdict
 	Causes   []Cause
+
+	// byClient indexes Verdicts by client name, built once per record so
+	// cause attribution does not linear-scan the verdict list per lookup.
+	byClient map[string]int
+}
+
+// buildIndex (re)builds the client-name index. The harness calls it once as
+// soon as a record's verdicts are complete.
+func (r *ChainRecord) buildIndex() {
+	r.byClient = make(map[string]int, len(r.Verdicts))
+	for i, v := range r.Verdicts {
+		r.byClient[v.Client] = i
+	}
 }
 
 // verdictOf returns the named client's verdict.
 func (r *ChainRecord) verdictOf(name string) (ClientVerdict, bool) {
-	for _, v := range r.Verdicts {
-		if v.Client == name {
-			return v, true
-		}
+	if r.byClient == nil {
+		r.buildIndex()
+	}
+	if i, ok := r.byClient[name]; ok {
+		return r.Verdicts[i], true
 	}
 	return ClientVerdict{}, false
 }
 
+// excludedSet compiles an exclude list into a membership predicate once per
+// call, instead of rescanning the slice for every verdict.
+func excludedSet(exclude []string) func(string) bool {
+	switch len(exclude) {
+	case 0:
+		return func(string) bool { return false }
+	case 1:
+		only := exclude[0]
+		return func(s string) bool { return s == only }
+	default:
+		m := make(map[string]bool, len(exclude))
+		for _, s := range exclude {
+			m[s] = true
+		}
+		return func(s string) bool { return m[s] }
+	}
+}
+
 // Discrepant reports whether clients of the given kind disagree.
 func (r *ChainRecord) Discrepant(kind clients.Kind, exclude ...string) bool {
+	skip := excludedSet(exclude)
 	pass, fail := 0, 0
 	for _, v := range r.Verdicts {
-		if v.Kind != kind || contains(exclude, v.Client) {
+		if v.Kind != kind || skip(v.Client) {
 			continue
 		}
 		if v.OK() {
@@ -107,9 +143,10 @@ func (r *ChainRecord) Discrepant(kind clients.Kind, exclude ...string) bool {
 // different verdict classes — a finer comparison than pass/fail that mirrors
 // the paper's browser-message methodology.
 func (r *ChainRecord) ClassDiscrepant(kind clients.Kind, exclude ...string) bool {
+	skip := excludedSet(exclude)
 	var classes []core.VerdictClass
 	for _, v := range r.Verdicts {
-		if v.Kind != kind || contains(exclude, v.Client) {
+		if v.Kind != kind || skip(v.Client) {
 			continue
 		}
 		classes = append(classes, v.Class())
@@ -127,8 +164,9 @@ func (r *ChainRecord) ClassDiscrepant(kind clients.Kind, exclude ...string) bool
 
 // AllPass reports whether every client of the kind accepted the chain.
 func (r *ChainRecord) AllPass(kind clients.Kind, exclude ...string) bool {
+	skip := excludedSet(exclude)
 	for _, v := range r.Verdicts {
-		if v.Kind != kind || contains(exclude, v.Client) {
+		if v.Kind != kind || skip(v.Client) {
 			continue
 		}
 		if !v.OK() {
@@ -192,6 +230,46 @@ type Harness struct {
 	// and counters (difftest.chains, difftest.noncompliant), and is
 	// propagated to every per-shard Builder for construction metrics.
 	Metrics *obs.Registry
+	// Out, when non-nil, receives one RecordLine of JSON per non-compliant
+	// chain, written by the single sink goroutine in rank order — a
+	// streaming result file that never requires KeepRecords. The bytes are
+	// deterministic for a (seed, population) pair regardless of worker
+	// count or queue depth.
+	Out io.Writer
+}
+
+// RecordLine is the JSONL row the sink emits per non-compliant chain when
+// Harness.Out is set: the chain's generated identity, each client's verdict
+// class, and the attributed root causes.
+type RecordLine struct {
+	Rank     int               `json:"rank"`
+	Domain   string            `json:"domain"`
+	CA       string            `json:"ca"`
+	Server   string            `json:"server"`
+	Verdicts map[string]string `json:"verdicts"`
+	Causes   []string          `json:"causes,omitempty"`
+}
+
+func writeRecordLine(w io.Writer, rec *ChainRecord) error {
+	line := RecordLine{
+		Rank:     rec.Domain.Rank,
+		Domain:   rec.Domain.Name,
+		CA:       rec.Domain.CA,
+		Server:   rec.Domain.Server,
+		Verdicts: make(map[string]string, len(rec.Verdicts)),
+	}
+	for _, v := range rec.Verdicts {
+		line.Verdicts[v.Client] = v.Class().String()
+	}
+	for _, c := range rec.Causes {
+		line.Causes = append(line.Causes, c.String())
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // Analysis carries precomputed per-domain topology graphs and compliance
@@ -224,14 +302,9 @@ func (h *Harness) Run(pop *population.Population) *Summary {
 	return h.RunAnalyzed(pop, nil)
 }
 
-// RunAnalyzed executes the differential evaluation, reusing precomputed
-// topology graphs and compliance reports when pre is non-nil (it must be
-// index-aligned with pop.Domains). The population is sharded across
-// h.Workers goroutines; each worker grades its contiguous shard into a
-// private Summary with one reusable pathbuild.Builder per client profile,
-// and the shard summaries are merged in shard order — the result is
-// bit-identical to a serial run for any worker count.
-func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summary {
+// setup resolves the run's profiles and warm intermediate cache from the
+// population context (pop.Domains may be nil for streaming runs).
+func (h *Harness) setup(pop *population.Population) ([]clients.Profile, *rootstore.Store) {
 	profiles := h.Profiles
 	if len(profiles) == 0 {
 		profiles = clients.All()
@@ -257,51 +330,30 @@ func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summar
 			}
 		}
 	}
-	cache := buildWarmCache(pop, warm)
-
-	workers := parallel.Workers(h.Workers)
-	if workers > len(pop.Domains) {
-		workers = len(pop.Domains)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	run := h.Metrics.Timer("difftest.run").Start()
-	shardWall := h.Metrics.Histogram("difftest.shard_wall", obs.LatencyBuckets)
-	partials := make([]*Summary, workers)
-	parallel.Shards(context.Background(), len(pop.Domains), workers, func(shard, lo, hi int) {
-		sw := h.Metrics.Timer("difftest.shard").Start()
-		partials[shard] = h.runShard(pop, pre, profiles, cache, lo, hi)
-		shardWall.ObserveDuration(sw.Stop())
-	})
-
-	sum := newSummary()
-	for _, p := range partials {
-		if p != nil {
-			sum.merge(p)
-		}
-	}
-	run.Stop()
-	h.Metrics.Counter("difftest.chains").Add(int64(sum.Total))
-	h.Metrics.Counter("difftest.noncompliant").Add(int64(sum.NonCompliant))
-	return sum
+	return profiles, buildWarmCache(pop, warm)
 }
 
-// runShard grades pop.Domains[lo:hi] into a fresh Summary. Builders are
-// allocated once per (shard, profile) pair and reused for every chain —
-// Build keeps no state across calls (the shared warm cache is read-only
-// here), so reuse only removes the per-chain allocations.
-func (h *Harness) runShard(pop *population.Population, pre *Analysis, profiles []clients.Profile, cache *rootstore.Store, lo, hi int) *Summary {
-	var analyzer *compliance.Analyzer
-	if pre == nil {
-		analyzer = &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
-			Roots:   pop.Roots(),
-			Fetcher: pop.Repo,
-		}}
-	}
-	builders := make([]*pathbuild.Builder, len(profiles))
+// analyzed couples a domain with its compliance report between the analyze
+// and verdict stages.
+type analyzed struct {
+	d   *population.Domain
+	rep compliance.Report
+}
+
+// grader is the per-worker state of the verdict stage: one reusable
+// pathbuild.Builder per client profile — Build keeps no state across calls
+// (the shared warm cache is read-only here), so reuse only removes the
+// per-chain allocations.
+type grader struct {
+	h        *Harness
+	profiles []clients.Profile
+	builders []*pathbuild.Builder
+}
+
+func (h *Harness) newGrader(pop *population.Population, profiles []clients.Profile, cache *rootstore.Store) *grader {
+	g := &grader{h: h, profiles: profiles, builders: make([]*pathbuild.Builder, len(profiles))}
 	for i, p := range profiles {
-		builders[i] = &pathbuild.Builder{
+		g.builders[i] = &pathbuild.Builder{
 			Policy:  p.Policy,
 			Roots:   storeFor(p.Name, pop.Vendors),
 			Fetcher: pop.Repo,
@@ -313,70 +365,174 @@ func (h *Harness) runShard(pop *population.Population, pre *Analysis, profiles [
 			Metrics:       h.Metrics,
 		}
 	}
+	return g
+}
 
-	sum := newSummary()
-	for i := lo; i < hi; i++ {
-		d := pop.Domains[i]
-		sum.Total++
-		var rep compliance.Report
-		if pre != nil {
-			rep = pre.Reports[i]
-		} else {
-			rep = analyzer.Analyze(d.Name, topo.Build(d.List))
-		}
-		if rep.Compliant() {
-			continue
-		}
-		sum.NonCompliant++
-
-		rec := &ChainRecord{Domain: d, Report: rep, Verdicts: make([]ClientVerdict, 0, len(profiles))}
-		for j, p := range profiles {
-			domain := ""
-			if h.CheckHostname {
-				domain = d.Name
-			}
-			out := builders[j].Build(d.List, domain)
-			rec.Verdicts = append(rec.Verdicts, ClientVerdict{Client: p.Name, Kind: p.Kind, Outcome: out})
-			if out.OK() {
-				sum.PerClientPass[p.Name]++
-			}
-			if out.Err != nil {
-				sum.PerClientBuildFail[p.Name]++
-			}
-		}
-		rec.Causes = classifyCauses(rec)
-
-		if rec.AllPass(clients.Browser, "Safari") {
-			sum.AllBrowsersPass++
-		}
-		if rec.AllPass(clients.Library) {
-			sum.AllLibrariesPass++
-		}
-		if rec.Discrepant(clients.Browser, "Safari") {
-			sum.BrowserDiscrepant++
-		}
-		if rec.Discrepant(clients.Library) {
-			sum.LibraryDiscrepant++
-		}
-		if rec.ClassDiscrepant(clients.Browser, "Safari") {
-			sum.BrowserClassDiscrepant++
-		}
-		if rec.ClassDiscrepant(clients.Library) {
-			sum.LibraryClassDiscrepant++
-		}
-		for _, c := range rec.Causes {
-			sum.CauseCounts[c]++
-		}
-		if h.KeepRecords {
-			sum.Records = append(sum.Records, rec)
-		}
+// grade runs every client over one non-compliant chain and returns its
+// record; compliant chains return nil without touching the builders.
+func (g *grader) grade(a analyzed) *ChainRecord {
+	if a.rep.Compliant() {
+		return nil
 	}
-	// Builders retire with the shard: publish their final partial batch of
-	// construction metrics.
-	for _, b := range builders {
+	rec := &ChainRecord{Domain: a.d, Report: a.rep, Verdicts: make([]ClientVerdict, 0, len(g.profiles))}
+	for j, p := range g.profiles {
+		domain := ""
+		if g.h.CheckHostname {
+			domain = a.d.Name
+		}
+		out := g.builders[j].Build(a.d.List, domain)
+		rec.Verdicts = append(rec.Verdicts, ClientVerdict{Client: p.Name, Kind: p.Kind, Outcome: out})
+	}
+	rec.buildIndex()
+	rec.Causes = classifyCauses(rec)
+	return rec
+}
+
+// flush publishes the builders' final partial batch of construction metrics;
+// called once at worker retirement.
+func (g *grader) flush() {
+	for _, b := range g.builders {
 		b.FlushMetrics()
 	}
+}
+
+// verdictStage builds the pipeline stage that grades analyzed chains across
+// all client profiles. Worker lifetimes carry the difftest.shard timer and
+// shard_wall histogram the batch path has always published: one interval per
+// worker.
+func (h *Harness) verdictStage(pop *population.Population, profiles []clients.Profile, cache *rootstore.Store, workers, queue int) pipeline.Stage[analyzed, *ChainRecord] {
+	graders := make([]*grader, workers)
+	shardWall := h.Metrics.Histogram("difftest.shard_wall", obs.LatencyBuckets)
+	return pipeline.Stage[analyzed, *ChainRecord]{
+		Name:    "verdict",
+		Workers: workers,
+		Queue:   queue,
+		OnWorker: func(worker int) func() {
+			sw := h.Metrics.Timer("difftest.shard").Start()
+			graders[worker] = h.newGrader(pop, profiles, cache)
+			return func() {
+				graders[worker].flush()
+				shardWall.ObserveDuration(sw.Stop())
+			}
+		},
+		Fn: func(_ context.Context, worker, _ int, a analyzed) (*ChainRecord, error) {
+			return graders[worker].grade(a), nil
+		},
+	}
+}
+
+// drainSummary terminates a verdict flow: records are absorbed into one
+// Summary on the single sink goroutine, in rank order — exactly the order a
+// serial run would produce.
+func (h *Harness) drainSummary(f *pipeline.Flow[*ChainRecord]) (*Summary, error) {
+	sum := newSummary()
+	err := f.Drain(func(_ int, rec *ChainRecord) error {
+		sum.Total++
+		if rec != nil {
+			sum.absorb(rec, h.KeepRecords)
+			if h.Out != nil {
+				return writeRecordLine(h.Out, rec)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.Metrics.Counter("difftest.chains").Add(int64(sum.Total))
+	h.Metrics.Counter("difftest.noncompliant").Add(int64(sum.NonCompliant))
+	return sum, nil
+}
+
+// workerCount caps the harness worker pool at the population size so tiny
+// runs do not spin up idle builders.
+func (h *Harness) workerCount(size int) int {
+	workers := parallel.Workers(h.Workers)
+	if size >= 0 && workers > size {
+		workers = size
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunAnalyzed executes the differential evaluation, reusing precomputed
+// topology graphs and compliance reports when pre is non-nil (it must be
+// index-aligned with pop.Domains). It is the batch adapter over the
+// analyze→verdict pipeline: domains stream through per-worker analyzers and
+// builders and the Summary merges at the sink in rank order — bit-identical
+// to a serial run for any worker count or queue depth.
+func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summary {
+	profiles, cache := h.setup(pop)
+	workers := h.workerCount(len(pop.Domains))
+
+	run := h.Metrics.Timer("difftest.run").Start()
+	opts := pipeline.Options{Name: "difftest", Metrics: h.Metrics}
+	src := pipeline.From(context.Background(), opts, "domains", workers, func(rank int) (int, bool, error) {
+		return rank, rank < len(pop.Domains), nil
+	})
+	analyzers := make([]*compliance.Analyzer, workers)
+	an := pipeline.Through(src, pipeline.Stage[int, analyzed]{
+		Name:    "analyze",
+		Workers: workers,
+		OnWorker: func(worker int) func() {
+			if pre == nil {
+				analyzers[worker] = &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+					Roots:   pop.Roots(),
+					Fetcher: pop.Repo,
+				}}
+			}
+			return nil
+		},
+		Fn: func(_ context.Context, worker, _ int, i int) (analyzed, error) {
+			d := pop.Domains[i]
+			if pre != nil {
+				return analyzed{d: d, rep: pre.Reports[i]}, nil
+			}
+			return analyzed{d: d, rep: analyzers[worker].Analyze(d.Name, topo.Build(d.List))}, nil
+		},
+	})
+	sum, err := h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, workers, 0)))
+	if err != nil {
+		// Reachable only through an Out write failure: no stage errors and
+		// the context is never cancelled. Batch callers wanting to handle
+		// sink errors should use RunStream.
+		panic(err)
+	}
+	run.Stop()
 	return sum
+}
+
+// RunStream executes the differential evaluation over a streaming population
+// source: domains are generated, analyzed, and graded in flight, so peak
+// memory is O(workers · queue) regardless of src.Size(). The Summary is
+// bit-identical to Run over the materialized population. opts carries the
+// metrics registry, journal, and resume rank shared by every stage.
+func (h *Harness) RunStream(ctx context.Context, src *population.Source, opts pipeline.Options, queue int) (*Summary, error) {
+	pop := src.Population()
+	profiles, cache := h.setup(pop)
+	workers := h.workerCount(src.Size())
+
+	run := h.Metrics.Timer("difftest.run").Start()
+	defer run.Stop()
+	analyzers := make([]*compliance.Analyzer, workers)
+	an := pipeline.Through(src.Flow(ctx, opts, queue), pipeline.Stage[*population.Domain, analyzed]{
+		Name:    "analyze",
+		Workers: workers,
+		Queue:   queue,
+		OnWorker: func(worker int) func() {
+			analyzers[worker] = &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+				Roots:   pop.Roots(),
+				Fetcher: pop.Repo,
+			}}
+			return nil
+		},
+		Fn: func(_ context.Context, worker, _ int, d *population.Domain) (analyzed, error) {
+			return analyzed{d: d, rep: analyzers[worker].Analyze(d.Name, topo.Build(d.List))}, nil
+		},
+	})
+	return h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, workers, queue)))
 }
 
 // newSummary creates a Summary with its maps allocated.
@@ -388,28 +544,42 @@ func newSummary() *Summary {
 	}
 }
 
-// merge folds a shard summary into s. Shards cover disjoint contiguous
-// domain ranges and are merged in shard order, so Records stays in
-// pop.Domains order.
-func (s *Summary) merge(o *Summary) {
-	s.Total += o.Total
-	s.NonCompliant += o.NonCompliant
-	s.AllBrowsersPass += o.AllBrowsersPass
-	s.AllLibrariesPass += o.AllLibrariesPass
-	s.BrowserDiscrepant += o.BrowserDiscrepant
-	s.LibraryDiscrepant += o.LibraryDiscrepant
-	s.BrowserClassDiscrepant += o.BrowserClassDiscrepant
-	s.LibraryClassDiscrepant += o.LibraryClassDiscrepant
-	for c, n := range o.CauseCounts {
-		s.CauseCounts[c] += n
+// absorb folds one non-compliant chain record into the summary. The sink
+// calls it in rank order, so counts and Records match a serial run exactly.
+func (s *Summary) absorb(rec *ChainRecord, keepRecords bool) {
+	s.NonCompliant++
+	for _, v := range rec.Verdicts {
+		if v.OK() {
+			s.PerClientPass[v.Client]++
+		}
+		if v.Outcome.Err != nil {
+			s.PerClientBuildFail[v.Client]++
+		}
 	}
-	for name, n := range o.PerClientPass {
-		s.PerClientPass[name] += n
+	if rec.AllPass(clients.Browser, "Safari") {
+		s.AllBrowsersPass++
 	}
-	for name, n := range o.PerClientBuildFail {
-		s.PerClientBuildFail[name] += n
+	if rec.AllPass(clients.Library) {
+		s.AllLibrariesPass++
 	}
-	s.Records = append(s.Records, o.Records...)
+	if rec.Discrepant(clients.Browser, "Safari") {
+		s.BrowserDiscrepant++
+	}
+	if rec.Discrepant(clients.Library) {
+		s.LibraryDiscrepant++
+	}
+	if rec.ClassDiscrepant(clients.Browser, "Safari") {
+		s.BrowserClassDiscrepant++
+	}
+	if rec.ClassDiscrepant(clients.Library) {
+		s.LibraryClassDiscrepant++
+	}
+	for _, c := range rec.Causes {
+		s.CauseCounts[c]++
+	}
+	if keepRecords {
+		s.Records = append(s.Records, rec)
+	}
 }
 
 // buildWarmCache preloads the intermediates of the named CA profiles, the

@@ -1,0 +1,64 @@
+// The streaming path of the differential evaluation: at paper scale
+// (906,336 chains) the batch experiments cannot hold the population, its
+// analyses, and every verdict at once, so cmd/experiments -stream routes
+// §5.2 through the population Source and the difftest pipeline instead —
+// domains are generated, analyzed, and graded in flight with peak memory
+// O(workers · queue), and per-chain results leave through a JSONL sink
+// rather than accumulating in a Summary's Records.
+
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"chainchaos/internal/difftest"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
+	"chainchaos/internal/population"
+	"chainchaos/internal/report"
+)
+
+// StreamConfig parameterizes DifferentialStream.
+type StreamConfig struct {
+	// Size and Seed define the synthetic population, Workers its
+	// parallelism — the same knobs as NewEnv.
+	Size    int
+	Seed    int64
+	Workers int
+	// Queue bounds each stage's channel (0 = workers-proportional).
+	Queue int
+	// Metrics, when non-nil, instruments every pipeline stage.
+	Metrics *obs.Registry
+	// Out, when non-nil, receives one difftest.RecordLine of JSON per
+	// non-compliant chain, in rank order.
+	Out io.Writer
+	// Journal and Resume checkpoint the run: Journal records retired ranks,
+	// Resume skips ranks a previous run already retired. A resumed run's
+	// summary covers only the ranks processed by this invocation; the JSONL
+	// stream in Out is the run's durable record.
+	Journal *pipeline.Journal
+	Resume  int
+}
+
+// DifferentialStream runs the §5.2 differential evaluation over a streaming
+// population source and renders the overview table. The summary — and
+// therefore the table — is bit-identical to Env.DifferentialOverview for the
+// same (size, seed) when the run is not resumed partway.
+func DifferentialStream(ctx context.Context, cfg StreamConfig) (*report.Table, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = 100000
+	}
+	src := population.NewSource(population.Config{Size: cfg.Size, Seed: cfg.Seed, Workers: cfg.Workers})
+	h := &difftest.Harness{Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out}
+	sum, err := h.RunStream(ctx, src, pipeline.Options{
+		Name:    "difftest",
+		Metrics: cfg.Metrics,
+		Journal: cfg.Journal,
+		Resume:  cfg.Resume,
+	}, cfg.Queue)
+	if err != nil {
+		return nil, err
+	}
+	return differentialTable(sum), nil
+}

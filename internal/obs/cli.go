@@ -1,12 +1,97 @@
 package obs
 
 import (
+	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 )
+
+// CLI owns the flag wiring the long-running commands used to copy-paste:
+// the worker/retry knobs and the -metrics/-pprof observability pair. A
+// command binds the flags it wants before flag.Parse, calls Start after,
+// and Finish once the run is done:
+//
+//	cli := obs.NewCLI("study")
+//	cli.BindWorkers("parallel workers for the grading loop (0 = GOMAXPROCS)")
+//	cli.BindObs()
+//	flag.Parse()
+//	cli.Start()
+//	... run with cli.Workers / cli.Metrics ...
+//	cli.Finish()
+type CLI struct {
+	// Prog prefixes every diagnostic ("study: ...").
+	Prog string
+	// Workers is the -workers value once parsed (0 = GOMAXPROCS).
+	Workers int
+	// Retries is the -retries value once parsed.
+	Retries int
+	// Metrics is the run's registry; always non-nil so commands can wire it
+	// unconditionally. It is only exported when -metrics names a file.
+	Metrics *Registry
+
+	metricsFile string
+	pprofAddr   string
+}
+
+// NewCLI creates the flag helper for a command named prog.
+func NewCLI(prog string) *CLI {
+	return &CLI{Prog: prog, Metrics: NewRegistry()}
+}
+
+// BindWorkers registers -workers on the default flag set.
+func (c *CLI) BindWorkers(usage string) {
+	if usage == "" {
+		usage = "parallel workers (0 = GOMAXPROCS)"
+	}
+	flag.IntVar(&c.Workers, "workers", 0, usage)
+}
+
+// BindRetries registers -retries with the command's default attempt budget.
+func (c *CLI) BindRetries(def int, usage string) {
+	if usage == "" {
+		usage = "extra attempts after a transient failure (0 = try once)"
+	}
+	flag.IntVar(&c.Retries, "retries", def, usage)
+}
+
+// BindObs registers the -metrics and -pprof pair.
+func (c *CLI) BindObs() {
+	flag.StringVar(&c.metricsFile, "metrics", "", "write the run's metrics snapshot as JSON to this file")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address for the run's duration")
+}
+
+// Start performs the post-Parse setup (today: the pprof listener), exiting
+// with a diagnostic on failure so every command reports errors the same way.
+func (c *CLI) Start() {
+	addr, err := StartPprof(c.pprofAddr)
+	if err != nil {
+		c.Fatal(err)
+	}
+	if addr != "" {
+		fmt.Fprintf(os.Stderr, "%s: pprof on http://%s/debug/pprof/\n", c.Prog, addr)
+	}
+}
+
+// Finish exports the metrics snapshot when -metrics was given.
+func (c *CLI) Finish() {
+	if c.metricsFile == "" {
+		return
+	}
+	if err := WriteJSON(c.Metrics, c.metricsFile); err != nil {
+		c.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: metrics written to %s\n", c.Prog, c.metricsFile)
+}
+
+// Fatal prints a prog-prefixed diagnostic and exits non-zero — the error
+// path every command previously hand-rolled.
+func (c *CLI) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.Prog, err)
+	os.Exit(1)
+}
 
 // StartPprof serves the net/http/pprof handlers on addr (e.g.
 // "localhost:6060") in a background goroutine, returning the bound address.

@@ -1,0 +1,171 @@
+// The shard journal: a JSONL watermark stream recording, per stage, the
+// highest rank retired so far. Because every stage releases ranks strictly
+// in order, a single integer per stage is a complete description of
+// progress — rank r retired implies every rank below r retired too. A run
+// that is interrupted resumes from Last(stage)+1 and redoes at most the
+// work between the last written watermark and the crash.
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalEntry is one JSONL line of the shard journal.
+type journalEntry struct {
+	Stage string `json:"stage"`
+	Rank  int    `json:"rank"`
+}
+
+// Journal is an append-only JSONL watermark file shared by every stage of a
+// pipeline run. All methods are safe for concurrent use and are no-ops on a
+// nil receiver, so an unjournaled run pays one nil check per retirement.
+type Journal struct {
+	// Every is the write cadence: a stage's watermark line is appended every
+	// Every retirements (and once more at Close). Lower values shrink the
+	// redo window after a crash at the cost of more write calls; the default
+	// is 64.
+	Every int
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	last  map[string]int // highest rank journaled per stage
+	since map[string]int // retirements since the stage's last written line
+	high  map[string]int // highest rank retired (in memory) per stage
+}
+
+// OpenJournal opens (or creates) the journal at path and loads every
+// existing watermark, so Last immediately reflects the previous run.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: open journal: %w", err)
+	}
+	j := &Journal{
+		Every: 64,
+		f:     f,
+		last:  make(map[string]int),
+		since: make(map[string]int),
+		high:  make(map[string]int),
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn trailing line from a crash mid-write: older watermarks
+			// still stand, so ignore it rather than refuse to resume.
+			continue
+		}
+		if cur, ok := j.last[e.Stage]; !ok || e.Rank > cur {
+			j.last[e.Stage] = e.Rank
+			j.high[e.Stage] = e.Rank
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: read journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: seek journal: %w", err)
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Checkpoint opens (creating if absent) the journal at path and returns it
+// together with the resume rank for stage's sink — the first rank the
+// previous run had not yet retired, 0 for a fresh journal. It is the
+// -checkpoint flag's implementation, shared by every streaming command.
+func Checkpoint(path, stage string) (*Journal, int, error) {
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return j, j.Last(SinkName(stage)) + 1, nil
+}
+
+// Last returns the highest journaled rank for the stage, or -1 if the stage
+// has no watermark. Returns -1 on a nil journal.
+func (j *Journal) Last(stage string) int {
+	if j == nil {
+		return -1
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r, ok := j.last[stage]; ok {
+		return r
+	}
+	return -1
+}
+
+// Retire records that the stage retired rank. A watermark line is written
+// every Every retirements; in between, progress is tracked in memory only
+// (Close writes the final line). No-op on a nil journal.
+func (j *Journal) Retire(stage string, rank int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Stages retire ranks in strictly increasing order, so the latest rank
+	// is the watermark.
+	j.high[stage] = rank
+	j.since[stage]++
+	every := j.Every
+	if every <= 0 {
+		every = 1
+	}
+	if j.since[stage] >= every {
+		j.writeLocked(stage, j.high[stage])
+	}
+}
+
+// writeLocked appends one watermark line and flushes it. Callers hold j.mu.
+func (j *Journal) writeLocked(stage string, rank int) {
+	data, err := json.Marshal(journalEntry{Stage: stage, Rank: rank})
+	if err != nil {
+		return
+	}
+	j.w.Write(data)     //nolint:errcheck // surfaced by Close's Flush
+	j.w.WriteByte('\n') //nolint:errcheck
+	j.w.Flush()         //nolint:errcheck
+	j.last[stage] = rank
+	j.since[stage] = 0
+}
+
+// Flush writes the current in-memory watermark of every stage that advanced
+// past its last written line.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for stage, rank := range j.high {
+		if last, ok := j.last[stage]; !ok || rank > last {
+			j.writeLocked(stage, rank)
+		}
+	}
+	return j.w.Flush()
+}
+
+// Close flushes the final watermarks and closes the file. No-op on nil.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

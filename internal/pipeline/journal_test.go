@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalWatermarks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Every = 3
+	if got := j.Last("grade"); got != -1 {
+		t.Fatalf("empty journal Last = %d, want -1", got)
+	}
+	for rank := 0; rank < 10; rank++ {
+		j.Retire("grade", rank)
+	}
+	// Ranks 0..9 with Every=3 → lines at 2, 5, 8; rank 9 is in memory only
+	// until Flush/Close.
+	if got := j.Last("grade"); got != 8 {
+		t.Fatalf("pre-flush Last = %d, want 8", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: Close's final flush makes all 10 retirements visible.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Last("grade"); got != 9 {
+		t.Fatalf("reopened Last = %d, want 9", got)
+	}
+	if got := j2.Last("unknown"); got != -1 {
+		t.Fatalf("unknown stage Last = %d, want -1", got)
+	}
+}
+
+func TestJournalTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Every = 1
+	j.Retire("sink", 0)
+	j.Retire("sink", 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append garbage with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"stage":"sink","ra`)
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Last("sink"); got != 1 {
+		t.Fatalf("Last after torn line = %d, want 1", got)
+	}
+}
+
+// TestResumeSkipsRetiredRanks: a journaled pipeline interrupted mid-run
+// restarts from the watermark and processes only the remaining ranks.
+func TestResumeSkipsRetiredRanks(t *testing.T) {
+	const n = 100
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	interrupted := errors.New("interrupted")
+
+	runOnce := func(stopAfter int) ([]int, error) {
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		j.Every = 1
+		resume := j.Last(SinkName("double")) + 1
+		opts := Options{Journal: j, Resume: resume}
+		f := From(context.Background(), opts, "src", 4, func(rank int) (int, bool, error) {
+			return rank, rank < n, nil
+		})
+		g := Through(f, Stage[int, int]{Name: "double", Workers: 4,
+			Fn: func(_ context.Context, _, _ int, v int) (int, error) { return 2 * v, nil }})
+		var got []int
+		err = g.Drain(func(rank int, v int) error {
+			if stopAfter >= 0 && len(got) >= stopAfter {
+				return interrupted
+			}
+			got = append(got, v)
+			return nil
+		})
+		return got, err
+	}
+
+	first, err := runOnce(40)
+	if !errors.Is(err, interrupted) {
+		t.Fatalf("first run err = %v, want interruption", err)
+	}
+	if len(first) != 40 {
+		t.Fatalf("first run retired %d, want 40", len(first))
+	}
+	second, err := runOnce(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append(first, second...)
+	if len(combined) != n {
+		t.Fatalf("combined length %d, want %d (second run redid %d)", len(combined), n, len(second))
+	}
+	for i, v := range combined {
+		if v != 2*i {
+			t.Fatalf("rank %d: got %d, want %d", i, v, 2*i)
+		}
+	}
+}

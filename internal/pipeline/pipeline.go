@@ -1,0 +1,436 @@
+// Package pipeline is the repository's staged-dataflow engine: a Source
+// feeding a chain of stages feeding a Sink, every hop a bounded channel, so a
+// run over millions of ranks holds O(workers · queue depth) items in memory
+// instead of the whole corpus. The population generator, the study
+// orchestrator, and the differential-testing harness are all built on it —
+// their batch APIs are thin wrappers that attach a collecting sink.
+//
+// The engine keeps the guarantees internal/parallel established for the
+// batch paths:
+//
+//   - Determinism. Work is identified by a dense rank (0, 1, 2, ...); stage
+//     functions derive any randomness from (seed, rank) alone, and a reorder
+//     buffer at every stage exit releases results strictly in rank order.
+//     The sink therefore observes exactly the serial order, bit-identical
+//     for any worker count or queue depth.
+//   - Cancellation. Every goroutine watches the run context; cancelling it
+//     (or any stage returning an error) drains the whole graph promptly.
+//   - Panic propagation. A panic in any stage worker is captured, the run is
+//     cancelled, and the panic is re-raised on the goroutine that called
+//     Drain — never silently swallowed, never deadlocking the graph.
+//
+// Backpressure falls out of the bounded hops: a slow stage fills its output
+// queue, its reorder buffer fills, and upstream workers block until the
+// consumer catches up. A faults.Policy on a stage retries transient per-item
+// failures before they fail the run, and an attached Journal records the
+// last retired rank per stage as a JSONL watermark stream so an interrupted
+// run can resume where it stopped.
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/parallel"
+)
+
+// Options configures a pipeline run (shared by every stage of one Flow).
+type Options struct {
+	// Name prefixes the run's metric names: pipeline.<stage>.* by default,
+	// or <Name>.<stage>.* when set.
+	Name string
+	// Metrics, when non-nil, instruments every stage: an items counter, a
+	// latency histogram, and an output queue-depth gauge per stage.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives per-stage retirement watermarks and
+	// provides the resume point.
+	Journal *Journal
+	// Resume is the first rank the source emits (0 is a full run). Callers
+	// resuming from a Journal pass Last(sinkStage)+1.
+	Resume int
+}
+
+// item is one unit of work flowing between stages.
+type item[T any] struct {
+	rank int
+	val  T
+}
+
+// run is the shared state of one pipeline execution.
+type run struct {
+	parent  context.Context // the caller's context; its Err outlives teardown
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	err     error
+	panicV  any
+	panicOK bool
+	opts    Options
+}
+
+// fail records the run's first error and cancels the context. Subsequent
+// errors (usually cancellation fallout) are dropped.
+func (r *run) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// panicked records a worker panic (first wins) and cancels the run.
+func (r *run) panicked(v any) {
+	r.mu.Lock()
+	if !r.panicOK {
+		r.panicOK = true
+		r.panicV = v
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// finish waits for every goroutine, re-raises a captured panic, and returns
+// the run's first error (a recorded failure wins over bare cancellation).
+func (r *run) finish() error {
+	r.wg.Wait()
+	r.cancel()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.panicOK {
+		panic(r.panicV)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	// The run context is cancelled as part of normal teardown; only the
+	// caller's own cancellation is an error.
+	return r.parent.Err()
+}
+
+// metricName builds "<run>.<stage>.<metric>".
+func (r *run) metricName(stage, metric string) string {
+	prefix := r.opts.Name
+	if prefix == "" {
+		prefix = "pipeline"
+	}
+	return prefix + "." + stage + "." + metric
+}
+
+// Flow is a pipeline whose last stage emits T values. Extend it with Through
+// and terminate it with Drain or Collect (each Flow must be terminated
+// exactly once).
+type Flow[T any] struct {
+	run  *run
+	name string // name of the stage that feeds out
+	out  <-chan item[T]
+}
+
+// queueDepth normalizes a queue depth: values <= 0 mean 2×workers.
+func queueDepth(queue, workers int) int {
+	if queue > 0 {
+		return queue
+	}
+	return 2 * workers
+}
+
+// From starts a Flow: a single source goroutine calls next(rank) for
+// rank = opts.Resume, Resume+1, ... and pushes each value into a bounded
+// queue, stopping when next reports done, errors, or the run is cancelled.
+// The source is serial by design — rank order is the pipeline's spine; put
+// parallel work in a Through stage.
+func From[T any](ctx context.Context, opts Options, name string, queue int, next func(rank int) (T, bool, error)) *Flow[T] {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	r := &run{parent: parent, ctx: ctx, cancel: cancel, opts: opts}
+	out := make(chan item[T], queueDepth(queue, 1))
+	items := opts.Metrics.Counter(r.metricName(name, "items"))
+	depth := opts.Metrics.Gauge(r.metricName(name, "queue"))
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(out)
+		defer func() {
+			if v := recover(); v != nil {
+				r.panicked(v)
+			}
+		}()
+		for rank := opts.Resume; ctx.Err() == nil; rank++ {
+			v, ok, err := next(rank)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case out <- item[T]{rank: rank, val: v}:
+				items.Inc()
+				depth.Set(int64(len(out)))
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return &Flow[T]{run: r, name: name, out: out}
+}
+
+// Stage is one parallel processing step.
+type Stage[In, Out any] struct {
+	// Name labels the stage in metrics and journal entries.
+	Name string
+	// Workers bounds the stage's goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// Queue bounds the stage's output channel; <= 0 means 2×workers.
+	Queue int
+	// Retry, when non-zero, re-runs Fn on transient errors (faults.Policy
+	// semantics: bounded attempts, capped backoff, seeded jitter) before the
+	// error fails the run.
+	Retry faults.Policy
+	// Fn processes one item. worker identifies the executing worker
+	// (0 <= worker < Workers) so stages can keep per-worker scratch state;
+	// rank is the item's position in the stream. Fn must be deterministic in
+	// (rank, in) — never in worker or call order.
+	Fn func(ctx context.Context, worker, rank int, in In) (Out, error)
+	// OnWorker, when non-nil, is called once per worker before it processes
+	// its first item; the returned func (if non-nil) runs at worker
+	// retirement. Stages use it to build per-worker state (builders, rngs)
+	// and flush per-worker tallies — the streaming equivalent of
+	// internal/parallel's per-shard setup.
+	OnWorker func(worker int) func()
+}
+
+// Through appends a stage to the flow. Workers consume the upstream channel
+// freely, but a reorder buffer releases results strictly in rank order, so
+// downstream stages and the sink observe the serial order regardless of
+// scheduling. The buffer admits at most workers+queue out-of-order results
+// (the rank currently blocking release is always admitted), which is what
+// bounds the stage's memory and propagates backpressure upstream.
+func Through[In, Out any](f *Flow[In], st Stage[In, Out]) *Flow[Out] {
+	r := f.run
+	workers := parallel.Workers(st.Workers)
+	queue := queueDepth(st.Queue, workers)
+	out := make(chan item[Out], queue)
+	ro := newReorder[Out](r.ctx, out, workers+queue)
+	ro.next = r.opts.Resume
+
+	items := r.opts.Metrics.Counter(r.metricName(st.Name, "items"))
+	depth := r.opts.Metrics.Gauge(r.metricName(st.Name, "queue"))
+	latency := r.opts.Metrics.Histogram(r.metricName(st.Name, "latency"), obs.LatencyBuckets)
+	retries := r.opts.Metrics.Counter(r.metricName(st.Name, "retries"))
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		r.wg.Add(1)
+		go func(worker int) {
+			defer r.wg.Done()
+			defer workerWG.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					r.panicked(v)
+				}
+			}()
+			var retire func()
+			if st.OnWorker != nil {
+				retire = st.OnWorker(worker)
+			}
+			if retire != nil {
+				defer retire()
+			}
+			for in := range f.out {
+				if r.ctx.Err() != nil {
+					return
+				}
+				began := time.Now()
+				var outV Out
+				attempt := 0
+				err := st.Retry.Do(r.ctx, func(ctx context.Context) error {
+					if attempt++; attempt > 1 {
+						retries.Inc()
+					}
+					var fnErr error
+					outV, fnErr = st.Fn(ctx, worker, in.rank, in.val)
+					return fnErr
+				})
+				if err != nil {
+					r.fail(err)
+					return
+				}
+				latency.ObserveDuration(time.Since(began))
+				items.Inc()
+				if !ro.put(in.rank, outV) {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Releaser: waits for rank-ordered results, pushes them downstream, and
+	// journals the stage's retirement watermark. It is the stage's only
+	// sender on (and closer of) the out channel.
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(out)
+		defer func() {
+			if v := recover(); v != nil {
+				r.panicked(v)
+			}
+		}()
+		// Workers stop putting once the upstream channel closes; tell the
+		// reorder buffer no further ranks are coming so it can drain out.
+		go func() {
+			workerWG.Wait()
+			ro.closeInput()
+		}()
+		for {
+			rank, v, ok := ro.take()
+			if !ok {
+				return
+			}
+			select {
+			case out <- item[Out]{rank: rank, val: v}:
+				depth.Set(int64(len(out)))
+				r.opts.Journal.Retire(st.Name, rank)
+			case <-r.ctx.Done():
+				return
+			}
+		}
+	}()
+	return &Flow[Out]{run: r, name: st.Name, out: out}
+}
+
+// Drain terminates the flow on the calling goroutine: sink is invoked once
+// per item in strict rank order. A sink error fails the run. Drain returns
+// after every pipeline goroutine has stopped; a worker panic is re-raised
+// here. The sink's retirement watermark is journaled under "<stage>.sink"
+// where <stage> is the last stage's name.
+func (f *Flow[T]) Drain(sink func(rank int, v T) error) error {
+	r := f.run
+	sinkStage := f.name + ".sink"
+	sinkErr := false
+	for it := range f.out {
+		if r.ctx.Err() != nil {
+			break
+		}
+		if err := sink(it.rank, it.val); err != nil {
+			r.fail(err)
+			sinkErr = true
+			break
+		}
+		r.opts.Journal.Retire(sinkStage, it.rank)
+	}
+	r.cancel()
+	if sinkErr {
+		// Unblock upstream senders still parked on the out channel.
+		for range f.out {
+		}
+	}
+	return r.finish()
+}
+
+// SinkName returns the journal stage name Drain retires under for a flow
+// whose final stage is named stage — callers resolving a resume point use
+// Journal.Last(SinkName(stage)).
+func SinkName(stage string) string { return stage + ".sink" }
+
+// Collect terminates the flow by appending every value, in rank order, to a
+// slice. It is the batch adapter: the pipeline's memory bound is forfeited,
+// everything else (determinism, cancellation, instrumentation) is kept.
+func Collect[T any](f *Flow[T]) ([]T, error) {
+	var out []T
+	err := f.Drain(func(_ int, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// reorder releases stage results in rank order. Workers put completed ranks;
+// a single taker (the stage releaser) removes them in order. Admission is
+// capped so a stalled rank cannot let the buffer grow without bound: a put
+// for a rank other than the next-to-release blocks once cap pending results
+// are held. The next-to-release rank is always admitted, which keeps the
+// graph deadlock-free (see the package comment on backpressure).
+type reorder[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ctx     context.Context
+	pending map[int]T
+	next    int
+	cap     int
+	closed  bool // no further puts will arrive
+}
+
+func newReorder[T any](ctx context.Context, _ chan<- item[T], capacity int) *reorder[T] {
+	ro := &reorder[T]{ctx: ctx, pending: make(map[int]T), cap: capacity}
+	ro.cond = sync.NewCond(&ro.mu)
+	// Wake all waiters when the run is cancelled so nothing stays parked on
+	// the condition variable forever.
+	go func() {
+		<-ctx.Done()
+		ro.mu.Lock()
+		ro.cond.Broadcast()
+		ro.mu.Unlock()
+	}()
+	return ro
+}
+
+// put hands a completed rank to the buffer, blocking while the buffer is at
+// capacity (unless rank is the next to release). Returns false if the run
+// was cancelled.
+func (ro *reorder[T]) put(rank int, v T) bool {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	for len(ro.pending) >= ro.cap && rank != ro.next {
+		if ro.ctx.Err() != nil {
+			return false
+		}
+		ro.cond.Wait()
+	}
+	if ro.ctx.Err() != nil {
+		return false
+	}
+	ro.pending[rank] = v
+	ro.cond.Broadcast()
+	return true
+}
+
+// take removes and returns the next rank in order, blocking until it is
+// available. ok is false when the stream is exhausted or cancelled.
+func (ro *reorder[T]) take() (rank int, v T, ok bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	for {
+		if v, present := ro.pending[ro.next]; present {
+			rank = ro.next
+			delete(ro.pending, ro.next)
+			ro.next++
+			ro.cond.Broadcast()
+			return rank, v, true
+		}
+		if ro.closed || ro.ctx.Err() != nil {
+			var zero T
+			return 0, zero, false
+		}
+		ro.cond.Wait()
+	}
+}
+
+// closeInput marks that no further puts will arrive.
+func (ro *reorder[T]) closeInput() {
+	ro.mu.Lock()
+	ro.closed = true
+	ro.cond.Broadcast()
+	ro.mu.Unlock()
+}

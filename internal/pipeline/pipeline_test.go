@@ -1,0 +1,345 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chainchaos/internal/faults"
+	"chainchaos/internal/obs"
+)
+
+// source over [0, n): emits rank as the value.
+func intSource(ctx context.Context, opts Options, n int) *Flow[int] {
+	return From(ctx, opts, "src", 4, func(rank int) (int, bool, error) {
+		return rank, rank < n, nil
+	})
+}
+
+// TestOrderPreserved: randomized per-item delays must not reorder the sink's
+// view — the reorder buffer releases strictly by rank.
+func TestOrderPreserved(t *testing.T) {
+	const n = 500
+	f := intSource(context.Background(), Options{}, n)
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	g := Through(f, Stage[int, int]{
+		Name: "jitter", Workers: 8,
+		Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+			time.Sleep(delays[rank])
+			return v * 3, nil
+		},
+	})
+	got, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("collected %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("rank %d: got %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+// TestWorkerAndQueueInvariance: the collected output is bit-identical for
+// any (workers, queue) combination.
+func TestWorkerAndQueueInvariance(t *testing.T) {
+	const n = 300
+	runWith := func(workers, queue int) []int {
+		f := intSource(context.Background(), Options{}, n)
+		g := Through(f, Stage[int, int]{
+			Name: "sq", Workers: workers, Queue: queue,
+			Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+				return v*v + rank, nil
+			},
+		})
+		out, err := Collect(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := runWith(1, 1)
+	for _, cfg := range [][2]int{{2, 1}, {4, 8}, {16, 2}, {64, 64}} {
+		got := runWith(cfg[0], cfg[1])
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d queue=%d: rank %d = %d, want %d",
+					cfg[0], cfg[1], i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBoundedInFlight: with one stalled rank, the number of items past the
+// source but not yet retired must stay O(workers + queue), never O(n) — the
+// memory bound the streaming refactor exists for.
+func TestBoundedInFlight(t *testing.T) {
+	const (
+		n       = 2000
+		workers = 4
+		queue   = 4
+	)
+	release := make(chan struct{})
+	var inFlight, maxInFlight atomic.Int64
+	f := From(context.Background(), Options{}, "src", queue, func(rank int) (int, bool, error) {
+		if rank >= n {
+			return 0, false, nil
+		}
+		cur := inFlight.Add(1)
+		for {
+			prev := maxInFlight.Load()
+			if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		return rank, true, nil
+	})
+	g := Through(f, Stage[int, int]{
+		Name: "stall", Workers: workers, Queue: queue,
+		Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+			if rank == 0 {
+				<-release // rank 0 blocks the whole reorder buffer
+			}
+			return v, nil
+		},
+	})
+	done := make(chan error, 1)
+	var retired atomic.Int64
+	go func() {
+		done <- g.Drain(func(int, int) error {
+			retired.Add(1)
+			inFlight.Add(-1)
+			return nil
+		})
+	}()
+	// Let the pipeline fill to its bound, then release the stalled rank.
+	time.Sleep(50 * time.Millisecond)
+	if retired.Load() != 0 {
+		t.Fatal("items retired while rank 0 was stalled")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if retired.Load() != n {
+		t.Fatalf("retired %d, want %d", retired.Load(), n)
+	}
+	// Generous bound: every hop's buffer plus every worker plus the reorder
+	// slack. The point is it must be far below n.
+	bound := int64(4*(workers+queue) + 2*workers + 8)
+	if got := maxInFlight.Load(); got > bound {
+		t.Errorf("max in-flight = %d exceeds bound %d (n=%d)", got, bound, n)
+	}
+}
+
+// TestStageErrorFailsRun: a stage error cancels the run and surfaces as
+// Drain's return value.
+func TestStageErrorFailsRun(t *testing.T) {
+	boom := errors.New("boom at rank 37")
+	f := intSource(context.Background(), Options{}, 10000)
+	g := Through(f, Stage[int, int]{
+		Name: "explode", Workers: 4,
+		Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+			if rank == 37 {
+				return 0, boom
+			}
+			return v, nil
+		},
+	})
+	_, err := Collect(g)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestSinkErrorFailsRun: an error from the sink stops the pipeline too.
+func TestSinkErrorFailsRun(t *testing.T) {
+	stop := errors.New("sink full")
+	f := intSource(context.Background(), Options{}, 10000)
+	g := Through(f, Stage[int, int]{Name: "id", Workers: 4,
+		Fn: func(_ context.Context, _, _ int, v int) (int, error) { return v, nil }})
+	err := g.Drain(func(rank int, _ int) error {
+		if rank == 10 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want %v", err, stop)
+	}
+}
+
+// TestPanicPropagates: a worker panic is re-raised on the Drain goroutine.
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		if fmt.Sprint(r) != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	f := intSource(context.Background(), Options{}, 1000)
+	g := Through(f, Stage[int, int]{
+		Name: "panic", Workers: 4,
+		Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+			if rank == 123 {
+				panic("kaboom")
+			}
+			return v, nil
+		},
+	})
+	_, _ = Collect(g)
+}
+
+// TestCancelStopsRun: cancelling the parent context stops the pipeline
+// promptly with the context's error.
+func TestCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := intSource(ctx, Options{}, 1<<30) // effectively unbounded
+	g := Through(f, Stage[int, int]{Name: "id", Workers: 4,
+		Fn: func(_ context.Context, _, _ int, v int) (int, error) { return v, nil }})
+	var n atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Drain(func(int, int) error { n.Add(1); return nil })
+	}()
+	for n.Load() < 100 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not stop after cancellation")
+	}
+}
+
+// TestRetryPolicyAbsorbsTransients: a stage with a Retry policy survives
+// transient failures, counts the retries, and the output is unaffected.
+func TestRetryPolicyAbsorbsTransients(t *testing.T) {
+	const n = 50
+	reg := obs.NewRegistry()
+	clock := faults.NewFakeClock(time.Unix(0, 0))
+	var mu sync.Mutex
+	failedOnce := map[int]bool{}
+	f := intSource(context.Background(), Options{Metrics: reg}, n)
+	g := Through(f, Stage[int, int]{
+		Name: "flaky", Workers: 4,
+		Retry: faults.Policy{
+			Attempts: 3, BaseDelay: time.Millisecond, Clock: clock,
+			Retryable: func(error) bool { return true },
+		},
+		Fn: func(_ context.Context, _, rank int, v int) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			// Every third rank fails its first attempt and passes the retry.
+			if rank%3 == 0 && !failedOnce[rank] {
+				failedOnce[rank] = true
+				return 0, fmt.Errorf("transient failure at rank %d", rank)
+			}
+			return v, nil
+		},
+	})
+	got, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("rank %d: got %d", i, v)
+		}
+	}
+	if c := reg.Snapshot().Counters["pipeline.flaky.retries"]; c == 0 {
+		t.Error("retries counter = 0, want > 0")
+	}
+	if clock.SleptTotal() == 0 {
+		t.Error("retry backoff never slept on the injected clock")
+	}
+}
+
+// TestStageMetrics: items counters, latency histograms, and queue gauges are
+// published under the run's prefix.
+func TestStageMetrics(t *testing.T) {
+	const n = 200
+	reg := obs.NewRegistry()
+	f := intSource(context.Background(), Options{Metrics: reg, Name: "tp"}, n)
+	g := Through(f, Stage[int, int]{Name: "work", Workers: 4,
+		Fn: func(_ context.Context, _, _ int, v int) (int, error) { return v, nil }})
+	if _, err := Collect(g); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if c := snap.Counters["tp.src.items"]; c != n {
+		t.Errorf("tp.src.items = %d, want %d", c, n)
+	}
+	if c := snap.Counters["tp.work.items"]; c != n {
+		t.Errorf("tp.work.items = %d, want %d", c, n)
+	}
+	if h := snap.Histograms["tp.work.latency"]; h.Count != n {
+		t.Errorf("tp.work.latency count = %d, want %d", h.Count, n)
+	}
+	if _, ok := snap.Gauges["tp.work.queue"]; !ok {
+		t.Error("tp.work.queue gauge missing")
+	}
+}
+
+// TestOnWorkerHooks: OnWorker fires once per worker, retirements run at
+// worker exit, and hooks see the correct worker indices.
+func TestOnWorkerHooks(t *testing.T) {
+	const workers = 5
+	var started, retired atomic.Int64
+	f := intSource(context.Background(), Options{}, 1000)
+	g := Through(f, Stage[int, int]{
+		Name: "hooked", Workers: workers,
+		OnWorker: func(worker int) func() {
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			started.Add(1)
+			return func() { retired.Add(1) }
+		},
+		Fn: func(_ context.Context, _, _ int, v int) (int, error) { return v, nil },
+	})
+	if _, err := Collect(g); err != nil {
+		t.Fatal(err)
+	}
+	if started.Load() != workers || retired.Load() != workers {
+		t.Fatalf("hooks: started=%d retired=%d, want %d each", started.Load(), retired.Load(), workers)
+	}
+}
+
+// TestTwoStageChain: stages compose; both reorder buffers hold.
+func TestTwoStageChain(t *testing.T) {
+	const n = 400
+	f := intSource(context.Background(), Options{}, n)
+	g := Through(f, Stage[int, int]{Name: "a", Workers: 7,
+		Fn: func(_ context.Context, _, _ int, v int) (int, error) { return v + 1, nil }})
+	h := Through(g, Stage[int, string]{Name: "b", Workers: 3,
+		Fn: func(_ context.Context, _, _ int, v int) (string, error) { return fmt.Sprint(v * 2), nil }})
+	got, err := Collect(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if want := fmt.Sprint((i + 1) * 2); s != want {
+			t.Fatalf("rank %d: got %q want %q", i, s, want)
+		}
+	}
+}

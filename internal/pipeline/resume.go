@@ -1,0 +1,83 @@
+// Crash recovery for line-oriented result files. A streaming command pairs
+// an append-only output (one record line per retired rank, or a sparse
+// subset of ranks) with the shard journal; after an unclean stop the two can
+// disagree in either direction: the journal's write cadence leaves the file
+// up to Every-1 records ahead of the watermark, and a buffered output writer
+// can lose a tail the journal already recorded. RecoverOutput reconciles
+// them so the resumed run appends exactly the missing records and the final
+// file is byte-identical to an uninterrupted run.
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// RecoverOutput aligns the output file at path with stage's sink watermark
+// in j and returns the rank the run should resume from. header counts
+// non-record lines at the top of the file (a TSV header). rankOf maps a
+// record line to its zero-based pipeline rank; nil means line i is rank i —
+// a dense output with one line per rank in rank order.
+//
+// The file is truncated to the longest prefix of complete lines whose ranks
+// all precede the resume rank (a torn trailing line is dropped with them).
+// For dense outputs the resume rank is lowered to the file's line count when
+// a buffered tail was lost, so no gap is possible; sparse outputs cannot
+// reveal a lost tail and must therefore be written unbuffered. A missing
+// file resumes from rank 0.
+func RecoverOutput(path string, header int, j *Journal, stage string, rankOf func(line []byte) (int, bool)) (int, error) {
+	resume := j.Last(SinkName(stage)) + 1
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: recover output: %w", err)
+	}
+	defer f.Close()
+
+	var (
+		keep    int64 // byte length of the retained prefix
+		scanned int64 // offset after the last complete line read
+		lines   int   // complete lines read
+		rows    int   // record lines retained
+	)
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			break // EOF; an unterminated trailing line is dropped
+		}
+		scanned += int64(len(line))
+		lines++
+		if lines <= header {
+			keep = scanned
+			continue
+		}
+		rank := rows
+		if rankOf != nil {
+			rk, ok := rankOf(bytes.TrimSuffix(line, []byte{'\n'}))
+			if !ok {
+				break // unparseable record: truncate from here on
+			}
+			rank = rk
+		}
+		if rank >= resume {
+			break // ahead of the watermark: these ranks will be redone
+		}
+		rows++
+		keep = scanned
+	}
+	if rankOf == nil && rows < resume {
+		resume = rows // the file lost a buffered tail the journal recorded
+	}
+	if resume == 0 {
+		keep = 0 // nothing resumable: restart with a clean file
+	}
+	if err := os.Truncate(path, keep); err != nil {
+		return 0, fmt.Errorf("pipeline: recover output: %w", err)
+	}
+	return resume, nil
+}

@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// recoverFixture writes an output file and a journal with the given sink
+// watermark, then runs RecoverOutput over them.
+func recoverFixture(t *testing.T, content string, watermark, header int, rankOf func([]byte) (int, bool)) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	if err := os.WriteFile(out, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Every = 1
+	if watermark >= 0 {
+		j.Retire(SinkName("work"), watermark)
+	}
+	resume, err := RecoverOutput(out, header, j, "work", rankOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resume, string(after)
+}
+
+func TestRecoverOutputDenseFileAhead(t *testing.T) {
+	// Watermark says rank 2 retired; the file already holds ranks 0-5 plus a
+	// torn line. The extra lines are truncated and ranks 3+ redo.
+	content := "r0\nr1\nr2\nr3\nr4\nr5\ntorn"
+	resume, after := recoverFixture(t, content, 2, 0, nil)
+	if resume != 3 || after != "r0\nr1\nr2\n" {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+}
+
+func TestRecoverOutputDenseFileBehind(t *testing.T) {
+	// The journal recorded rank 9 but a buffered writer lost everything past
+	// rank 1: resume drops to the file's true progress, leaving no gap.
+	resume, after := recoverFixture(t, "r0\nr1\n", 9, 0, nil)
+	if resume != 2 || after != "r0\nr1\n" {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+}
+
+func TestRecoverOutputHeader(t *testing.T) {
+	resume, after := recoverFixture(t, "col1\tcol2\nr0\nr1\nr2\n", 1, 1, nil)
+	if resume != 2 || after != "col1\tcol2\nr0\nr1\n" {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+}
+
+func TestRecoverOutputFreshStart(t *testing.T) {
+	// No watermark at all: whatever made it to the file is untrustworthy
+	// (the header might be torn), so the run restarts with a clean file.
+	resume, after := recoverFixture(t, "col1\tcol2\nr0", -1, 1, nil)
+	if resume != 0 || after != "" {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+}
+
+func TestRecoverOutputMissingFile(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	resume, err := RecoverOutput(filepath.Join(t.TempDir(), "absent"), 0, j, "work", nil)
+	if err != nil || resume != 0 {
+		t.Fatalf("resume=%d err=%v", resume, err)
+	}
+}
+
+func TestRecoverOutputSparse(t *testing.T) {
+	// Sparse output: only some ranks produce lines, each carrying its rank.
+	// Watermark 6 keeps ranks {1,4} and truncates rank 8's line.
+	line := func(rank int) string {
+		b, _ := json.Marshal(map[string]int{"rank": rank})
+		return string(b) + "\n"
+	}
+	content := line(1) + line(4) + line(8)
+	rankOf := func(l []byte) (int, bool) {
+		var rec struct{ Rank int }
+		if json.Unmarshal(l, &rec) != nil {
+			return 0, false
+		}
+		return rec.Rank, true
+	}
+	resume, after := recoverFixture(t, content, 6, 0, rankOf)
+	if resume != 7 || after != line(1)+line(4) {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+	if !strings.HasSuffix(after, "\n") {
+		t.Fatal("retained prefix must end at a line boundary")
+	}
+}
+
+func TestRecoverOutputSparseUnparseable(t *testing.T) {
+	resume, after := recoverFixture(t, "{\"rank\":0}\ngarbage\n{\"rank\":2}\n", 5, 0,
+		func(l []byte) (int, bool) {
+			n, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSuffix(string(l), "}"), "{\"rank\":"))
+			return n, err == nil
+		})
+	if resume != 6 || after != "{\"rank\":0}\n" {
+		t.Fatalf("resume=%d file=%q", resume, after)
+	}
+}

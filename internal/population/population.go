@@ -16,14 +16,12 @@ package population
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 	"time"
 
 	"chainchaos/internal/aia"
 	"chainchaos/internal/ca"
 	"chainchaos/internal/certmodel"
-	"chainchaos/internal/parallel"
+	"chainchaos/internal/pipeline"
 	"chainchaos/internal/rootstore"
 )
 
@@ -141,55 +139,23 @@ type hierarchy struct {
 	storeOmit map[int]bool
 }
 
-// Generate builds the population.
+// Generate builds the population. It is the batch adapter over the streaming
+// Source: domains are produced by the pipeline's worker pool — randomness
+// seeded per rank from (Seed, rank), bit-identical for any worker count —
+// and collected into Domains in rank order.
 func Generate(cfg Config) *Population {
-	cfg.fillDefaults()
-	repo := aia.NewRepository()
-
-	hierarchies := buildHierarchies(cfg, repo)
-
-	var allRoots []*certmodel.Certificate
-	omitsOf := make(map[certmodel.FP]map[int]bool)
-	for _, h := range hierarchies {
-		allRoots = append(allRoots, h.iss.Root, h.iss.CrossRoot)
-		if h.storeOmit != nil {
-			omitsOf[h.iss.Root.Fingerprint()] = h.storeOmit
-		}
-	}
-	vendors := rootstore.NewVendorSet(allRoots, func(root *certmodel.Certificate, vendor int) bool {
-		return omitsOf[root.Fingerprint()][vendor]
+	s := NewSource(cfg)
+	pop := s.Population()
+	pop.Domains = make([]*Domain, 0, s.Size())
+	err := s.Each(context.Background(), pipeline.Options{}, func(d *Domain) error {
+		pop.Domains = append(pop.Domains, d)
+		return nil
 	})
-	// The vendor stores are complete; freeze them so every build across the
-	// population reads them lock-free.
-	vendors.Seal()
-
-	pop := &Population{Cfg: cfg, Repo: repo, Vendors: vendors}
-	for _, h := range hierarchies {
-		pop.Issuers = append(pop.Issuers, h.iss)
+	if err != nil {
+		// Unreachable: generation never errors and the context is never
+		// cancelled; a pipeline invariant broke if we get here.
+		panic(err)
 	}
-
-	// Pre-register the shared dead and wrong AIA endpoints.
-	repo.PutError(cfg.AIABase+"/dead/ca.der", fmt.Errorf("connection refused"))
-	wrongTarget := certmodel.SyntheticRoot("Wrong AIA Target", cfg.Base)
-	repo.Put(cfg.AIABase+"/wrong/ca.der", wrongTarget)
-
-	// Domain generation is sharded across workers. Each domain's randomness
-	// comes from a per-rank stream seeded by mixing (Seed, rank), so the
-	// result is independent of scheduling and worker count; workers reuse
-	// one generator (and one rand.Rand) across their whole shard.
-	weightTotal := 0.0
-	for i := range hierarchies {
-		weightTotal += hierarchies[i].weight
-	}
-	pop.Domains = make([]*Domain, cfg.Size)
-	parallel.Shards(context.Background(), cfg.Size, cfg.Workers, func(_, lo, hi int) {
-		gen := &generator{cfg: cfg, rng: rand.New(rand.NewSource(0)), hierarchies: hierarchies, repo: repo, weightTotal: weightTotal}
-		for i := lo; i < hi; i++ {
-			rank := i + 1
-			gen.rng.Seed(domainSeed(cfg.Seed, rank))
-			pop.Domains[i] = gen.domain(rank)
-		}
-	})
 	return pop
 }
 

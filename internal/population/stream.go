@@ -1,0 +1,135 @@
+// Streaming population generation: a Source builds the shared PKI context
+// (hierarchies, AIA repository, vendor stores) once, then emits domains rank
+// by rank through the pipeline engine, so consumers can process a
+// million-site population holding only O(workers · queue) domains in memory.
+// Generate is the batch adapter over the same path.
+package population
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/parallel"
+	"chainchaos/internal/pipeline"
+	"chainchaos/internal/rootstore"
+)
+
+// Source is a prepared population whose domains have not been generated yet.
+// It owns everything the domains share — issuer hierarchies, the AIA
+// repository, the sealed vendor stores — while each domain itself is derived
+// from (Config.Seed, rank) alone, so streaming and batch generation are
+// bit-identical for any worker count, queue depth, or resume point.
+type Source struct {
+	cfg         Config
+	pop         *Population
+	hierarchies []hierarchy
+	weightTotal float64
+}
+
+// NewSource builds the shared PKI context for cfg without generating any
+// domains. The returned Source is safe for concurrent Generator use.
+func NewSource(cfg Config) *Source {
+	cfg.fillDefaults()
+	repo := aia.NewRepository()
+
+	hierarchies := buildHierarchies(cfg, repo)
+
+	var allRoots []*certmodel.Certificate
+	omitsOf := make(map[certmodel.FP]map[int]bool)
+	for _, h := range hierarchies {
+		allRoots = append(allRoots, h.iss.Root, h.iss.CrossRoot)
+		if h.storeOmit != nil {
+			omitsOf[h.iss.Root.Fingerprint()] = h.storeOmit
+		}
+	}
+	vendors := rootstore.NewVendorSet(allRoots, func(root *certmodel.Certificate, vendor int) bool {
+		return omitsOf[root.Fingerprint()][vendor]
+	})
+	// The vendor stores are complete; freeze them so every build across the
+	// population reads them lock-free.
+	vendors.Seal()
+
+	pop := &Population{Cfg: cfg, Repo: repo, Vendors: vendors}
+	for _, h := range hierarchies {
+		pop.Issuers = append(pop.Issuers, h.iss)
+	}
+
+	// Pre-register the shared dead and wrong AIA endpoints.
+	repo.PutError(cfg.AIABase+"/dead/ca.der", fmt.Errorf("connection refused"))
+	wrongTarget := certmodel.SyntheticRoot("Wrong AIA Target", cfg.Base)
+	repo.Put(cfg.AIABase+"/wrong/ca.der", wrongTarget)
+
+	weightTotal := 0.0
+	for i := range hierarchies {
+		weightTotal += hierarchies[i].weight
+	}
+	return &Source{cfg: cfg, pop: pop, hierarchies: hierarchies, weightTotal: weightTotal}
+}
+
+// Population returns the PKI context (issuers, AIA repository, vendor
+// stores) with Domains left nil; streaming consumers analyze against it
+// without ever materializing the domain slice.
+func (s *Source) Population() *Population { return s.pop }
+
+// Size is the number of domains the source will emit.
+func (s *Source) Size() int { return s.cfg.Size }
+
+// Generator generates domains on demand. It is single-goroutine state:
+// create one per worker (each Domain call is deterministic in the rank, so
+// which generator serves which rank never matters).
+type Generator struct {
+	gen *generator
+}
+
+// Generator returns a fresh domain generator bound to this source's context.
+func (s *Source) Generator() *Generator {
+	return &Generator{gen: &generator{
+		cfg:         s.cfg,
+		rng:         rand.New(rand.NewSource(0)),
+		hierarchies: s.hierarchies,
+		repo:        s.pop.Repo,
+		weightTotal: s.weightTotal,
+	}}
+}
+
+// Domain generates the domain at rank (1-based, matching Domain.Rank). The
+// rng is reseeded from (Seed, rank) per call, so output depends only on the
+// rank, never on call order.
+func (g *Generator) Domain(rank int) *Domain {
+	g.gen.rng.Seed(domainSeed(g.gen.cfg.Seed, rank))
+	return g.gen.domain(rank)
+}
+
+// Flow emits the population's domains as a pipeline flow in rank order.
+// Pipeline ranks are 0-based; the domain at pipeline rank r carries
+// Domain.Rank r+1. Queue <= 0 uses the engine default (2×workers).
+func (s *Source) Flow(ctx context.Context, opts pipeline.Options, queue int) *pipeline.Flow[*Domain] {
+	workers := parallel.Workers(s.cfg.Workers)
+	gens := make([]*Generator, workers)
+	src := pipeline.From(ctx, opts, "ranks", queue, func(rank int) (int, bool, error) {
+		return rank, rank < s.cfg.Size, nil
+	})
+	return pipeline.Through(src, pipeline.Stage[int, *Domain]{
+		Name:    "generate",
+		Workers: workers,
+		Queue:   queue,
+		OnWorker: func(worker int) func() {
+			gens[worker] = s.Generator()
+			return nil
+		},
+		Fn: func(_ context.Context, worker, rank int, _ int) (*Domain, error) {
+			return gens[worker].Domain(rank + 1), nil
+		},
+	})
+}
+
+// Each streams every domain, in rank order, to yield without retaining them.
+// A yield error stops the stream and is returned.
+func (s *Source) Each(ctx context.Context, opts pipeline.Options, yield func(d *Domain) error) error {
+	return s.Flow(ctx, opts, 0).Drain(func(_ int, d *Domain) error {
+		return yield(d)
+	})
+}

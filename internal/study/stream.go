@@ -1,0 +1,455 @@
+// The study's staged dataflow: deploy → scan (+rescan) → grade, one site per
+// rank, on the pipeline engine. Every stage hop is a bounded channel, so the
+// number of live listeners — each one a real socket plus goroutines — is
+// O(workers + queue) for any site count, instead of every listener for the
+// whole run as the batch path once held. Run is the batch adapter (it keeps
+// Report.Sites); RunStream adds the JSONL record sink and checkpoint/resume.
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/faults"
+	"chainchaos/internal/httpserver"
+	"chainchaos/internal/parallel"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/pipeline"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/tlsserve"
+	"chainchaos/internal/topo"
+)
+
+// Stream configures the streaming variant of a study run.
+type Stream struct {
+	// Out, when non-nil, receives one JSONL SiteRecord per site, in rank
+	// order. Records carry only rank-deterministic fields (never the
+	// ephemeral listener address), so two runs with the same (Seed, Sites)
+	// write byte-identical streams for any worker count or queue depth.
+	Out io.Writer
+	// Journal, when non-nil, checkpoints per-stage retirement watermarks so
+	// an interrupted run can resume.
+	Journal *pipeline.Journal
+	// Resume is the first site rank to deploy; a resuming caller passes
+	// Journal.Last(pipeline.SinkName("grade"))+1. Ranks below Resume are
+	// skipped entirely (their defect assignments are still drawn from the
+	// seeded rng, so the remaining sites are identical to a full run's).
+	Resume int
+	// Queue bounds each stage hop; <= 0 means 2× the stage's workers.
+	Queue int
+	// KeepSites retains every graded *Site in Report.Sites — the batch
+	// behavior. Streaming callers leave it false: the Report then carries
+	// only the aggregate tallies and memory stays bounded.
+	KeepSites bool
+}
+
+// SiteRecord is the JSONL line RunStream emits per site.
+type SiteRecord struct {
+	Rank         int             `json:"rank"`
+	Domain       string          `json:"domain"`
+	Injected     string          `json:"injected"`
+	Server       string          `json:"server"`
+	Scanned      bool            `json:"scanned"`
+	Compliant    bool            `json:"compliant"`
+	Leaf         string          `json:"leaf,omitempty"`
+	OrderOK      bool            `json:"order_ok"`
+	Completeness string          `json:"completeness,omitempty"`
+	Verdicts     map[string]bool `json:"verdicts,omitempty"`
+	ScanErrors   int             `json:"scan_errors,omitempty"`
+	Rescanned    bool            `json:"rescanned,omitempty"`
+}
+
+// deployed is one live site between the deploy source and the scan stage.
+type deployed struct {
+	site   *Site
+	srv    *tlsserve.Server
+	target tlsscan.Target
+}
+
+// scannedSite adds the site's merged capture and scan tallies.
+type scannedSite struct {
+	deployed
+	list      []*certmodel.Certificate
+	errs      ErrorBreakdown
+	rescanned bool
+	lost      bool
+}
+
+// gradedSite is the retired form: the listener is closed, its fault ledger
+// folded in.
+type gradedSite struct {
+	site             *Site
+	errs             ErrorBreakdown
+	rescanned        bool
+	lost             bool
+	faultsInjected   int
+	acceptRetries    int
+	deadlineExpiries int
+}
+
+// liveServers tracks listeners between deploy and grade so an aborted run
+// closes every socket it opened.
+type liveServers struct {
+	mu sync.Mutex
+	m  map[*tlsserve.Server]struct{}
+}
+
+func (l *liveServers) add(s *tlsserve.Server) {
+	l.mu.Lock()
+	l.m[s] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *liveServers) remove(s *tlsserve.Server) {
+	l.mu.Lock()
+	delete(l.m, s)
+	l.mu.Unlock()
+}
+
+func (l *liveServers) closeAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for s := range l.m {
+		s.Close()
+	}
+	l.m = map[*tlsserve.Server]struct{}{}
+}
+
+// Run executes the study. It is the batch adapter over the streaming
+// pipeline: same stages, same report, with every site retained.
+func Run(cfg Config) (*Report, error) {
+	return RunStream(context.Background(), cfg, Stream{KeepSites: true})
+}
+
+// RunStream executes the study as a deploy→scan→grade pipeline. Sites flow
+// through bounded stage queues: the serial deploy source assigns defects
+// from the seeded rng in rank order (bit-identical to the batch path for any
+// worker count), cfg.Concurrency scan workers handshake each site from every
+// vantage and re-scan the missed ones, and cfg.Workers grade workers run the
+// analyzer plus all eight client models before the listener is torn down.
+// The sink aggregates the Report and, when st.Out is set, writes one JSONL
+// SiteRecord per site in rank order.
+func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
+	cfg.fillDefaults()
+	reg := cfg.Metrics
+	if reg != nil && cfg.Clock != nil && reg.Now == nil {
+		// Deterministic fault runs: stage timers tick on the same injected
+		// clock as the faults and backoff they time.
+		reg.Now = cfg.Clock.Now
+	}
+	deployTimer := reg.Timer("study.deploy")
+	scanTimer := reg.Timer("study.scan")
+	rescanTimer := reg.Timer("study.rescan")
+	gradeTimer := reg.Timer("study.grade")
+	leavesCounter := reg.Counter("study.leaves_generated")
+	rescannedCounter := reg.Counter("study.rescanned")
+
+	pkiSW := deployTimer.Start()
+	// Real PKI: a root with two intermediates, AIA-wired.
+	root, err := certgen.NewRoot("Study Root")
+	if err != nil {
+		return nil, err
+	}
+	ca2, err := root.NewIntermediate("Study CA 2")
+	if err != nil {
+		return nil, err
+	}
+	const ca2URI = "http://repo.study.example/ca2.der"
+	ca1, err := ca2.NewIntermediate("Study CA 1", certgen.WithAIA(ca2URI))
+	if err != nil {
+		return nil, err
+	}
+	stray, err := certgen.NewRoot("Study Stray Root")
+	if err != nil {
+		return nil, err
+	}
+	repo := aia.NewRepository().Instrument(reg)
+	repo.Put(ca2URI, ca2.Cert)
+	roots := rootstore.NewWith("study", root.Cert)
+	// The study trust store never grows after this point; sealed, the
+	// parallel site-grading workers read it without locking. The per-site
+	// intermediate caches created below stay unsealed — Firefox-style
+	// builders keep feeding them during the measurement.
+	roots.Seal()
+	pkiSW.Stop()
+
+	servers := []httpserver.Model{
+		httpserver.ApacheOld(), httpserver.Apache(), httpserver.Nginx(),
+		httpserver.AzureAppGateway(), httpserver.IIS(), httpserver.AWSELB(),
+	}
+	defects := []defect{
+		defectNone, defectNone, defectNone, defectNone, defectNone, defectNone,
+		defectReversed, defectDuplicateLeaf, defectIncomplete, defectIrrelevant, defectStaleLeaf,
+	}
+
+	live := &liveServers{m: map[*tlsserve.Server]struct{}{}}
+	defer live.closeAll()
+
+	// The deploy source is serial — rank order is the rng's spine. A resumed
+	// run replays the skipped ranks' draws so the remaining sites get the
+	// same assignments as in the full run.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for rank := 0; rank < st.Resume; rank++ {
+		rng.Intn(len(defects))
+		rng.Intn(len(servers))
+	}
+
+	opts := pipeline.Options{Name: "study", Metrics: reg, Journal: st.Journal, Resume: st.Resume}
+	src := pipeline.From(ctx, opts, "deploy", st.Queue, func(rank int) (deployed, bool, error) {
+		if rank >= cfg.Sites {
+			return deployed{}, false, nil
+		}
+		sw := deployTimer.Start()
+		defer sw.Stop()
+		domain := fmt.Sprintf("site-%03d.study.example", rank)
+		inj := defects[rng.Intn(len(defects))]
+		model := servers[rng.Intn(len(servers))]
+
+		// Exactly one leaf per site: a stale-leaf site mints its expired
+		// leaf directly (the admin who never renewed) instead of minting a
+		// fresh leaf first and then a second, stale one. LeavesGenerated
+		// proves no cert is wasted.
+		var leafOpts []certgen.Option
+		if inj == defectStaleLeaf {
+			leafOpts = append(leafOpts, certgen.WithValidity(
+				certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
+		}
+		leaf, err := ca1.NewLeaf(domain, leafOpts...)
+		if err != nil {
+			return deployed{}, false, err
+		}
+		leavesCounter.Inc()
+
+		chain := []*certmodel.Certificate{ca1.Cert, ca2.Cert}
+		switch inj {
+		case defectReversed:
+			chain = []*certmodel.Certificate{root.Cert, ca2.Cert, ca1.Cert}
+		case defectDuplicateLeaf:
+			chain = append([]*certmodel.Certificate{leaf.Cert}, chain...)
+		case defectIncomplete:
+			chain = []*certmodel.Certificate{ca1.Cert}
+		case defectIrrelevant:
+			chain = append(chain, stray.Cert)
+		}
+
+		in := httpserver.ConfigInput{
+			CertFile:      []*certmodel.Certificate{leaf.Cert},
+			ChainFile:     chain,
+			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chain...),
+			PrivateKeyFor: leaf.Cert,
+		}
+		wire, err := model.Deploy(in)
+		if err == httpserver.ErrDuplicateLeaf {
+			// The server's check fired; the administrator fixes the files.
+			fixed := chain[1:]
+			in.ChainFile = fixed
+			in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, fixed...)
+			inj = defectNone
+			wire, err = model.Deploy(in)
+		}
+		if err != nil {
+			return deployed{}, false, fmt.Errorf("study: deploy %s on %s: %w", domain, model.Name, err)
+		}
+		srv, err := tlsserve.Start(tlsserve.Config{
+			List: wire, Key: leaf.Key, Domain: domain,
+			Faults: cfg.Faults, Clock: cfg.Clock, Metrics: cfg.Metrics,
+		})
+		if err != nil {
+			return deployed{}, false, err
+		}
+		live.add(srv)
+		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
+		return deployed{site: site, srv: srv, target: tlsscan.Target{Addr: srv.Addr(), Domain: domain}}, true, nil
+	})
+
+	// Multi-vantage scan per site. Transient failures are retried inside the
+	// scanner; whatever still fails is counted per cause, and a site every
+	// vantage missed gets up to RescanPasses more attempts — the same
+	// per-site connection sequence the batch sweeps produced.
+	scanner := &tlsscan.Scanner{
+		Timeout:     cfg.Timeout,
+		Concurrency: cfg.Concurrency,
+		Clock:       cfg.Clock,
+		Metrics:     cfg.Metrics,
+	}
+	if cfg.Retries > 0 {
+		scanner.Retry = faults.Policy{
+			Attempts:  cfg.Retries + 1,
+			BaseDelay: 20 * time.Millisecond,
+			MaxDelay:  500 * time.Millisecond,
+			Seed:      cfg.Seed,
+			Clock:     cfg.Clock,
+		}
+	}
+	scanned := pipeline.Through(src, pipeline.Stage[deployed, scannedSite]{
+		Name:    "scan",
+		Workers: cfg.Concurrency,
+		Queue:   st.Queue,
+		Fn: func(ctx context.Context, _, _ int, d deployed) (scannedSite, error) {
+			out := scannedSite{deployed: d}
+			var captured []tlsscan.Result
+			sw := scanTimer.Start()
+			for v := 0; v < cfg.Vantages; v++ {
+				res := scanner.Scan(ctx, d.target)
+				if res.Err != nil {
+					out.errs.add(res.Cause)
+				} else {
+					captured = append(captured, res)
+				}
+			}
+			sw.Stop()
+			for pass := 0; pass < cfg.RescanPasses && len(captured) == 0; pass++ {
+				rsw := rescanTimer.Start()
+				res := scanner.Scan(ctx, d.target)
+				rsw.Stop()
+				if res.Err != nil {
+					out.errs.add(res.Cause)
+				} else {
+					captured = append(captured, res)
+					out.rescanned = true
+					rescannedCounter.Inc()
+				}
+			}
+			if len(captured) == 0 {
+				out.lost = true
+			} else {
+				out.list = captured[0].List
+			}
+			return out, nil
+		},
+	})
+
+	// Grade and differentially test each captured chain, then retire the
+	// listener: its fault ledger is folded into the site result and the
+	// socket closed, which is what keeps the live-listener count bounded.
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
+	profiles := clients.All()
+	gradeWorkers := parallel.Workers(cfg.Workers)
+	builderSets := make([][]*pathbuild.Builder, gradeWorkers)
+	graded := pipeline.Through(scanned, pipeline.Stage[scannedSite, gradedSite]{
+		Name:    "grade",
+		Workers: gradeWorkers,
+		Queue:   st.Queue,
+		OnWorker: func(worker int) func() {
+			builders := make([]*pathbuild.Builder, len(profiles))
+			for i, p := range profiles {
+				builders[i] = &pathbuild.Builder{
+					Policy: p.Policy, Roots: roots, Fetcher: repo,
+					Cache: rootstore.New("cache"), Now: certgen.Reference,
+					Metrics: cfg.Metrics,
+				}
+			}
+			builderSets[worker] = builders
+			return func() {
+				for _, b := range builders {
+					b.FlushMetrics()
+				}
+			}
+		},
+		Fn: func(_ context.Context, worker, _ int, sc scannedSite) (gradedSite, error) {
+			if !sc.lost {
+				sw := gradeTimer.Start()
+				builders := builderSets[worker]
+				sc.site.Report = analyzer.Analyze(sc.site.Domain, topo.Build(sc.list))
+				sc.site.Verdicts = make(map[string]bool, len(profiles))
+				for j, p := range profiles {
+					// Each site gets a fresh intermediate cache: verdicts
+					// must not depend on which other sites a worker graded
+					// first.
+					builders[j].Cache = rootstore.New("cache")
+					sc.site.Verdicts[p.Name] = builders[j].Build(sc.list, sc.site.Domain).OK()
+				}
+				sw.Stop()
+			}
+			g := gradedSite{
+				site:             sc.site,
+				errs:             sc.errs,
+				rescanned:        sc.rescanned,
+				lost:             sc.lost,
+				faultsInjected:   sc.srv.FaultsInjected(),
+				acceptRetries:    sc.srv.AcceptRetries(),
+				deadlineExpiries: sc.srv.DeadlineExpiries(),
+			}
+			sc.srv.Close()
+			live.remove(sc.srv)
+			return g, nil
+		},
+	})
+
+	rep := &Report{Cfg: cfg}
+	err = graded.Drain(func(rank int, g gradedSite) error {
+		rep.LeavesGenerated++
+		rep.ScanErrors += g.errs.Total()
+		rep.ScanErrorCauses.Dial += g.errs.Dial
+		rep.ScanErrorCauses.Handshake += g.errs.Handshake
+		rep.ScanErrorCauses.Parse += g.errs.Parse
+		rep.ScanErrorCauses.Cancelled += g.errs.Cancelled
+		if g.rescanned {
+			rep.Rescanned++
+		}
+		if g.lost {
+			rep.Lost++
+		}
+		rep.FaultsInjected += g.faultsInjected
+		rep.AcceptRetries += g.acceptRetries
+		rep.DeadlineExpiries += g.deadlineExpiries
+		rep.Streamed++
+		if !g.lost && g.site.Report.Compliant() {
+			rep.StreamedCompliant++
+		}
+		if st.KeepSites {
+			rep.Sites = append(rep.Sites, g.site)
+		}
+		if st.Out != nil {
+			return writeSiteRecord(st.Out, rank, g)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		rep.Snapshot = reg.Snapshot()
+	}
+	return rep, nil
+}
+
+// writeSiteRecord marshals one site's JSONL line. encoding/json emits map
+// keys sorted, and the record excludes every nondeterministic field, so the
+// byte stream depends only on (Seed, Sites, Resume).
+func writeSiteRecord(w io.Writer, rank int, g gradedSite) error {
+	rec := SiteRecord{
+		Rank:       rank,
+		Domain:     g.site.Domain,
+		Injected:   g.site.Injected.String(),
+		Server:     g.site.Server,
+		Scanned:    !g.lost,
+		ScanErrors: g.errs.Total(),
+		Rescanned:  g.rescanned,
+	}
+	if !g.lost {
+		rec.Compliant = g.site.Report.Compliant()
+		rec.Leaf = fmt.Sprint(g.site.Report.Leaf)
+		rec.OrderOK = g.site.Report.Order.SequentialOK
+		rec.Completeness = fmt.Sprint(g.site.Report.Completeness.Class)
+		rec.Verdicts = g.site.Verdicts
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,140 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chainchaos/internal/pipeline"
+)
+
+// TestStudyStreamMatchesBatch: the streaming study produces the same report
+// and site results as the batch path for the same seed, across several
+// (workers, queue) configurations, and the JSONL record stream is
+// byte-identical between configurations.
+func TestStudyStreamMatchesBatch(t *testing.T) {
+	const sites = 16
+	base := Config{Sites: sites, Seed: 4, Vantages: 2, Concurrency: 8}
+	batch, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var firstJSONL []byte
+	for _, tc := range []struct {
+		workers, concurrency, queue int
+	}{
+		{1, 1, 1},
+		{4, 8, 2},
+		{8, 4, 16},
+	} {
+		cfg := base
+		cfg.Workers = tc.workers
+		cfg.Concurrency = tc.concurrency
+		var buf bytes.Buffer
+		stream, err := RunStream(context.Background(), cfg, Stream{
+			Out: &buf, Queue: tc.queue, KeepSites: true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d queue=%d: %v", tc.workers, tc.queue, err)
+		}
+
+		if len(stream.Sites) != len(batch.Sites) {
+			t.Fatalf("workers=%d queue=%d: %d sites, batch has %d", tc.workers, tc.queue, len(stream.Sites), len(batch.Sites))
+		}
+		for i := range stream.Sites {
+			ss, bs := stream.Sites[i], batch.Sites[i]
+			if ss.Domain != bs.Domain || ss.Injected != bs.Injected || ss.Server != bs.Server {
+				t.Fatalf("site %d assignment differs: %s/%v/%s vs %s/%v/%s",
+					i, ss.Domain, ss.Injected, ss.Server, bs.Domain, bs.Injected, bs.Server)
+			}
+			if ss.Report.Compliant() != bs.Report.Compliant() {
+				t.Fatalf("site %d compliance differs", i)
+			}
+			if !reflect.DeepEqual(ss.Verdicts, bs.Verdicts) {
+				t.Fatalf("site %d verdicts differ: %v vs %v", i, ss.Verdicts, bs.Verdicts)
+			}
+		}
+		if stream.ScanErrors != batch.ScanErrors || stream.Rescanned != batch.Rescanned ||
+			stream.Lost != batch.Lost || stream.LeavesGenerated != batch.LeavesGenerated {
+			t.Fatalf("workers=%d queue=%d: aggregates differ: %+v vs %+v", tc.workers, tc.queue, stream, batch)
+		}
+
+		if firstJSONL == nil {
+			firstJSONL = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(firstJSONL, buf.Bytes()) {
+			t.Fatalf("workers=%d queue=%d: JSONL stream differs from the first configuration", tc.workers, tc.queue)
+		}
+	}
+	if len(bytes.Split(bytes.TrimSpace(firstJSONL), []byte("\n"))) != sites {
+		t.Fatalf("JSONL stream does not hold one line per site")
+	}
+}
+
+// failAfter errors every write past the first n.
+type failAfter struct {
+	buf  bytes.Buffer
+	n    int
+	errv error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.errv
+	}
+	f.n--
+	return f.buf.Write(p)
+}
+
+// TestStudyStreamResume: a checkpointed run killed mid-stream resumes from
+// the journal watermark and the concatenated output is byte-identical to an
+// uninterrupted run.
+func TestStudyStreamResume(t *testing.T) {
+	const sites = 12
+	cfg := Config{Sites: sites, Seed: 4, Vantages: 1, Concurrency: 4, Workers: 4}
+
+	var full bytes.Buffer
+	if _, err := RunStream(context.Background(), cfg, Stream{Out: &full, Queue: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "study.ckpt")
+	j, err := pipeline.OpenJournal(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Every = 1
+	interrupted := errors.New("killed")
+	w := &failAfter{n: 5, errv: interrupted}
+	_, err = RunStream(context.Background(), cfg, Stream{Out: w, Queue: 2, Journal: j})
+	if !errors.Is(err, interrupted) {
+		t.Fatalf("first run err = %v, want the injected kill", err)
+	}
+	j.Close()
+
+	j2, err := pipeline.OpenJournal(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resume := j2.Last(pipeline.SinkName("grade")) + 1
+	if resume != 5 {
+		t.Fatalf("resume rank = %d, want 5 (five lines were written)", resume)
+	}
+	rest := &bytes.Buffer{}
+	rep, err := RunStream(context.Background(), cfg, Stream{Out: rest, Queue: 2, Journal: j2, Resume: resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeavesGenerated != sites-resume {
+		t.Errorf("resumed run minted %d leaves, want %d", rep.LeavesGenerated, sites-resume)
+	}
+
+	combined := append(append([]byte(nil), w.buf.Bytes()...), rest.Bytes()...)
+	if !bytes.Equal(combined, full.Bytes()) {
+		t.Fatalf("resumed output differs from uninterrupted run:\ncombined:\n%s\nfull:\n%s", combined, full.Bytes())
+	}
+}

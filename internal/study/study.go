@@ -12,26 +12,16 @@
 package study
 
 import (
-	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"chainchaos/internal/aia"
-	"chainchaos/internal/certgen"
-	"chainchaos/internal/certmodel"
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/faults"
-	"chainchaos/internal/httpserver"
 	"chainchaos/internal/obs"
-	"chainchaos/internal/parallel"
-	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/report"
-	"chainchaos/internal/rootstore"
 	"chainchaos/internal/tlsscan"
 	"chainchaos/internal/tlsserve"
-	"chainchaos/internal/topo"
 )
 
 // Config parameterizes a study run.
@@ -192,20 +182,27 @@ type Report struct {
 	// expired leaf directly instead of minting a fresh one first and
 	// discarding it — so this always equals len(Sites).
 	LeavesGenerated int
+	// Streamed and StreamedCompliant tally sites as they retire through the
+	// pipeline sink, so a streaming run that does not keep Sites still
+	// reports how many it graded compliant. When Sites are kept, Streamed ==
+	// len(Sites) and StreamedCompliant == CompliantCount().
+	Streamed          int
+	StreamedCompliant int
 	// Snapshot is the metrics export taken after the run when Cfg.Metrics
 	// was wired; nil otherwise.
 	Snapshot *obs.Snapshot
 }
 
-// CompliantCount returns how many scanned sites graded compliant.
+// CompliantCount returns how many scanned sites graded compliant. It is
+// meaningful for streaming runs too, where Sites themselves are not kept.
 func (r *Report) CompliantCount() int {
-	n := 0
-	for _, s := range r.Sites {
-		if s.Report.Compliant() {
-			n++
-		}
-	}
-	return n
+	return r.StreamedCompliant
+}
+
+// SiteCount returns how many sites the run processed — len(Sites) when they
+// were kept, the sink tally otherwise.
+func (r *Report) SiteCount() int {
+	return r.Streamed
 }
 
 // Tables renders the study as report tables (an overview plus per-client
@@ -260,250 +257,4 @@ func (r *Report) Tables() []*report.Table {
 		}
 	}
 	return tables
-}
-
-// Run executes the study.
-func Run(cfg Config) (*Report, error) {
-	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	reg := cfg.Metrics
-	if reg != nil && cfg.Clock != nil && reg.Now == nil {
-		// Deterministic fault runs: stage timers tick on the same injected
-		// clock as the faults and backoff they time.
-		reg.Now = cfg.Clock.Now
-	}
-	deployTimer := reg.Timer("study.deploy")
-	scanTimer := reg.Timer("study.scan")
-	rescanTimer := reg.Timer("study.rescan")
-	gradeTimer := reg.Timer("study.grade")
-	leavesCounter := reg.Counter("study.leaves_generated")
-
-	deploySW := deployTimer.Start()
-	// Real PKI: a root with two intermediates, AIA-wired.
-	root, err := certgen.NewRoot("Study Root")
-	if err != nil {
-		return nil, err
-	}
-	ca2, err := root.NewIntermediate("Study CA 2")
-	if err != nil {
-		return nil, err
-	}
-	const ca2URI = "http://repo.study.example/ca2.der"
-	ca1, err := ca2.NewIntermediate("Study CA 1", certgen.WithAIA(ca2URI))
-	if err != nil {
-		return nil, err
-	}
-	stray, err := certgen.NewRoot("Study Stray Root")
-	if err != nil {
-		return nil, err
-	}
-	repo := aia.NewRepository().Instrument(reg)
-	repo.Put(ca2URI, ca2.Cert)
-	roots := rootstore.NewWith("study", root.Cert)
-	// The study trust store never grows after this point; sealed, the
-	// parallel site-grading workers read it without locking. The per-site
-	// intermediate caches created below stay unsealed — Firefox-style
-	// builders keep feeding them during the measurement.
-	roots.Seal()
-
-	servers := []httpserver.Model{
-		httpserver.ApacheOld(), httpserver.Apache(), httpserver.Nginx(),
-		httpserver.AzureAppGateway(), httpserver.IIS(), httpserver.AWSELB(),
-	}
-	defects := []defect{
-		defectNone, defectNone, defectNone, defectNone, defectNone, defectNone,
-		defectReversed, defectDuplicateLeaf, defectIncomplete, defectIrrelevant, defectStaleLeaf,
-	}
-
-	farm := tlsserve.NewFarm()
-	defer farm.Close()
-
-	rep := &Report{Cfg: cfg}
-	var targets []tlsscan.Target
-	var listeners []*tlsserve.Server
-	for i := 0; i < cfg.Sites; i++ {
-		domain := fmt.Sprintf("site-%03d.study.example", i)
-		inj := defects[rng.Intn(len(defects))]
-		model := servers[rng.Intn(len(servers))]
-
-		// Exactly one leaf per site: a stale-leaf site mints its expired
-		// leaf directly (the admin who never renewed) instead of minting a
-		// fresh leaf first and then a second, stale one — the old path
-		// silently doubled certgen work. LeavesGenerated proves no cert is
-		// wasted.
-		var leafOpts []certgen.Option
-		if inj == defectStaleLeaf {
-			leafOpts = append(leafOpts, certgen.WithValidity(
-				certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
-		}
-		leaf, err := ca1.NewLeaf(domain, leafOpts...)
-		if err != nil {
-			return nil, err
-		}
-		rep.LeavesGenerated++
-		leavesCounter.Inc()
-
-		chain := []*certmodel.Certificate{ca1.Cert, ca2.Cert}
-		switch inj {
-		case defectReversed:
-			chain = []*certmodel.Certificate{root.Cert, ca2.Cert, ca1.Cert}
-		case defectDuplicateLeaf:
-			chain = append([]*certmodel.Certificate{leaf.Cert}, chain...)
-		case defectIncomplete:
-			chain = []*certmodel.Certificate{ca1.Cert}
-		case defectIrrelevant:
-			chain = append(chain, stray.Cert)
-		}
-
-		in := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf.Cert},
-			ChainFile:     chain,
-			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chain...),
-			PrivateKeyFor: leaf.Cert,
-		}
-		wire, err := model.Deploy(in)
-		if err == httpserver.ErrDuplicateLeaf {
-			// The server's check fired; the administrator fixes the files.
-			fixed := chain[1:]
-			in.ChainFile = fixed
-			in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, fixed...)
-			inj = defectNone
-			wire, err = model.Deploy(in)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("study: deploy %s on %s: %w", domain, model.Name, err)
-		}
-		srv, err := farm.Add(tlsserve.Config{
-			List: wire, Key: leaf.Key, Domain: domain,
-			Faults: cfg.Faults, Clock: cfg.Clock, Metrics: cfg.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		listeners = append(listeners, srv)
-		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
-		rep.Sites = append(rep.Sites, site)
-		targets = append(targets, tlsscan.Target{Addr: srv.Addr(), Domain: domain})
-	}
-	deploySW.Stop()
-
-	// Multi-vantage scan and merge. Transient failures are retried inside
-	// the scanner; whatever still fails is counted per cause.
-	scanner := &tlsscan.Scanner{
-		Timeout:     cfg.Timeout,
-		Concurrency: cfg.Concurrency,
-		Clock:       cfg.Clock,
-		Metrics:     cfg.Metrics,
-	}
-	if cfg.Retries > 0 {
-		scanner.Retry = faults.Policy{
-			Attempts:  cfg.Retries + 1,
-			BaseDelay: 20 * time.Millisecond,
-			MaxDelay:  500 * time.Millisecond,
-			Seed:      cfg.Seed,
-			Clock:     cfg.Clock,
-		}
-	}
-	countErrors := func(results []tlsscan.Result) {
-		for _, res := range results {
-			if res.Err != nil {
-				rep.ScanErrors++
-				rep.ScanErrorCauses.add(res.Cause)
-			}
-		}
-	}
-	passes := make([][]tlsscan.Result, 0, cfg.Vantages+cfg.RescanPasses)
-	scanSW := scanTimer.Start()
-	for v := 0; v < cfg.Vantages; v++ {
-		results := scanner.ScanAll(context.Background(), targets)
-		countErrors(results)
-		passes = append(passes, results)
-	}
-	scanSW.Stop()
-	merged := tlsscan.MergeVantages(passes...)
-
-	// Bounded re-scan: sites that every vantage failed to capture get up
-	// to RescanPasses more sweeps, so one flaky window does not lose a
-	// site for the whole study.
-	rescannedCounter := reg.Counter("study.rescanned")
-	for pass := 0; pass < cfg.RescanPasses; pass++ {
-		var missing []tlsscan.Target
-		for i, site := range rep.Sites {
-			if len(merged[site.Domain]) == 0 {
-				missing = append(missing, targets[i])
-			}
-		}
-		if len(missing) == 0 {
-			break
-		}
-		rescanSW := rescanTimer.Start()
-		results := scanner.ScanAll(context.Background(), missing)
-		rescanSW.Stop()
-		countErrors(results)
-		passes = append(passes, results)
-		merged = tlsscan.MergeVantages(passes...)
-		for _, res := range results {
-			if res.Err == nil {
-				rep.Rescanned++
-				rescannedCounter.Inc()
-			}
-		}
-	}
-	for _, site := range rep.Sites {
-		if len(merged[site.Domain]) == 0 {
-			rep.Lost++
-		}
-	}
-
-	// Grade and differentially test every captured chain. Iterating
-	// rep.Sites (not the merged map) keeps report tables and error
-	// attribution deterministic across runs; sites are sharded across
-	// workers, each shard reusing one builder per client profile. Every
-	// worker writes only to its own sites, so no locking is needed.
-	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
-	profiles := clients.All()
-	gradeSW := gradeTimer.Start()
-	parallel.Shards(context.Background(), len(rep.Sites), cfg.Workers, func(_, lo, hi int) {
-		builders := make([]*pathbuild.Builder, len(profiles))
-		for i, p := range profiles {
-			builders[i] = &pathbuild.Builder{
-				Policy: p.Policy, Roots: roots, Fetcher: repo,
-				Cache: rootstore.New("cache"), Now: certgen.Reference,
-				Metrics: cfg.Metrics,
-			}
-		}
-		for i := lo; i < hi; i++ {
-			site := rep.Sites[i]
-			results := merged[site.Domain]
-			if len(results) == 0 {
-				continue
-			}
-			list := results[0].List
-			site.Report = analyzer.Analyze(site.Domain, topo.Build(list))
-			site.Verdicts = make(map[string]bool, len(profiles))
-			for j, p := range profiles {
-				// Each site gets a fresh intermediate cache: verdicts must
-				// not depend on which other sites a worker graded first.
-				builders[j].Cache = rootstore.New("cache")
-				site.Verdicts[p.Name] = builders[j].Build(list, site.Domain).OK()
-			}
-		}
-		for _, b := range builders {
-			b.FlushMetrics()
-		}
-	})
-	gradeSW.Stop()
-
-	// Fold the listeners' own tallies into the report before the deferred
-	// farm.Close tears them down. These mirror the serve.* counters exactly,
-	// which the reconciliation test pins.
-	for _, srv := range listeners {
-		rep.FaultsInjected += srv.FaultsInjected()
-		rep.AcceptRetries += srv.AcceptRetries()
-		rep.DeadlineExpiries += srv.DeadlineExpiries()
-	}
-	if reg != nil {
-		rep.Snapshot = reg.Snapshot()
-	}
-	return rep, nil
 }
