@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race obs
+.PHONY: build test check bench bench-json race obs
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/...
+RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -30,3 +30,9 @@ check:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-json writes BENCH_pr6.json: harness wall and allocs/op from the Go
+# benchmarks, dedup-off vs dedup-on study walls at paper-realistic chain
+# reuse, and the cache hit rate plus peak RSS from the runs' -metrics JSON.
+bench-json:
+	bash scripts/bench_json.sh

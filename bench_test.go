@@ -291,6 +291,18 @@ func BenchmarkDifferentialHarness2k(b *testing.B) {
 	}
 }
 
+// BenchmarkDifferentialHarnessDedup2k runs the harness over a chain-reuse
+// population with the verdict cache on — the number to diff against
+// BenchmarkDifferentialHarness2k for the memoization win at realistic skew.
+func BenchmarkDifferentialHarnessDedup2k(b *testing.B) {
+	pop := population.Generate(population.Config{Size: 2000, Seed: 5, ChainReuse: 0.9, ChainPool: 32})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&difftest.Harness{Dedup: true}).Run(pop)
+	}
+}
+
 // BenchmarkDifferentialHarness2kInstrumented is the same run with a live
 // metrics registry wired through the harness and every builder — the number
 // to diff against BenchmarkDifferentialHarness2k when eyeballing

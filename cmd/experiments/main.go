@@ -40,13 +40,16 @@ func main() {
 	stream := flag.Bool("stream", false, "run the differential evaluation (d1) over the streaming source with bounded memory")
 	outFile := flag.String("out", "", "with -stream: write per-chain verdict JSONL here")
 	checkpoint := flag.String("checkpoint", "", "with -stream: journal progress to this file and resume from it")
+	reuse := flag.Float64("reuse", 0, "with -stream: fraction of domains presenting a pooled (duplicate) chain")
+	pool := flag.Int("pool", 0, "with -stream: distinct-chain pool size under -reuse (0 = default 3000)")
+	dedup := flag.Bool("dedup", false, "with -stream: memoize verdicts per distinct chain (bit-identical output, duplicate chains cost a lookup)")
 	cli.BindWorkers("parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
 	cli.BindObs()
 	flag.Parse()
 	cli.Start()
 
 	if *stream || *outFile != "" || *checkpoint != "" {
-		runStreaming(cli, *size, *seed, *run, *outFile, *checkpoint)
+		runStreaming(cli, *size, *seed, *run, *outFile, *checkpoint, *reuse, *pool, *dedup)
 		cli.Finish()
 		return
 	}
@@ -108,11 +111,14 @@ func main() {
 // runStreaming is the -stream path: the §5.2 differential evaluation over
 // the streaming population source, with optional per-chain JSONL output and
 // checkpoint/resume.
-func runStreaming(cli *obs.CLI, size int, seed int64, run, outFile, checkpoint string) {
+func runStreaming(cli *obs.CLI, size int, seed int64, run, outFile, checkpoint string, reuse float64, pool int, dedup bool) {
 	if run != "" && strings.TrimSpace(strings.ToLower(run)) != "d1" {
 		cli.Fatal(fmt.Errorf("-stream runs the differential evaluation only; drop -run or pass -run d1"))
 	}
-	cfg := experiments.StreamConfig{Size: size, Seed: seed, Workers: cli.Workers, Metrics: cli.Metrics}
+	cfg := experiments.StreamConfig{
+		Size: size, Seed: seed, Workers: cli.Workers, Metrics: cli.Metrics,
+		Reuse: reuse, Pool: pool, Dedup: dedup,
+	}
 	if checkpoint != "" {
 		j, resume, err := pipeline.Checkpoint(checkpoint, "verdict")
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"chainchaos/internal/certmodel"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
@@ -32,6 +33,8 @@ func main() {
 	size := flag.Int("size", 10000, "number of domains")
 	seed := flag.Int64("seed", 1, "generator seed")
 	summary := flag.Bool("summary", false, "print aggregate statistics instead of the TSV")
+	reuse := flag.Float64("reuse", 0, "fraction of domains presenting a pooled (duplicate) chain — the paper's hosting-provider skew")
+	pool := flag.Int("pool", 0, "distinct-chain pool size under -reuse (0 = default 3000)")
 	stream := flag.Bool("stream", false, "emit rows as domains are generated instead of materializing the population")
 	outFile := flag.String("out", "", "write the TSV here (default stdout; implies -stream)")
 	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
@@ -41,7 +44,7 @@ func main() {
 	cli.Start()
 	defer cli.Finish()
 
-	cfg := population.Config{Size: *size, Seed: *seed, Workers: cli.Workers}
+	cfg := population.Config{Size: *size, Seed: *seed, Workers: cli.Workers, ChainReuse: *reuse, ChainPool: *pool}
 	if !(*stream || *outFile != "" || *checkpoint != "") {
 		pop := population.Generate(cfg)
 		if *summary {
@@ -121,16 +124,16 @@ func main() {
 }
 
 func writeHeader(w io.Writer) {
-	fmt.Fprintln(w, "rank\tdomain\tca\tserver\tcerts\tdup\tirrelevant\tmultipath\treversed\tincomplete\tleaf_mismatch")
+	fmt.Fprintln(w, "rank\tdomain\tca\tserver\tcerts\tdup\tirrelevant\tmultipath\treversed\tincomplete\tleaf_mismatch\tshared")
 }
 
 func writeRow(w io.Writer, d *population.Domain) {
 	t := d.Truth
-	fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+	fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\t%v\n",
 		d.Rank, d.Name, d.CA, d.Server, len(d.List),
 		t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot,
 		t.Irrelevant != population.IrrelevantNone,
-		t.MultiplePaths, t.Reversed, t.Incomplete, t.LeafMismatch)
+		t.MultiplePaths, t.Reversed, t.Incomplete, t.LeafMismatch, d.Shared)
 }
 
 // stats accumulates the -summary aggregates one domain at a time, so the
@@ -138,7 +141,8 @@ func writeRow(w io.Writer, d *population.Domain) {
 type stats struct {
 	n                                          int
 	dup, irr, multi, rev, inc, mismatch, other int
-	nc                                         int
+	nc, shared                                 int
+	chains                                     map[certmodel.FP]struct{}
 	byCA, byServer                             map[string]int
 }
 
@@ -147,6 +151,13 @@ func (s *stats) add(d *population.Domain) {
 	s.n++
 	s.byCA[d.CA]++
 	s.byServer[d.Server]++
+	if d.Shared {
+		s.shared++
+	}
+	if s.chains == nil {
+		s.chains = map[certmodel.FP]struct{}{}
+	}
+	s.chains[certmodel.ListDigest(d.List)] = struct{}{}
 	if t.DuplicateLeaf || t.DuplicateIntermediate || t.DuplicateRoot {
 		s.dup++
 	}
@@ -184,6 +195,8 @@ func (s *stats) print(pop *population.Population) {
 	fmt.Printf("  incomplete:         %s\n", pct(s.inc))
 	fmt.Printf("leaf mismatch:        %s\n", pct(s.mismatch))
 	fmt.Printf("leaf 'other':         %s\n", pct(s.other))
+	fmt.Printf("shared chain:         %s\n", pct(s.shared))
+	fmt.Printf("distinct chains:      %d\n", len(s.chains))
 	fmt.Printf("issuer hierarchies:   %d, AIA repository entries: %d\n", len(pop.Issuers), pop.Repo.Len())
 	fmt.Printf("union root store:     %d roots\n", pop.Roots().Len())
 	fmt.Println("\nby CA:")

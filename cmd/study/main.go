@@ -7,6 +7,7 @@
 // Usage:
 //
 //	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
+//	      [-reuse 0.9995] [-distinct 3000] [-dedup]
 //	      [-stream] [-out sites.jsonl] [-checkpoint study.ckpt]
 //	      [-metrics metrics.json] [-pprof localhost:6060]
 //
@@ -14,6 +15,12 @@
 // JSON line per site to -out (stdout by default); -checkpoint journals
 // progress so an interrupted run resumes where it stopped, appending to the
 // same -out file.
+//
+// -reuse makes that fraction of sites serve a chain drawn from a pool of
+// -distinct slot chains (the paper's shared-hosting skew) and -dedup memoizes
+// the physical scan and the verdicts per distinct chain, which is what makes
+// a 10M-site run tractable: duplicate chains cost a cache lookup instead of a
+// key generation, a handshake, and eight client path-builds.
 package main
 
 import (
@@ -36,6 +43,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "defect assignment seed")
 	vantages := flag.Int("vantages", 2, "scan passes to merge")
 	chaos := flag.Bool("chaos", false, "inject faults into every listener (reset first connection, slow writes) to exercise the retry path")
+	reuse := flag.Float64("reuse", 0, "fraction of sites serving a pooled (duplicate) chain")
+	distinct := flag.Int("distinct", 0, "distinct-chain pool size under -reuse (0 = default 3000)")
+	dedup := flag.Bool("dedup", false, "share listeners, scans, and verdicts per distinct chain (bit-identical records, duplicate chains cost a lookup)")
 	stream := flag.Bool("stream", false, "stream results site by site instead of materializing the run (bounded memory)")
 	outFile := flag.String("out", "", "write per-site JSONL records here (default stdout; implies -stream)")
 	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
@@ -49,6 +59,7 @@ func main() {
 		Sites: *sites, Seed: *seed, Vantages: *vantages,
 		Workers: cli.Workers, Retries: cli.Retries,
 		Metrics: cli.Metrics,
+		Reuse:   *reuse, DistinctChains: *distinct, Dedup: *dedup,
 	}
 	if *chaos {
 		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
@@ -74,6 +85,12 @@ func main() {
 		rep.ScanErrorCauses.Dial, rep.ScanErrorCauses.Handshake,
 		rep.ScanErrorCauses.Parse, rep.ScanErrorCauses.Cancelled,
 		rep.Rescanned, rep.Lost, time.Since(start).Round(time.Millisecond))
+	if rep.Snapshot != nil {
+		if hits, misses := rep.Snapshot.Counters["study.vcache.hits"], rep.Snapshot.Counters["study.vcache.misses"]; hits+misses > 0 {
+			fmt.Printf("verdict cache: %d hits / %d misses (%.2f%% hit rate, %d distinct chains graded)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses), misses)
+		}
+	}
 }
 
 // runStreaming wires the -stream/-out/-checkpoint trio: per-site JSONL to

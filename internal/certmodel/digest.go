@@ -1,0 +1,20 @@
+package certmodel
+
+import "crypto/sha256"
+
+// ListDigest identifies a presented certificate list by hashing the
+// certificates' binary fingerprints in order — constant work per certificate.
+// Two lists share a digest iff they present the same certificates in the same
+// order, which is the identity the paper's chain-deduplication rests on (the
+// Top-1M presents only a few thousand distinct lists). An empty list digests
+// to sha256("") so it still keys distinctly from the zero FP.
+func ListDigest(list []*Certificate) FP {
+	h := sha256.New()
+	for _, c := range list {
+		fp := c.Fingerprint()
+		h.Write(fp[:])
+	}
+	var digest FP
+	h.Sum(digest[:0])
+	return digest
+}

@@ -1,0 +1,43 @@
+package certmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestListDigest: the digest separates every list identity the dedup cache
+// relies on — element identity, order, multiplicity, and prefix/extension —
+// and is stable across calls.
+func TestListDigest(t *testing.T) {
+	base := time.Date(2024, time.March, 15, 12, 0, 0, 0, time.UTC)
+	root := SyntheticRoot("Digest Root", base.AddDate(-5, 0, 0))
+	interm := SyntheticIntermediate("Digest CA", root, base.AddDate(-4, 0, 0))
+	leaf := SyntheticLeaf("digest.example", "d1", interm, base.AddDate(0, -1, 0), base.AddDate(1, 0, 0))
+
+	chains := [][]*Certificate{
+		{leaf, interm},
+		{interm, leaf},         // order
+		{leaf, interm, root},   // extension
+		{leaf, interm, interm}, // multiplicity
+		{leaf},                 // prefix
+		{},                     // empty list
+		nil,                    // nil list (same digest as empty)
+	}
+	seen := map[FP]int{}
+	for i, c := range chains {
+		d := ListDigest(c)
+		if d != ListDigest(c) {
+			t.Fatalf("chain %d: digest not stable across calls", i)
+		}
+		if prev, dup := seen[d]; dup {
+			if !(i == 6 && prev == 5) { // nil and empty collide by design
+				t.Fatalf("chains %d and %d collide: %x", prev, i, d)
+			}
+			continue
+		}
+		seen[d] = i
+	}
+	if (ListDigest(nil) == FP{}) {
+		t.Fatalf("empty list digests to the zero FP; it must stay distinct from an unset digest")
+	}
+}

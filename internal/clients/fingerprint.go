@@ -1,0 +1,24 @@
+package clients
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"chainchaos/internal/certmodel"
+)
+
+// Fingerprint digests a client-profile set into the scope key the verdict
+// dedup cache uses: two runs share memoized verdicts only if they grade with
+// byte-identical profile sets (same clients, same order, same policy knobs).
+// Policy is a flat value struct, so the %+v rendering covers every knob; a
+// new policy field changes the rendering and therefore the fingerprint, which
+// fails safe (a cache keyed on the old scope simply misses).
+func Fingerprint(profiles []Profile) certmodel.FP {
+	h := sha256.New()
+	for _, p := range profiles {
+		fmt.Fprintf(h, "%s/%d/%+v\n", p.Name, p.Kind, p.Policy)
+	}
+	var fp certmodel.FP
+	h.Sum(fp[:0])
+	return fp
+}

@@ -1,0 +1,24 @@
+package clients
+
+import "testing"
+
+// TestFingerprint: stable for the same set, sensitive to membership, order,
+// and any policy knob.
+func TestFingerprint(t *testing.T) {
+	all := Fingerprint(All())
+	if all != Fingerprint(All()) {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if Fingerprint(Libraries()) == all {
+		t.Fatal("subset shares the full set's fingerprint")
+	}
+	reordered := append(Browsers(), Libraries()...)
+	if Fingerprint(reordered) == all {
+		t.Fatal("order does not contribute to the fingerprint")
+	}
+	tweaked := All()
+	tweaked[0].Policy.MaxInputList = 5
+	if Fingerprint(tweaked) == all {
+		t.Fatal("policy knobs do not contribute to the fingerprint")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 
+	"chainchaos/internal/certmodel"
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/core"
@@ -22,6 +23,7 @@ import (
 	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/topo"
+	"chainchaos/internal/verdictcache"
 )
 
 // Cause is a root-cause class for client disagreement.
@@ -218,6 +220,14 @@ type Harness struct {
 	WarmCacheShares []string
 	// CheckHostname includes the leaf/domain match in validation.
 	CheckHostname bool
+	// Dedup memoizes analysis and verdicts per distinct certificate list
+	// (verdictcache): duplicate chains cost a map lookup plus per-site leaf
+	// classification instead of a topology build, a compliance analysis and
+	// eight client path-builds. Summaries and record streams are
+	// bit-identical with the cache on or off. Ignored when CheckHostname is
+	// set — hostname-checking verdicts are domain-specific and must not be
+	// shared across sites.
+	Dedup bool
 	// KeepRecords retains per-chain records (memory-heavy on large
 	// populations).
 	KeepRecords bool
@@ -334,10 +344,60 @@ func (h *Harness) setup(pop *population.Population) ([]clients.Profile, *rootsto
 }
 
 // analyzed couples a domain with its compliance report between the analyze
-// and verdict stages.
+// and verdict stages. Under Dedup it also carries the cache coordinates: a
+// hit's memo for the verdict stage to reuse, or the key a miss should be
+// stored under once graded.
 type analyzed struct {
 	d   *population.Domain
 	rep compliance.Report
+	// memo is non-nil on a cache hit; rep then holds the memoized
+	// order/completeness analysis plus this domain's own leaf placement.
+	memo *dedupMemo
+	// key is the domain's cache key; valid only when keyed is true.
+	key   verdictcache.Key
+	keyed bool
+}
+
+// dedupMemo is the value memoized per distinct chain: every analysis and
+// verdict that does not depend on the queried hostname. Leaf placement — the
+// one hostname-dependent piece — is recomputed per site on a hit.
+type dedupMemo struct {
+	Order        compliance.OrderReport
+	Completeness compliance.CompletenessReport
+	// Verdicts and Causes are nil when the chain graded compliant (the
+	// harness only grades non-compliant chains). Hit records alias these
+	// slices read-only; absorb and the record sink never mutate them.
+	Verdicts []ClientVerdict
+	Causes   []Cause
+}
+
+// dedupCache builds the run's verdict cache, or nil when dedup is off (or
+// overridden by CheckHostname, whose verdicts must not be shared across
+// domains). The scope fingerprint keys entries to this profile set.
+func (h *Harness) dedupCache(profiles []clients.Profile) (*verdictcache.Cache[dedupMemo], certmodel.FP) {
+	if !h.Dedup || h.CheckHostname {
+		return nil, certmodel.FP{}
+	}
+	return verdictcache.New[dedupMemo]("difftest.vcache", h.Metrics), clients.Fingerprint(profiles)
+}
+
+// analyzeDomain is the analyze stage's work item: consult the cache first —
+// a hit replaces the topology build and the order/completeness analysis with
+// a lookup plus leaf classification — and fall back to the full analyzer.
+func analyzeDomain(an *compliance.Analyzer, cache *verdictcache.Cache[dedupMemo], scope certmodel.FP, d *population.Domain) analyzed {
+	if cache == nil {
+		return analyzed{d: d, rep: an.Analyze(d.Name, topo.Build(d.List))}
+	}
+	k := verdictcache.Key{Digest: certmodel.ListDigest(d.List), Scope: scope}
+	if m, ok := cache.Get(k); ok {
+		return analyzed{d: d, rep: compliance.Report{
+			Domain:       d.Name,
+			Leaf:         compliance.ClassifyLeafPlacement(d.List, d.Name),
+			Order:        m.Order,
+			Completeness: m.Completeness,
+		}, memo: &m, key: k, keyed: true}
+	}
+	return analyzed{d: d, rep: an.Analyze(d.Name, topo.Build(d.List)), key: k, keyed: true}
 }
 
 // grader is the per-worker state of the verdict stage: one reusable
@@ -400,7 +460,7 @@ func (g *grader) flush() {
 // all client profiles. Worker lifetimes carry the difftest.shard timer and
 // shard_wall histogram the batch path has always published: one interval per
 // worker.
-func (h *Harness) verdictStage(pop *population.Population, profiles []clients.Profile, cache *rootstore.Store, workers, queue int) pipeline.Stage[analyzed, *ChainRecord] {
+func (h *Harness) verdictStage(pop *population.Population, profiles []clients.Profile, cache *rootstore.Store, vcache *verdictcache.Cache[dedupMemo], workers, queue int) pipeline.Stage[analyzed, *ChainRecord] {
 	graders := make([]*grader, workers)
 	shardWall := h.Metrics.Histogram("difftest.shard_wall", obs.LatencyBuckets)
 	return pipeline.Stage[analyzed, *ChainRecord]{
@@ -416,7 +476,31 @@ func (h *Harness) verdictStage(pop *population.Population, profiles []clients.Pr
 			}
 		},
 		Fn: func(_ context.Context, worker, _ int, a analyzed) (*ChainRecord, error) {
-			return graders[worker].grade(a), nil
+			if a.memo != nil {
+				if a.rep.Compliant() {
+					return nil, nil
+				}
+				if a.memo.Verdicts != nil {
+					// The memoized verdicts are exactly what grading would
+					// recompute (Build sees no hostname here), so the record
+					// aliases them; only the domain identity and its leaf
+					// report are per-site.
+					return &ChainRecord{Domain: a.d, Report: a.rep, Verdicts: a.memo.Verdicts, Causes: a.memo.Causes}, nil
+				}
+				// Defensive: the digest was first seen on a domain where it
+				// graded compliant, but this domain's leaf placement flips
+				// the verdict. Grade it fully; keep the first-seen memo.
+				return graders[worker].grade(a), nil
+			}
+			rec := graders[worker].grade(a)
+			if a.keyed {
+				m := dedupMemo{Order: a.rep.Order, Completeness: a.rep.Completeness}
+				if rec != nil {
+					m.Verdicts, m.Causes = rec.Verdicts, rec.Causes
+				}
+				vcache.Put(a.key, m)
+			}
+			return rec, nil
 		},
 	}
 }
@@ -465,6 +549,7 @@ func (h *Harness) workerCount(size int) int {
 // to a serial run for any worker count or queue depth.
 func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summary {
 	profiles, cache := h.setup(pop)
+	vcache, scope := h.dedupCache(profiles)
 	workers := h.workerCount(len(pop.Domains))
 
 	run := h.Metrics.Timer("difftest.run").Start()
@@ -490,10 +575,10 @@ func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summar
 			if pre != nil {
 				return analyzed{d: d, rep: pre.Reports[i]}, nil
 			}
-			return analyzed{d: d, rep: analyzers[worker].Analyze(d.Name, topo.Build(d.List))}, nil
+			return analyzeDomain(analyzers[worker], vcache, scope, d), nil
 		},
 	})
-	sum, err := h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, workers, 0)))
+	sum, err := h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, vcache, workers, 0)))
 	if err != nil {
 		// Reachable only through an Out write failure: no stage errors and
 		// the context is never cancelled. Batch callers wanting to handle
@@ -512,6 +597,7 @@ func (h *Harness) RunAnalyzed(pop *population.Population, pre *Analysis) *Summar
 func (h *Harness) RunStream(ctx context.Context, src *population.Source, opts pipeline.Options, queue int) (*Summary, error) {
 	pop := src.Population()
 	profiles, cache := h.setup(pop)
+	vcache, scope := h.dedupCache(profiles)
 	workers := h.workerCount(src.Size())
 
 	run := h.Metrics.Timer("difftest.run").Start()
@@ -529,10 +615,10 @@ func (h *Harness) RunStream(ctx context.Context, src *population.Source, opts pi
 			return nil
 		},
 		Fn: func(_ context.Context, worker, _ int, d *population.Domain) (analyzed, error) {
-			return analyzed{d: d, rep: analyzers[worker].Analyze(d.Name, topo.Build(d.List))}, nil
+			return analyzeDomain(analyzers[worker], vcache, scope, d), nil
 		},
 	})
-	return h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, workers, queue)))
+	return h.drainSummary(pipeline.Through(an, h.verdictStage(pop, profiles, cache, vcache, workers, queue)))
 }
 
 // newSummary creates a Summary with its maps allocated.

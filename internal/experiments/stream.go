@@ -39,6 +39,15 @@ type StreamConfig struct {
 	// stream in Out is the run's durable record.
 	Journal *pipeline.Journal
 	Resume  int
+	// Reuse and Pool shape the population's chain-duplication skew
+	// (population.Config.ChainReuse / ChainPool): the fraction of domains
+	// presenting a pooled chain, and the slot-pool size.
+	Reuse float64
+	Pool  int
+	// Dedup turns on the harness verdict cache, so duplicate chains cost a
+	// lookup instead of a full analysis and eight client path-builds. The
+	// summary and JSONL are bit-identical either way.
+	Dedup bool
 }
 
 // DifferentialStream runs the §5.2 differential evaluation over a streaming
@@ -49,8 +58,11 @@ func DifferentialStream(ctx context.Context, cfg StreamConfig) (*report.Table, e
 	if cfg.Size <= 0 {
 		cfg.Size = 100000
 	}
-	src := population.NewSource(population.Config{Size: cfg.Size, Seed: cfg.Seed, Workers: cfg.Workers})
-	h := &difftest.Harness{Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out}
+	src := population.NewSource(population.Config{
+		Size: cfg.Size, Seed: cfg.Seed, Workers: cfg.Workers,
+		ChainReuse: cfg.Reuse, ChainPool: cfg.Pool,
+	})
+	h := &difftest.Harness{Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out, Dedup: cfg.Dedup}
 	sum, err := h.RunStream(ctx, src, pipeline.Options{
 		Name:    "difftest",
 		Metrics: cfg.Metrics,

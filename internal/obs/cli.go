@@ -75,11 +75,14 @@ func (c *CLI) Start() {
 	}
 }
 
-// Finish exports the metrics snapshot when -metrics was given.
+// Finish exports the metrics snapshot when -metrics was given. The snapshot
+// includes the run's peak RSS (proc.max_rss_kb), so the JSON doubles as the
+// memory record for benchmark scripts.
 func (c *CLI) Finish() {
 	if c.metricsFile == "" {
 		return
 	}
+	c.Metrics.RecordMaxRSS()
 	if err := WriteJSON(c.Metrics, c.metricsFile); err != nil {
 		c.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MaxRSSKB returns the process's peak resident set size in kilobytes, read
+// from /proc/self/status (VmHWM). It returns 0 on platforms without procfs —
+// callers treat a zero as "unavailable", never as a measurement.
+func MaxRSSKB() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, "VmHWM:"))
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+// RecordMaxRSS publishes the peak RSS as the proc.max_rss_kb gauge, so a
+// -metrics JSON doubles as the memory record of a run (the box has no GNU
+// time). A zero reading (no procfs) records nothing.
+func (r *Registry) RecordMaxRSS() {
+	if kb := MaxRSSKB(); kb > 0 {
+		r.Gauge("proc.max_rss_kb").Set(kb)
+	}
+}

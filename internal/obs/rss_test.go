@@ -1,0 +1,18 @@
+package obs
+
+import "testing"
+
+// TestRecordMaxRSS: on Linux the gauge reports a live process's peak RSS —
+// strictly positive and visible in the snapshot.
+func TestRecordMaxRSS(t *testing.T) {
+	kb := MaxRSSKB()
+	if kb <= 0 {
+		t.Skip("no procfs VmHWM on this platform")
+	}
+	r := NewRegistry()
+	r.RecordMaxRSS()
+	got := r.Snapshot().Gauges["proc.max_rss_kb"]
+	if got <= 0 {
+		t.Fatalf("proc.max_rss_kb = %d, want > 0", got)
+	}
+}

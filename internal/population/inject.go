@@ -21,6 +21,10 @@ type generator struct {
 	repo        *aia.Repository
 	weightTotal float64
 	rank        int // rank of the domain currently being generated
+	// nameOverride, when non-empty, replaces the drawn site name — the slot
+	// templates of the chain-reuse pool use it to mint wildcard leaves. The
+	// tld draw still happens, so the override never shifts the rng stream.
+	nameOverride string
 }
 
 // Server population shares. The overall mix skews toward Apache and Nginx as
@@ -110,6 +114,9 @@ func (g *generator) domain(rank int) *Domain {
 	serverName := g.pickServer()
 	model := serverModel(serverName, g.rng)
 	name := fmt.Sprintf("site-%06d.%s", rank, leafTLDs[g.rng.Intn(len(leafTLDs))])
+	if g.nameOverride != "" {
+		name = g.nameOverride
+	}
 
 	d := &Domain{Rank: rank, Name: name, CA: iss.Profile.Name, Server: serverName}
 	t := &d.Truth

@@ -42,6 +42,18 @@ type Config struct {
 	// GOMAXPROCS. Every domain derives its randomness from (Seed, rank)
 	// alone, so the population is bit-identical for any worker count.
 	Workers int
+	// ChainReuse is the fraction of sites that present a chain drawn from a
+	// shared pool instead of minting their own — the paper's population
+	// shape, where the Top-1M presents only a few thousand distinct
+	// certificate lists. 0 disables reuse (every site unique, the historical
+	// behavior). The reuse coin and the slot pick are drawn from their own
+	// splitmix64 streams keyed by (Seed, rank), so they are worker-invariant
+	// and leave the non-reuse output byte-identical.
+	ChainReuse float64
+	// ChainPool is the shared pool size when ChainReuse > 0 (default 3000).
+	// Slots are picked with a power-law skew: a handful of hosting-provider
+	// chains dominate, with a long tail, as in the paper's dataset.
+	ChainPool int
 }
 
 func (c *Config) fillDefaults() {
@@ -53,6 +65,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.AIABase == "" {
 		c.AIABase = "http://aia.repo.example"
+	}
+	if c.ChainReuse > 0 && c.ChainPool <= 0 {
+		c.ChainPool = 3000
 	}
 }
 
@@ -114,6 +129,11 @@ type Domain struct {
 	Server string
 	List   []*certmodel.Certificate
 	Truth  Truth
+	// Shared marks a domain presenting a pooled chain (Config.ChainReuse):
+	// its List and Truth are the slot template's, only Rank and Name are its
+	// own. Shared domains of one slot compare digest-equal, which is what
+	// the verdict dedup cache exploits.
+	Shared bool
 }
 
 // Population is the generated dataset plus the PKI context needed to analyze

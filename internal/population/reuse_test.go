@@ -1,0 +1,116 @@
+package population
+
+import (
+	"testing"
+
+	"chainchaos/internal/certmodel"
+)
+
+// domainKey flattens the deterministic identity of a generated domain for
+// cross-run comparison (certificate lists compare by digest).
+type domainKey struct {
+	Rank   int
+	Name   string
+	CA     string
+	Server string
+	Truth  Truth
+	Shared bool
+	Digest certmodel.FP
+}
+
+func keyOf(d *Domain) domainKey {
+	return domainKey{
+		Rank: d.Rank, Name: d.Name, CA: d.CA, Server: d.Server,
+		Truth: d.Truth, Shared: d.Shared, Digest: certmodel.ListDigest(d.List),
+	}
+}
+
+// TestChainReuseWorkerInvariant: the reuse coin, slot pick, and slot
+// templates derive from (Seed, rank) alone, so the population — and
+// therefore the cache-hit rate — is bit-identical for any worker count.
+func TestChainReuseWorkerInvariant(t *testing.T) {
+	base := Config{Size: 300, Seed: 7, ChainReuse: 0.8, ChainPool: 16}
+	var first []domainKey
+	for _, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		pop := Generate(cfg)
+		keys := make([]domainKey, len(pop.Domains))
+		for i, d := range pop.Domains {
+			keys[i] = keyOf(d)
+		}
+		if first == nil {
+			first = keys
+			continue
+		}
+		for i := range keys {
+			if keys[i] != first[i] {
+				t.Fatalf("workers=%d: domain %d differs: %+v vs %+v", workers, i, keys[i], first[i])
+			}
+		}
+	}
+}
+
+// TestChainReuseShape: reuse collapses the population onto a pool of slot
+// chains with a skewed slot distribution, shared sites actually match their
+// wildcard slot leaf, and ranks the coin leaves unique are byte-identical to
+// a no-reuse run (the reuse streams never touch the per-domain rng).
+func TestChainReuseShape(t *testing.T) {
+	cfg := Config{Size: 500, Seed: 3, ChainReuse: 0.9, ChainPool: 8}
+	cfg.fillDefaults()
+	pop := Generate(cfg)
+
+	off := cfg
+	off.ChainReuse, off.ChainPool = 0, 0
+	popOff := Generate(off)
+
+	digests := map[certmodel.FP]int{}
+	shared := 0
+	for i, d := range pop.Domains {
+		digests[certmodel.ListDigest(d.List)]++
+		if d.Shared {
+			shared++
+			if !d.Truth.LeafMismatch && !d.Truth.LeafOther && !d.List[0].MatchesDomain(d.Name) {
+				t.Fatalf("shared domain %s does not match its slot leaf %v", d.Name, d.List[0].DNSNames)
+			}
+			continue
+		}
+		if keyOf(d) != keyOf(popOff.Domains[i]) {
+			t.Fatalf("unique rank %d differs from the no-reuse run", d.Rank)
+		}
+	}
+	if shared < cfg.Size/2 {
+		t.Fatalf("only %d/%d sites shared at ChainReuse=0.9", shared, cfg.Size)
+	}
+	// 500 sites over <= 8 slots + unique tail: far fewer distinct lists than
+	// sites, with a dominant head slot (the u³ skew).
+	if len(digests) >= cfg.Size/2 {
+		t.Fatalf("%d distinct chains for %d sites: reuse did not collapse the population", len(digests), cfg.Size)
+	}
+	max := 0
+	for _, n := range digests {
+		if n > max {
+			max = n
+		}
+	}
+	if max < shared/4 {
+		t.Fatalf("head slot serves %d of %d shared sites: skew too flat", max, shared)
+	}
+
+	// Determinism of the plan itself (the reproducible-hit-rate bugfix):
+	// replaying the coin per rank reproduces exactly the Shared flags.
+	for i, d := range pop.Domains {
+		wantShared, _ := cfg.reusePlan(d.Rank)
+		if wantShared != d.Shared {
+			t.Fatalf("rank %d (index %d): reusePlan says %v, domain says %v", d.Rank, i, wantShared, d.Shared)
+		}
+	}
+
+	// No reuse, no Shared domains — and the flag-off population has all
+	// distinct chains (unique per-rank leaf serials).
+	for _, d := range popOff.Domains {
+		if d.Shared {
+			t.Fatalf("no-reuse run produced a Shared domain at rank %d", d.Rank)
+		}
+	}
+}

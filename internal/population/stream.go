@@ -82,6 +82,11 @@ func (s *Source) Size() int { return s.cfg.Size }
 // which generator serves which rank never matters).
 type Generator struct {
 	gen *generator
+	// slots memoizes the chain-reuse slot templates this generator has
+	// materialized. Templates are deterministic in (Seed, slot), so each
+	// worker regenerating the slots it encounters yields identical domains;
+	// the memo only amortizes the work.
+	slots map[int]*Domain
 }
 
 // Generator returns a fresh domain generator bound to this source's context.
@@ -92,13 +97,18 @@ func (s *Source) Generator() *Generator {
 		hierarchies: s.hierarchies,
 		repo:        s.pop.Repo,
 		weightTotal: s.weightTotal,
-	}}
+	}, slots: make(map[int]*Domain)}
 }
 
 // Domain generates the domain at rank (1-based, matching Domain.Rank). The
 // rng is reseeded from (Seed, rank) per call, so output depends only on the
-// rank, never on call order.
+// rank, never on call order. Under Config.ChainReuse, reusing ranks
+// materialize from their slot template instead (see reuse.go) — still a pure
+// function of the rank.
 func (g *Generator) Domain(rank int) *Domain {
+	if shared, slot := g.gen.cfg.reusePlan(rank); shared {
+		return g.sharedDomain(rank, slot)
+	}
 	g.gen.rng.Seed(domainSeed(g.gen.cfg.Seed, rank))
 	return g.gen.domain(rank)
 }

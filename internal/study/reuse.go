@@ -1,0 +1,104 @@
+// Chain-reuse slots for the study farm: under Config.Reuse, a fraction of
+// sites serve their slot's shared chain (one wildcard leaf, one deployment)
+// instead of minting their own — the shared-hosting shape that makes a 10M-
+// site run tractable on one box, because the physical cost (keygen, listener,
+// handshake) is paid per distinct chain, not per site.
+//
+// Determinism contract: the reuse coin, the slot pick, and each slot's defect
+// and server-model assignment derive from (Config.Seed, rank|slot) through
+// salted splitmix64 streams that never touch the deploy source's serial rng,
+// so a Reuse=0 run is byte-identical to the pre-reuse study and reuse runs
+// are invariant under worker count, queue depth, and resume rank.
+package study
+
+import (
+	"fmt"
+	"sync"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/httpserver"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/tlsserve"
+)
+
+// Stream salts keep each decision on its own independent stream.
+const (
+	studyCoinSalt  = 0xC0117A6B5D4C5E55
+	studySlotSalt  = 0xDC0FFEE51F8B08BA
+	slotDefectSalt = 0x5EEDF00D7E57AB1E
+	slotServerSalt = 0xA11CE5B0B5CAFE17
+)
+
+// unit derives a uniform [0,1) draw for (seed, rank) on the salted stream —
+// the splitmix64 finalizer over the combined words.
+func unit(seed int64, rank int, salt uint64) float64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(rank)*0xD1B54A32D192ED03 + salt + 1
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// pick maps a salted draw for (seed, key) onto [0, n).
+func pick(n int, seed int64, key int, salt uint64) int {
+	i := int(unit(seed, key, salt) * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// reusePlan decides, per rank, whether the site serves a pooled chain and
+// which slot it draws. The slot pick is power-law skewed (u³): the head slot
+// alone serves a large share of reusing sites, with a long tail.
+func (c *Config) reusePlan(rank int) (bool, int) {
+	if c.Reuse <= 0 {
+		return false, 0
+	}
+	if unit(c.Seed, rank, studyCoinSalt) >= c.Reuse {
+		return false, 0
+	}
+	u := unit(c.Seed, rank, studySlotSalt)
+	slot := int(float64(c.DistinctChains) * u * u * u)
+	if slot >= c.DistinctChains {
+		slot = c.DistinctChains - 1
+	}
+	return true, slot
+}
+
+// slotZone is the DNS zone a slot's sites share; the slot leaf is the zone
+// wildcard, so every vhost of the slot matches it.
+func slotZone(slot int) string {
+	return fmt.Sprintf("shard-%04d.study.example", slot)
+}
+
+// slotSiteName is the per-site vhost under the slot zone.
+func slotSiteName(rank, slot int) string {
+	return fmt.Sprintf("site-%06d.%s", rank, slotZone(slot))
+}
+
+// studySlot is one pooled deployment: the wildcard leaf, the wire chain as
+// the slot's server model emitted it, and — under Dedup — the one shared
+// listener plus the once-only physical scan every slot site reuses.
+type studySlot struct {
+	zone  string
+	leaf  *certgen.Leaf
+	inj   defect
+	model httpserver.Model
+	wire  []*certmodel.Certificate
+
+	// Dedup-mode listener state. The first slot site to reach the scan
+	// stage performs the physical scan under once and closes the listener;
+	// its fault ledger and scan tallies are folded into the run totals
+	// after the drain, never into per-site records.
+	srv    *tlsserve.Server
+	target tlsscan.Target
+	once   sync.Once
+
+	list      []*certmodel.Certificate
+	digest    certmodel.FP
+	errs      ErrorBreakdown
+	rescanned bool
+	lost      bool
+}

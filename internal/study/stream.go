@@ -29,6 +29,7 @@ import (
 	"chainchaos/internal/tlsscan"
 	"chainchaos/internal/tlsserve"
 	"chainchaos/internal/topo"
+	"chainchaos/internal/verdictcache"
 )
 
 // Stream configures the streaming variant of a study run.
@@ -75,12 +76,19 @@ type deployed struct {
 	site   *Site
 	srv    *tlsserve.Server
 	target tlsscan.Target
+	// slot is non-nil for a Dedup-mode shared site: the scan stage then
+	// reuses the slot's once-only physical scan instead of srv/target.
+	slot *studySlot
+	// minted records whether this rank minted a leaf (always true for
+	// unique sites; true for the slot site that materialized its slot).
+	minted bool
 }
 
 // scannedSite adds the site's merged capture and scan tallies.
 type scannedSite struct {
 	deployed
 	list      []*certmodel.Certificate
+	digest    certmodel.FP
 	errs      ErrorBreakdown
 	rescanned bool
 	lost      bool
@@ -93,9 +101,22 @@ type gradedSite struct {
 	errs             ErrorBreakdown
 	rescanned        bool
 	lost             bool
+	minted           bool
 	faultsInjected   int
 	acceptRetries    int
 	deadlineExpiries int
+}
+
+// studyMemo is the verdict-cache value under Config.Dedup: every grading
+// output that does not depend on the site's hostname. Leaf placement — the
+// one hostname-dependent piece — is recomputed per site on a hit; the
+// Verdicts map is aliased read-only by every hit site (the leaf-match bit is
+// part of the cache key, so the verdicts are exactly what regrading would
+// produce).
+type studyMemo struct {
+	Order        compliance.OrderReport
+	Completeness compliance.CompletenessReport
+	Verdicts     map[string]bool
 }
 
 // liveServers tracks listeners between deploy and grade so an aborted run
@@ -205,29 +226,19 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		rng.Intn(len(servers))
 	}
 
-	opts := pipeline.Options{Name: "study", Metrics: reg, Journal: st.Journal, Resume: st.Resume}
-	src := pipeline.From(ctx, opts, "deploy", st.Queue, func(rank int) (deployed, bool, error) {
-		if rank >= cfg.Sites {
-			return deployed{}, false, nil
-		}
-		sw := deployTimer.Start()
-		defer sw.Stop()
-		domain := fmt.Sprintf("site-%03d.study.example", rank)
-		inj := defects[rng.Intn(len(defects))]
-		model := servers[rng.Intn(len(servers))]
-
-		// Exactly one leaf per site: a stale-leaf site mints its expired
-		// leaf directly (the admin who never renewed) instead of minting a
-		// fresh leaf first and then a second, stale one. LeavesGenerated
-		// proves no cert is wasted.
+	// mintDeployment mints one leaf (exactly one — a stale-leaf deployment
+	// mints its expired leaf directly, the admin who never renewed, instead
+	// of a fresh leaf plus a discarded second) and runs the server model
+	// over it. LeavesGenerated proves no cert is wasted.
+	mintDeployment := func(name string, inj defect, model httpserver.Model) (*certgen.Leaf, []*certmodel.Certificate, defect, error) {
 		var leafOpts []certgen.Option
 		if inj == defectStaleLeaf {
 			leafOpts = append(leafOpts, certgen.WithValidity(
 				certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
 		}
-		leaf, err := ca1.NewLeaf(domain, leafOpts...)
+		leaf, err := ca1.NewLeaf(name, leafOpts...)
 		if err != nil {
-			return deployed{}, false, err
+			return nil, nil, inj, err
 		}
 		leavesCounter.Inc()
 
@@ -259,7 +270,89 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 			wire, err = model.Deploy(in)
 		}
 		if err != nil {
-			return deployed{}, false, fmt.Errorf("study: deploy %s on %s: %w", domain, model.Name, err)
+			return nil, nil, inj, fmt.Errorf("study: deploy %s on %s: %w", name, model.Name, err)
+		}
+		return leaf, wire, inj, nil
+	}
+
+	// mintSlot materializes (once, in the serial source) a reuse slot: its
+	// defect and server model come from slot-salted streams, its leaf is the
+	// zone wildcard every slot site matches. Under Dedup the slot also gets
+	// the one shared listener its first scanned site will probe and close.
+	slots := map[int]*studySlot{}
+	mintSlot := func(idx int) (*studySlot, bool, error) {
+		if s, ok := slots[idx]; ok {
+			return s, false, nil
+		}
+		s := &studySlot{
+			zone:  slotZone(idx),
+			inj:   defects[pick(len(defects), cfg.Seed, idx, slotDefectSalt)],
+			model: servers[pick(len(servers), cfg.Seed, idx, slotServerSalt)],
+		}
+		leaf, wire, inj, err := mintDeployment("*."+s.zone, s.inj, s.model)
+		if err != nil {
+			return nil, false, err
+		}
+		s.leaf, s.wire, s.inj = leaf, wire, inj
+		if cfg.Dedup {
+			srv, err := tlsserve.Start(tlsserve.Config{
+				List: wire, Key: leaf.Key, Domain: "*." + s.zone,
+				Faults: cfg.Faults, Clock: cfg.Clock, Metrics: cfg.Metrics,
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			live.add(srv)
+			s.srv = srv
+			s.target = tlsscan.Target{Addr: srv.Addr(), Domain: "probe." + s.zone}
+		}
+		slots[idx] = s
+		return s, true, nil
+	}
+
+	opts := pipeline.Options{Name: "study", Metrics: reg, Journal: st.Journal, Resume: st.Resume}
+	src := pipeline.From(ctx, opts, "deploy", st.Queue, func(rank int) (deployed, bool, error) {
+		if rank >= cfg.Sites {
+			return deployed{}, false, nil
+		}
+		sw := deployTimer.Start()
+		defer sw.Stop()
+		// The two serial draws are burned for every rank — shared sites take
+		// their assignment from the slot instead — so each rank's draws stay
+		// at a fixed stream position and a Reuse=0 run is byte-identical to
+		// the pre-reuse study.
+		inj := defects[rng.Intn(len(defects))]
+		model := servers[rng.Intn(len(servers))]
+
+		if shared, idx := cfg.reusePlan(rank); shared {
+			s, minted, err := mintSlot(idx)
+			if err != nil {
+				return deployed{}, false, err
+			}
+			site := &Site{Domain: slotSiteName(rank, idx), Injected: s.inj, Server: s.model.Name}
+			if cfg.Dedup {
+				site.Addr = s.target.Addr
+				return deployed{site: site, slot: s, minted: minted}, true, nil
+			}
+			// Dedup off: the shared chain still gets its own listener and
+			// full physical scan — the baseline the cache is measured
+			// against.
+			srv, err := tlsserve.Start(tlsserve.Config{
+				List: s.wire, Key: s.leaf.Key, Domain: site.Domain,
+				Faults: cfg.Faults, Clock: cfg.Clock, Metrics: cfg.Metrics,
+			})
+			if err != nil {
+				return deployed{}, false, err
+			}
+			live.add(srv)
+			site.Addr = srv.Addr()
+			return deployed{site: site, srv: srv, target: tlsscan.Target{Addr: srv.Addr(), Domain: site.Domain}, minted: minted}, true, nil
+		}
+
+		domain := fmt.Sprintf("site-%03d.study.example", rank)
+		leaf, wire, inj, err := mintDeployment(domain, inj, model)
+		if err != nil {
+			return deployed{}, false, err
 		}
 		srv, err := tlsserve.Start(tlsserve.Config{
 			List: wire, Key: leaf.Key, Domain: domain,
@@ -270,7 +363,7 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		}
 		live.add(srv)
 		site := &Site{Domain: domain, Addr: srv.Addr(), Injected: inj, Server: model.Name}
-		return deployed{site: site, srv: srv, target: tlsscan.Target{Addr: srv.Addr(), Domain: domain}}, true, nil
+		return deployed{site: site, srv: srv, target: tlsscan.Target{Addr: srv.Addr(), Domain: domain}, minted: true}, true, nil
 	})
 
 	// Multi-vantage scan per site. Transient failures are retried inside the
@@ -298,6 +391,49 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		Queue:   st.Queue,
 		Fn: func(ctx context.Context, _, _ int, d deployed) (scannedSite, error) {
 			out := scannedSite{deployed: d}
+			if d.slot != nil {
+				// Shared chain under Dedup: the slot's first site to arrive
+				// performs the one physical scan — same vantage and re-scan
+				// policy as a unique site — then retires the shared listener.
+				// Its scan tallies and fault ledger are folded into the run
+				// totals after the drain, never into per-site records.
+				s := d.slot
+				s.once.Do(func() {
+					var captured []tlsscan.Result
+					sw := scanTimer.Start()
+					for v := 0; v < cfg.Vantages; v++ {
+						res := scanner.Scan(ctx, s.target)
+						if res.Err != nil {
+							s.errs.add(res.Cause)
+						} else {
+							captured = append(captured, res)
+						}
+					}
+					sw.Stop()
+					for pass := 0; pass < cfg.RescanPasses && len(captured) == 0; pass++ {
+						rsw := rescanTimer.Start()
+						res := scanner.Scan(ctx, s.target)
+						rsw.Stop()
+						if res.Err != nil {
+							s.errs.add(res.Cause)
+						} else {
+							captured = append(captured, res)
+							s.rescanned = true
+							rescannedCounter.Inc()
+						}
+					}
+					if len(captured) == 0 {
+						s.lost = true
+					} else {
+						s.list = captured[0].List
+						s.digest = captured[0].Digest
+					}
+					s.srv.Close()
+					live.remove(s.srv)
+				})
+				out.list, out.digest, out.lost = s.list, s.digest, s.lost
+				return out, nil
+			}
 			var captured []tlsscan.Result
 			sw := scanTimer.Start()
 			for v := 0; v < cfg.Vantages; v++ {
@@ -325,6 +461,7 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 				out.lost = true
 			} else {
 				out.list = captured[0].List
+				out.digest = captured[0].Digest
 			}
 			return out, nil
 		},
@@ -335,6 +472,17 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 	// socket closed, which is what keeps the live-listener count bounded.
 	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{Roots: roots, Fetcher: repo}}
 	profiles := clients.All()
+	// Under Dedup the grade stage consults the verdict cache first: keyed by
+	// (chain digest, profile-set fingerprint, leaf-match bit), so a hit is
+	// sound to share across sites — the only hostname-dependent outputs are
+	// the leaf placement (recomputed per site) and the match bit (in the
+	// key). A nil cache is inert: every Get misses, every Put is dropped.
+	var vcache *verdictcache.Cache[studyMemo]
+	var scope certmodel.FP
+	if cfg.Dedup {
+		vcache = verdictcache.New[studyMemo]("study.vcache", reg)
+		scope = clients.Fingerprint(profiles)
+	}
 	gradeWorkers := parallel.Workers(cfg.Workers)
 	builderSets := make([][]*pathbuild.Builder, gradeWorkers)
 	graded := pipeline.Through(scanned, pipeline.Stage[scannedSite, gradedSite]{
@@ -360,36 +508,58 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		Fn: func(_ context.Context, worker, _ int, sc scannedSite) (gradedSite, error) {
 			if !sc.lost {
 				sw := gradeTimer.Start()
-				builders := builderSets[worker]
-				sc.site.Report = analyzer.Analyze(sc.site.Domain, topo.Build(sc.list))
-				sc.site.Verdicts = make(map[string]bool, len(profiles))
-				for j, p := range profiles {
-					// Each site gets a fresh intermediate cache: verdicts
-					// must not depend on which other sites a worker graded
-					// first.
-					builders[j].Cache = rootstore.New("cache")
-					sc.site.Verdicts[p.Name] = builders[j].Build(sc.list, sc.site.Domain).OK()
+				key := verdictcache.Key{Digest: sc.digest, Scope: scope,
+					Match: len(sc.list) > 0 && sc.list[0].MatchesDomain(sc.site.Domain)}
+				if memo, ok := vcache.Get(key); ok {
+					sc.site.Report = compliance.Report{
+						Domain:       sc.site.Domain,
+						Leaf:         compliance.ClassifyLeafPlacement(sc.list, sc.site.Domain),
+						Order:        memo.Order,
+						Completeness: memo.Completeness,
+					}
+					sc.site.Verdicts = memo.Verdicts
+				} else {
+					builders := builderSets[worker]
+					sc.site.Report = analyzer.Analyze(sc.site.Domain, topo.Build(sc.list))
+					sc.site.Verdicts = make(map[string]bool, len(profiles))
+					for j, p := range profiles {
+						// Each site gets a fresh intermediate cache: verdicts
+						// must not depend on which other sites a worker graded
+						// first.
+						builders[j].Cache = rootstore.New("cache")
+						sc.site.Verdicts[p.Name] = builders[j].Build(sc.list, sc.site.Domain).OK()
+					}
+					vcache.Put(key, studyMemo{
+						Order:        sc.site.Report.Order,
+						Completeness: sc.site.Report.Completeness,
+						Verdicts:     sc.site.Verdicts,
+					})
 				}
 				sw.Stop()
 			}
 			g := gradedSite{
-				site:             sc.site,
-				errs:             sc.errs,
-				rescanned:        sc.rescanned,
-				lost:             sc.lost,
-				faultsInjected:   sc.srv.FaultsInjected(),
-				acceptRetries:    sc.srv.AcceptRetries(),
-				deadlineExpiries: sc.srv.DeadlineExpiries(),
+				site:      sc.site,
+				errs:      sc.errs,
+				rescanned: sc.rescanned,
+				lost:      sc.lost,
+				minted:    sc.minted,
 			}
-			sc.srv.Close()
-			live.remove(sc.srv)
+			if sc.slot == nil {
+				g.faultsInjected = sc.srv.FaultsInjected()
+				g.acceptRetries = sc.srv.AcceptRetries()
+				g.deadlineExpiries = sc.srv.DeadlineExpiries()
+				sc.srv.Close()
+				live.remove(sc.srv)
+			}
 			return g, nil
 		},
 	})
 
 	rep := &Report{Cfg: cfg}
 	err = graded.Drain(func(rank int, g gradedSite) error {
-		rep.LeavesGenerated++
+		if g.minted {
+			rep.LeavesGenerated++
+		}
 		rep.ScanErrors += g.errs.Total()
 		rep.ScanErrorCauses.Dial += g.errs.Dial
 		rep.ScanErrorCauses.Handshake += g.errs.Handshake
@@ -418,6 +588,26 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Fold the shared-listener ledgers and once-scan tallies into the run
+	// totals: under Dedup each slot was physically scanned once, on behalf
+	// of all its sites, so its errors and faults belong to the run, not to
+	// any one site record. Safe to read here — the drain has joined every
+	// stage, so no once-scan is still in flight.
+	for _, s := range slots {
+		if s.srv != nil {
+			rep.FaultsInjected += s.srv.FaultsInjected()
+			rep.AcceptRetries += s.srv.AcceptRetries()
+			rep.DeadlineExpiries += s.srv.DeadlineExpiries()
+		}
+		rep.ScanErrors += s.errs.Total()
+		rep.ScanErrorCauses.Dial += s.errs.Dial
+		rep.ScanErrorCauses.Handshake += s.errs.Handshake
+		rep.ScanErrorCauses.Parse += s.errs.Parse
+		rep.ScanErrorCauses.Cancelled += s.errs.Cancelled
+		if s.rescanned {
+			rep.Rescanned++
+		}
 	}
 	if reg != nil {
 		rep.Snapshot = reg.Snapshot()

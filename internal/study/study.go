@@ -54,6 +54,26 @@ type Config struct {
 	// Clock paces scan backoff, throttling, and injected server faults;
 	// nil means the wall clock.
 	Clock faults.Clock
+	// Reuse is the fraction of sites that present a chain drawn from a
+	// shared slot pool instead of minting their own — the population shape
+	// the paper measured, where a handful of hosting-provider chains serve
+	// most of the Top-1M. 0 disables (every site mints its own leaf).
+	// Decisions derive from (Seed, rank) alone, so the shape is identical
+	// for any worker count or resume point.
+	Reuse float64
+	// DistinctChains is the slot-pool size under Reuse (default 3000). The
+	// slot draw is power-law skewed, so the head slots dominate.
+	DistinctChains int
+	// Dedup memoizes per distinct chain: slot sites share one listener and
+	// one physical scan (sync.Once), and the grade stage consults a
+	// verdict cache (study.vcache) keyed by (chain digest, client-profile
+	// fingerprint, leaf-match bit), so a duplicate chain costs a map
+	// lookup plus leaf classification instead of keygen + handshake +
+	// analysis + eight client path-builds. On a fault-free run the report
+	// tables and the streamed JSONL are byte-identical with Dedup on or
+	// off; under injected faults only the run-level scan/fault tallies may
+	// differ (shared sites are physically scanned once, not per site).
+	Dedup bool
 	// Metrics, when non-nil, instruments the whole pipeline: scanner and
 	// listener counters, AIA repository hits, per-client construction
 	// metrics, and per-stage timers (study.deploy / study.scan /
@@ -82,6 +102,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RescanPasses < 0 {
 		c.RescanPasses = 0
+	}
+	if c.Reuse > 0 && c.DistinctChains <= 0 {
+		c.DistinctChains = 3000
 	}
 }
 
@@ -180,7 +203,9 @@ type Report struct {
 	// LeavesGenerated counts end-entity certificates minted for the farm.
 	// Exactly one leaf is generated per site — stale-leaf sites mint their
 	// expired leaf directly instead of minting a fresh one first and
-	// discarding it — so this always equals len(Sites).
+	// discarding it — so without Cfg.Reuse this always equals len(Sites).
+	// Under Reuse, slot sites share their slot's wildcard leaf, so it
+	// equals unique sites + slots materialized.
 	LeavesGenerated int
 	// Streamed and StreamedCompliant tally sites as they retire through the
 	// pipeline sink, so a streaming run that does not keep Sites still

@@ -8,7 +8,6 @@ package tlsscan
 
 import (
 	"context"
-	"crypto/sha256"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -87,7 +86,12 @@ type Result struct {
 	Bytes int
 	// Attempts is how many handshakes were tried (>= 1 once scanned).
 	Attempts int
-	Err      error
+	// Digest identifies the presented list (certmodel.ListDigest over List),
+	// computed once at capture time so downstream consumers — vantage
+	// merging, the verdict dedup cache — never rehash the chain. The zero FP
+	// when Err is set.
+	Digest certmodel.FP
+	Err    error
 	// Cause classifies Err; CauseNone when Err is nil.
 	Cause ErrorCause
 }
@@ -272,6 +276,7 @@ func (s *Scanner) scanOnce(ctx context.Context, target Target) Result {
 		return res
 	}
 	res.List = list
+	res.Digest = certmodel.ListDigest(list)
 	s.throttle(ctx, res.Bytes)
 	return res
 }
@@ -342,7 +347,12 @@ func MergeVantages(vantages ...[]Result) map[string][]Result {
 				continue
 			}
 			d := r.Target.Domain
-			digest := chainDigest(r.List)
+			// Reuse the capture-time digest; results built by hand (tests,
+			// adapters) may not carry one, so fall back to hashing.
+			digest := r.Digest
+			if digest == (certmodel.FP{}) {
+				digest = certmodel.ListDigest(r.List)
+			}
 			if seen[d] == nil {
 				seen[d] = make(map[certmodel.FP]bool)
 			}
@@ -365,18 +375,4 @@ func Domains(merged map[string][]Result) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// chainDigest identifies a presented list by hashing the certificates'
-// binary fingerprints in order — constant work per certificate, unlike the
-// string concatenation it replaced.
-func chainDigest(list []*certmodel.Certificate) certmodel.FP {
-	h := sha256.New()
-	for _, c := range list {
-		fp := c.Fingerprint()
-		h.Write(fp[:])
-	}
-	var digest certmodel.FP
-	h.Sum(digest[:0])
-	return digest
 }

@@ -165,16 +165,16 @@ func TestChainDigestDistinguishesOrder(t *testing.T) {
 	b := []*certmodel.Certificate{leaf.Cert, i2, i1, root}
 	c := a[:3]
 
-	if chainDigest(a) != chainDigest(a) {
+	if certmodel.ListDigest(a) != certmodel.ListDigest(a) {
 		t.Error("digest not deterministic")
 	}
-	if chainDigest(a) == chainDigest(b) {
+	if certmodel.ListDigest(a) == certmodel.ListDigest(b) {
 		t.Error("digest blind to certificate order")
 	}
-	if chainDigest(a) == chainDigest(c) {
+	if certmodel.ListDigest(a) == certmodel.ListDigest(c) {
 		t.Error("digest blind to list length")
 	}
-	if chainDigest(nil) != chainDigest([]*certmodel.Certificate{}) {
+	if certmodel.ListDigest(nil) != certmodel.ListDigest([]*certmodel.Certificate{}) {
 		t.Error("empty digests differ")
 	}
 }

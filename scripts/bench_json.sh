@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# bench_json.sh — emits BENCH_pr6.json, the PR 6 performance record:
+#   * differential-harness wall and allocs/op (Go benchmark, -benchmem)
+#   * 100k-site study wall, dedup off vs on, at paper-realistic chain reuse
+#     (the off run pays the full physical cost per site; the on run pays it
+#     per distinct chain) — the two JSONL outputs are verified byte-identical
+#   * 10M-site dedup study under GOMEMLIMIT=64MiB: wall, peak RSS, hit rate
+#
+# Knobs (env): STUDY_SITES (default 100000), BIG_SITES (default 10000000),
+# REUSE (default 0.9995), POOL (default 3000), OUT (default BENCH_pr6.json).
+# The full run takes ~15 minutes on one core, dominated by the dedup-off
+# baseline and the 10M sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_pr6.json}
+REUSE=${REUSE:-0.9995}
+POOL=${POOL:-3000}
+STUDY_SITES=${STUDY_SITES:-100000}
+BIG_SITES=${BIG_SITES:-10000000}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() { date +%s%3N; }
+
+echo "bench-json: harness benchmark" >&2
+go test -run xxx -bench 'BenchmarkDifferentialHarness2k$' -benchtime 2x -benchmem . >"$TMP/bench.txt"
+HARNESS_NS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $3; exit}' "$TMP/bench.txt")
+HARNESS_ALLOCS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $7; exit}' "$TMP/bench.txt")
+
+go build -o "$TMP/study" ./cmd/study
+
+echo "bench-json: ${STUDY_SITES}-site study, dedup off (full physical cost per site)" >&2
+t0=$(now_ms)
+GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream \
+  -reuse "$REUSE" -distinct "$POOL" \
+  -out "$TMP/off.jsonl" -metrics "$TMP/off.json" >/dev/null
+OFF_MS=$(($(now_ms) - t0))
+
+echo "bench-json: ${STUDY_SITES}-site study, dedup on" >&2
+t0=$(now_ms)
+GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
+  -reuse "$REUSE" -distinct "$POOL" \
+  -out "$TMP/on.jsonl" -metrics "$TMP/on.json" >/dev/null
+ON_MS=$(($(now_ms) - t0))
+
+cmp -s "$TMP/off.jsonl" "$TMP/on.jsonl" || {
+  echo "bench-json: dedup on/off JSONL streams differ — determinism broken" >&2
+  exit 1
+}
+
+echo "bench-json: ${BIG_SITES}-site study, dedup on, GOMEMLIMIT=64MiB" >&2
+t0=$(now_ms)
+GOMEMLIMIT=64MiB "$TMP/study" -sites "$BIG_SITES" -vantages 1 -stream -dedup \
+  -reuse "$REUSE" -distinct "$POOL" \
+  -out /dev/null -metrics "$TMP/big.json" >/dev/null
+BIG_MS=$(($(now_ms) - t0))
+
+jq -e ".counters[\"study.grade.items\"] == $BIG_SITES" "$TMP/big.json" >/dev/null || {
+  echo "bench-json: 10M run graded fewer than $BIG_SITES sites" >&2
+  exit 1
+}
+
+jq -n \
+  --argjson harness_ns "${HARNESS_NS:-0}" \
+  --argjson harness_allocs "${HARNESS_ALLOCS:-0}" \
+  --argjson sites "$STUDY_SITES" --argjson big_sites "$BIG_SITES" \
+  --argjson reuse "$REUSE" --argjson pool "$POOL" \
+  --argjson off_ms "$OFF_MS" --argjson on_ms "$ON_MS" --argjson big_ms "$BIG_MS" \
+  --slurpfile on "$TMP/on.json" --slurpfile big "$TMP/big.json" \
+  '
+  def cache(m): {
+    hits: m.counters["study.vcache.hits"],
+    misses: m.counters["study.vcache.misses"],
+    hit_rate: (m.counters["study.vcache.hits"] /
+               (m.counters["study.vcache.hits"] + m.counters["study.vcache.misses"]))
+  };
+  {
+    harness_2k: { ns_per_op: $harness_ns, allocs_per_op: $harness_allocs },
+    study_100k: {
+      sites: $sites, reuse: $reuse, pool: $pool, vantages: 1,
+      dedup_off_wall_ms: $off_ms,
+      dedup_on_wall_ms: $on_ms,
+      speedup: ($off_ms / $on_ms),
+      output_identical: true,
+      cache: cache($on[0]),
+      max_rss_kb: $on[0].gauges["proc.max_rss_kb"]
+    },
+    study_10m: {
+      sites: $big_sites, reuse: $reuse, pool: $pool, vantages: 1,
+      gomemlimit: "64MiB",
+      wall_ms: $big_ms,
+      cache: cache($big[0]),
+      max_rss_kb: $big[0].gauges["proc.max_rss_kb"]
+    }
+  }' >"$OUT"
+
+echo "bench-json: wrote $OUT" >&2
+jq . "$OUT"
