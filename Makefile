@@ -11,7 +11,7 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/...
+RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -31,8 +31,9 @@ check:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# bench-json writes BENCH_pr6.json: harness wall and allocs/op from the Go
-# benchmarks, dedup-off vs dedup-on study walls at paper-realistic chain
-# reuse, and the cache hit rate plus peak RSS from the runs' -metrics JSON.
+# bench-json writes BENCH_<pr>.json (PR=pr7 by default): the distributed
+# coordinator/worker scaling table — single-process baseline vs -distribute
+# 1/2/4/8 walls, each output verified byte-identical, with lease counters and
+# fleet peak RSS. PR=pr6 reproduces the dedup-off/on and 10M-site record.
 bench-json:
 	bash scripts/bench_json.sh

@@ -1,0 +1,164 @@
+// Distributed execution for the differential evaluation: -distribute N runs
+// this command as a coordinator leasing contiguous rank ranges of the
+// synthetic population to N copies of itself started with -worker; each
+// worker runs generate→analyze→difftest over its leased range and streams
+// verdict lines back, and the coordinator merges them in rank order —
+// byte-identical to a single-process -stream run, resumable through the same
+// -checkpoint journal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chainchaos/internal/dist"
+	"chainchaos/internal/experiments"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
+)
+
+// diffJob is the coordinator→worker config payload: everything a worker
+// needs to reproduce the exact evaluation a single process would run. The
+// population source is rank-deterministic in (Size, Seed), which is what
+// makes leased sub-ranges byte-identical to the full run.
+type diffJob struct {
+	Size    int     `json:"size"`
+	Seed    int64   `json:"seed"`
+	Workers int     `json:"workers"`
+	Reuse   float64 `json:"reuse,omitempty"`
+	Pool    int     `json:"pool,omitempty"`
+	Dedup   bool    `json:"dedup,omitempty"`
+	// KillAfter, when > 0, makes the worker SIGKILL itself after processing
+	// that many ranks — the chaos knob that proves a mid-lease kill -9
+	// loses no verdicts.
+	KillAfter int `json:"kill_after,omitempty"`
+}
+
+// runWorker is the -worker mode: serve leases over stdio (or a dialed TCP
+// connection when -connect is set) until the coordinator closes the wire.
+// Stdout is the wire; the run must write nothing else to it.
+func runWorker(cli *obs.CLI) error {
+	setup := func(payload json.RawMessage) (dist.RangeRunner, *obs.Registry, error) {
+		var job diffJob
+		if err := json.Unmarshal(payload, &job); err != nil {
+			return nil, nil, fmt.Errorf("bad worker payload: %w", err)
+		}
+		reg := obs.NewRegistry()
+		killAfter := job.KillAfter
+		processed := 0
+		runner := func(ctx context.Context, lo, hi int, emit func(rank int, line []byte) error) (map[string]int64, error) {
+			sum, err := experiments.DifferentialStreamSummary(ctx, experiments.StreamConfig{
+				Size: job.Size, Seed: job.Seed, Workers: job.Workers,
+				Metrics: reg, Reuse: job.Reuse, Pool: job.Pool, Dedup: job.Dedup,
+				Resume: lo, Limit: hi,
+				Record: func(rank int, line []byte) error {
+					if err := emit(rank, line); err != nil {
+						return err
+					}
+					if processed++; killAfter > 0 && processed >= killAfter {
+						dist.KillSelf()
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return sum.Tallies(), nil
+		}
+		return runner, reg, nil
+	}
+	if cli.Connect != "" {
+		return dist.ServeTCP(context.Background(), cli.Connect, setup)
+	}
+	return dist.ServeStdio(context.Background(), setup)
+}
+
+// runDistributed is the -distribute N coordinator: same journal/output
+// wiring as runStreaming, with the evaluation executed by N worker processes
+// instead of in-process stages. The verdict JSONL is sparse — only
+// non-compliant chains emit a line — so output recovery locates the resume
+// point through each line's rank field, exactly as the single-process path
+// does.
+func runDistributed(cli *obs.CLI, size int, seed int64, outFile, checkpoint string, reuse float64, pool int, dedup bool, killAfter int) error {
+	var j *pipeline.Journal
+	resume := 0
+	if checkpoint != "" {
+		var err error
+		j, resume, err = pipeline.Checkpoint(checkpoint, "verdict")
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if outFile != "" {
+			resume, err = pipeline.RecoverOutput(outFile, 0, j, "verdict", verdictRank)
+			if err != nil {
+				return err
+			}
+		}
+		if resume > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming from rank %d\n", resume+1)
+		}
+	}
+	var out io.Writer = os.Stdout
+	if outFile != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if checkpoint != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(outFile, mode, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	job := diffJob{
+		Size: size, Seed: seed, Workers: cli.Workers,
+		Reuse: reuse, Pool: pool, Dedup: dedup,
+	}
+	payload := func(slot, spawn int) []byte {
+		pj := job
+		if killAfter > 0 && slot == 0 && spawn == 0 {
+			// Arm the chaos kill on the first worker's first incarnation
+			// only: its replacement (and every other worker) runs clean.
+			pj.KillAfter = killAfter
+		}
+		b, _ := json.Marshal(pj)
+		return b
+	}
+
+	var launch dist.Launcher
+	if cli.DistListen != "" {
+		tl, err := dist.ListenTCP(cli.DistListen)
+		if err != nil {
+			return err
+		}
+		defer tl.Close()
+		fmt.Fprintf(os.Stderr, "experiments: waiting for %d workers on %s (run: experiments -worker -connect %s)\n",
+			cli.Distribute, tl.Addr(), tl.Addr())
+		launch = tl
+	} else {
+		launch = &dist.ProcLauncher{Args: []string{"-worker"}}
+	}
+
+	fmt.Printf("population: %d domains, seed %d (distributed over %d workers)\n\n", size, seed, cli.Distribute)
+	res, err := dist.Run(context.Background(), dist.Config{
+		Workers: cli.Distribute, Resume: resume, Total: size,
+		LeaseSize: cli.DistLease,
+		Out:       out, Journal: j, SinkStage: "verdict",
+		Metrics: cli.Metrics, Launch: launch, Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Reassigned > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d lease reassignments, %d worker respawns\n", res.Reassigned, res.Respawns)
+	}
+	fmt.Println(experiments.DifferentialTableFromTallies(res.Tallies))
+	return nil
+}

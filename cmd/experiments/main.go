@@ -5,6 +5,7 @@
 //
 //	experiments [-size 100000] [-seed 1] [-run t3,t9,d1] [-workers 0]
 //	            [-stream] [-out verdicts.jsonl] [-checkpoint diff.ckpt]
+//	            [-distribute 4] [-dist-listen addr | -worker -connect addr]
 //	            [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Experiment ids: t1 t3 t4 t5 t6 t7 t8 t9 t10 t11 f2 f3 f4 f5 d1 d2 d3 (default:
@@ -16,6 +17,11 @@
 // writing one JSON line per non-compliant chain to -out and checkpointing
 // progress to -checkpoint. The other experiments need the materialized
 // population, so -stream runs d1 only.
+//
+// -distribute N runs d1 as a coordinator leasing contiguous rank ranges to
+// N worker processes (copies of this binary run with -worker); verdict
+// lines merge in rank order, byte-identical to a single-process -stream
+// run, resumable through the same -checkpoint. See cmd/experiments/dist.go.
 package main
 
 import (
@@ -43,11 +49,29 @@ func main() {
 	reuse := flag.Float64("reuse", 0, "with -stream: fraction of domains presenting a pooled (duplicate) chain")
 	pool := flag.Int("pool", 0, "with -stream: distinct-chain pool size under -reuse (0 = default 3000)")
 	dedup := flag.Bool("dedup", false, "with -stream: memoize verdicts per distinct chain (bit-identical output, duplicate chains cost a lookup)")
+	killAfter := flag.Int("dist-kill-after", 0, "chaos: the first worker SIGKILLs itself after processing this many ranks (distributed runs only)")
 	cli.BindWorkers("parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
+	cli.BindDistribute()
 	cli.BindObs()
 	flag.Parse()
+	if cli.Worker {
+		if err := runWorker(cli); err != nil {
+			cli.Fatal(err)
+		}
+		return
+	}
 	cli.Start()
 
+	if cli.Distribute > 0 {
+		if *run != "" && strings.TrimSpace(strings.ToLower(*run)) != "d1" {
+			cli.Fatal(fmt.Errorf("-distribute runs the differential evaluation only; drop -run or pass -run d1"))
+		}
+		if err := runDistributed(cli, *size, *seed, *outFile, *checkpoint, *reuse, *pool, *dedup, *killAfter); err != nil {
+			cli.Fatal(err)
+		}
+		cli.Finish()
+		return
+	}
 	if *stream || *outFile != "" || *checkpoint != "" {
 		runStreaming(cli, *size, *seed, *run, *outFile, *checkpoint, *reuse, *pool, *dedup)
 		cli.Finish()

@@ -1,0 +1,178 @@
+// Distributed execution for the study: -distribute N runs this command as a
+// coordinator leasing contiguous site ranges to N copies of itself started
+// with -worker; each worker runs the deploy→scan→grade pipeline over its
+// leased range and streams records back, and the coordinator merges them in
+// rank order — byte-identical to a single-process -stream run, resumable
+// through the same -checkpoint journal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chainchaos/internal/dist"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/pipeline"
+	"chainchaos/internal/study"
+	"chainchaos/internal/tlsserve"
+)
+
+// workerJob is the coordinator→worker config payload: everything a worker
+// needs to reproduce the exact study a single process would run. The same
+// (Sites, Seed, ...) must reach every worker — per-rank determinism is what
+// makes leased sub-ranges byte-identical to the full run.
+type workerJob struct {
+	Sites    int     `json:"sites"`
+	Seed     int64   `json:"seed"`
+	Vantages int     `json:"vantages"`
+	Workers  int     `json:"workers"`
+	Retries  int     `json:"retries"`
+	Reuse    float64 `json:"reuse,omitempty"`
+	Distinct int     `json:"distinct,omitempty"`
+	Dedup    bool    `json:"dedup,omitempty"`
+	Chaos    bool    `json:"chaos,omitempty"`
+	// KillAfter, when > 0, makes the worker SIGKILL itself after emitting
+	// that many records — the chaos knob the CI smoke test arms on one
+	// worker to prove a mid-lease kill -9 loses no sites.
+	KillAfter int `json:"kill_after,omitempty"`
+}
+
+func (j workerJob) config(metrics *obs.Registry) study.Config {
+	cfg := study.Config{
+		Sites: j.Sites, Seed: j.Seed, Vantages: j.Vantages,
+		Workers: j.Workers, Retries: j.Retries, Metrics: metrics,
+		Reuse: j.Reuse, DistinctChains: j.Distinct, Dedup: j.Dedup,
+	}
+	if j.Chaos {
+		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
+	}
+	return cfg
+}
+
+// runWorker is the -worker mode: serve leases over stdio (or a dialed TCP
+// connection when -connect is set) until the coordinator closes the wire.
+// Stdout is the wire; the run must write nothing else to it.
+func runWorker(cli *obs.CLI) error {
+	setup := func(payload json.RawMessage) (dist.RangeRunner, *obs.Registry, error) {
+		var job workerJob
+		if err := json.Unmarshal(payload, &job); err != nil {
+			return nil, nil, fmt.Errorf("bad worker payload: %w", err)
+		}
+		reg := obs.NewRegistry()
+		cfg := job.config(reg)
+		killAfter := job.KillAfter
+		emitted := 0
+		runner := func(ctx context.Context, lo, hi int, emit func(rank int, line []byte) error) (map[string]int64, error) {
+			rep, err := study.RunStream(ctx, cfg, study.Stream{
+				Resume: lo, Limit: hi,
+				Record: func(rank int, line []byte) error {
+					if err := emit(rank, line); err != nil {
+						return err
+					}
+					if emitted++; killAfter > 0 && emitted >= killAfter {
+						dist.KillSelf()
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return rep.Tallies(), nil
+		}
+		return runner, reg, nil
+	}
+	if cli.Connect != "" {
+		return dist.ServeTCP(context.Background(), cli.Connect, setup)
+	}
+	return dist.ServeStdio(context.Background(), setup)
+}
+
+// runDistributed is the -distribute N coordinator: same journal/output
+// wiring as runStreaming, with the pipeline executed by N worker processes
+// instead of in-process stages.
+func runDistributed(cli *obs.CLI, cfg study.Config, chaos bool, outFile, checkpoint string, killAfter int) (*study.Report, error) {
+	var j *pipeline.Journal
+	resume := 0
+	if checkpoint != "" {
+		var err error
+		j, resume, err = pipeline.Checkpoint(checkpoint, "grade")
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		if outFile != "" {
+			resume, err = pipeline.RecoverOutput(outFile, 0, j, "grade", nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if resume > 0 {
+			fmt.Fprintf(os.Stderr, "study: resuming from site %d\n", resume)
+		}
+	}
+	var out io.Writer = os.Stdout
+	if outFile != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if checkpoint != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(outFile, mode, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	job := workerJob{
+		Sites: cfg.Sites, Seed: cfg.Seed, Vantages: cfg.Vantages,
+		Workers: cfg.Workers, Retries: cfg.Retries,
+		Reuse: cfg.Reuse, Distinct: cfg.DistinctChains, Dedup: cfg.Dedup,
+		Chaos: chaos,
+	}
+	payload := func(slot, spawn int) []byte {
+		pj := job
+		if killAfter > 0 && slot == 0 && spawn == 0 {
+			// Arm the chaos kill on the first worker's first incarnation
+			// only: its replacement (and every other worker) runs clean.
+			pj.KillAfter = killAfter
+		}
+		b, _ := json.Marshal(pj)
+		return b
+	}
+
+	var launch dist.Launcher
+	if cli.DistListen != "" {
+		tl, err := dist.ListenTCP(cli.DistListen)
+		if err != nil {
+			return nil, err
+		}
+		defer tl.Close()
+		fmt.Fprintf(os.Stderr, "study: waiting for %d workers on %s (run: study -worker -connect %s)\n",
+			cli.Distribute, tl.Addr(), tl.Addr())
+		launch = tl
+	} else {
+		launch = &dist.ProcLauncher{Args: []string{"-worker"}}
+	}
+
+	res, err := dist.Run(context.Background(), dist.Config{
+		Workers: cli.Distribute, Resume: resume, Total: cfg.Sites,
+		LeaseSize: cli.DistLease,
+		Out:       out, Journal: j, SinkStage: "grade",
+		Metrics: cli.Metrics, Launch: launch, Payload: payload,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Reassigned > 0 {
+		fmt.Fprintf(os.Stderr, "study: %d lease reassignments, %d worker respawns\n", res.Reassigned, res.Respawns)
+	}
+	rep := study.ReportFromTallies(cfg, res.Tallies)
+	rep.Snapshot = cli.Metrics.Snapshot()
+	return rep, nil
+}

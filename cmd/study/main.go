@@ -9,7 +9,13 @@
 //	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
 //	      [-reuse 0.9995] [-distinct 3000] [-dedup]
 //	      [-stream] [-out sites.jsonl] [-checkpoint study.ckpt]
+//	      [-distribute 4] [-dist-listen addr | -worker -connect addr]
 //	      [-metrics metrics.json] [-pprof localhost:6060]
+//
+// -distribute N runs the study as a coordinator leasing contiguous site
+// ranges to N worker processes (copies of this binary run with -worker);
+// records merge in rank order, byte-identical to a single-process -stream
+// run, resumable through the same -checkpoint. See cmd/study/dist.go.
 //
 // With -stream the run holds only in-flight sites in memory and writes one
 // JSON line per site to -out (stdout by default); -checkpoint journals
@@ -49,10 +55,18 @@ func main() {
 	stream := flag.Bool("stream", false, "stream results site by site instead of materializing the run (bounded memory)")
 	outFile := flag.String("out", "", "write per-site JSONL records here (default stdout; implies -stream)")
 	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
+	killAfter := flag.Int("dist-kill-after", 0, "chaos: the first worker SIGKILLs itself after emitting this many records (distributed runs only)")
 	cli.BindWorkers("parallel workers for the grading loop (0 = GOMAXPROCS)")
 	cli.BindRetries(2, "extra handshake attempts per transport failure (0 = scan once)")
+	cli.BindDistribute()
 	cli.BindObs()
 	flag.Parse()
+	if cli.Worker {
+		if err := runWorker(cli); err != nil {
+			cli.Fatal(err)
+		}
+		return
+	}
 	cli.Start()
 
 	cfg := study.Config{
@@ -68,7 +82,9 @@ func main() {
 	start := time.Now()
 	var rep *study.Report
 	var err error
-	if *stream || *outFile != "" || *checkpoint != "" {
+	if cli.Distribute > 0 {
+		rep, err = runDistributed(cli, cfg, *chaos, *outFile, *checkpoint, *killAfter)
+	} else if *stream || *outFile != "" || *checkpoint != "" {
 		rep, err = runStreaming(cfg, *outFile, *checkpoint)
 	} else {
 		rep, err = study.Run(cfg)

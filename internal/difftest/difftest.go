@@ -246,6 +246,12 @@ type Harness struct {
 	// deterministic for a (seed, population) pair regardless of worker
 	// count or queue depth.
 	Out io.Writer
+	// Record, when non-nil, is called by the sink for every retired rank in
+	// rank order — the distributed worker's tap. line is the rank's
+	// RecordLine JSON without a trailing newline, or nil for ranks that
+	// produce no output (compliant chains): the harness is a sparse sink,
+	// and the nil calls let the caller track progress through silent ranks.
+	Record func(rank int, line []byte) error
 }
 
 // RecordLine is the JSONL row the sink emits per non-compliant chain when
@@ -260,7 +266,9 @@ type RecordLine struct {
 	Causes   []string          `json:"causes,omitempty"`
 }
 
-func writeRecordLine(w io.Writer, rec *ChainRecord) error {
+// marshalRecordLine builds a record's JSONL row, without the trailing
+// newline.
+func marshalRecordLine(rec *ChainRecord) ([]byte, error) {
 	line := RecordLine{
 		Rank:     rec.Domain.Rank,
 		Domain:   rec.Domain.Name,
@@ -274,12 +282,7 @@ func writeRecordLine(w io.Writer, rec *ChainRecord) error {
 	for _, c := range rec.Causes {
 		line.Causes = append(line.Causes, c.String())
 	}
-	b, err := json.Marshal(line)
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(append(b, '\n'))
-	return err
+	return json.Marshal(line)
 }
 
 // Analysis carries precomputed per-domain topology graphs and compliance
@@ -510,12 +513,26 @@ func (h *Harness) verdictStage(pop *population.Population, profiles []clients.Pr
 // serial run would produce.
 func (h *Harness) drainSummary(f *pipeline.Flow[*ChainRecord]) (*Summary, error) {
 	sum := newSummary()
-	err := f.Drain(func(_ int, rec *ChainRecord) error {
+	err := f.Drain(func(rank int, rec *ChainRecord) error {
 		sum.Total++
+		var line []byte
 		if rec != nil {
 			sum.absorb(rec, h.KeepRecords)
-			if h.Out != nil {
-				return writeRecordLine(h.Out, rec)
+			if h.Out != nil || h.Record != nil {
+				var err error
+				if line, err = marshalRecordLine(rec); err != nil {
+					return err
+				}
+			}
+		}
+		if h.Record != nil {
+			if err := h.Record(rank, line); err != nil {
+				return err
+			}
+		}
+		if h.Out != nil && line != nil {
+			if _, err := h.Out.Write(append(line, '\n')); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -1,0 +1,104 @@
+// Package dist extends the streaming pipeline to multi-process execution: a
+// coordinator leases contiguous rank ranges of the population to N worker
+// processes, workers run the existing pipeline stages over their leased
+// range and stream result lines plus watermarks back, and the coordinator's
+// reorder buffer retires ranks strictly in order — so the merged output is
+// byte-identical to a single-process run.
+//
+// The design keeps the guarantees PRs 5–6 established, across process
+// boundaries:
+//
+//   - Determinism. Work is identified by global pipeline rank; every stage
+//     derives its randomness from (seed, rank) alone, so a leased sub-range
+//     [lo, hi) run by any worker produces exactly the bytes ranks lo..hi-1
+//     of a full-range run would. The coordinator therefore only has to
+//     release lease outputs in lease order (and ranks in order within the
+//     head lease) to reproduce the serial byte stream.
+//   - Idempotent recovery. Retirement is rank-gated: a lease that is
+//     reassigned after partial progress is simply re-run from its start,
+//     and the coordinator drops every rank at or below its flushed
+//     watermark. Worker death (even kill -9) loses nothing but wall time.
+//   - Kill-and-resume. The coordinator journals sink watermarks and lease
+//     events to the same checkpoint journal a single-process run uses, so a
+//     killed coordinator resumes with pipeline.Checkpoint + RecoverOutput
+//     exactly like the single-process commands — and its output is still
+//     byte-identical to an uninterrupted run.
+//
+// Leases carry deadlines on the faults.Clock: a dead or wedged worker's
+// lease expires, the worker is killed and respawned under a faults.Policy
+// backoff, and the lease is reassigned. The wire protocol is JSON lines
+// over any byte stream — fork/exec'd local workers speak it over stdio, and
+// a TCP listener makes remote workers a configuration change, not a
+// redesign.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire message types. coordinator→worker: msgConfig, msgLease, msgStop.
+// worker→coordinator: msgHello, msgRec, msgMark, msgDone, msgFail.
+const (
+	msgConfig = "cfg"   // payload: job configuration for the worker's setup
+	msgLease  = "lease" // grant of ranks [lo, hi) under (lease, epoch)
+	msgStop   = "stop"  // run complete; worker exits its serve loop
+	msgHello  = "hello" // worker setup succeeded; ready for leases
+	msgRec    = "rec"   // one result line for rank (ranks < rank are complete)
+	msgMark   = "mark"  // ranks <= rank complete, no output line for them
+	msgDone   = "done"  // lease complete; carries tallies, counters, peak RSS
+	msgFail   = "fail"  // lease execution failed; carries the error text
+)
+
+// message is one JSON line of the coordinator↔worker protocol.
+type message struct {
+	T     string `json:"t"`
+	Lease int    `json:"lease,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
+	Lo    int    `json:"lo,omitempty"`
+	Hi    int    `json:"hi,omitempty"`
+	Rank  int    `json:"rank,omitempty"`
+	// Line is the rank's result record, verbatim (no trailing newline);
+	// nil for ranks that produce no output.
+	Line json.RawMessage `json:"line,omitempty"`
+	// Payload carries the job configuration in a msgConfig.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Tallies are the lease's result tallies (msgDone): deterministic,
+	// lease-granular counts the coordinator folds into the merged report
+	// exactly once per lease.
+	Tallies map[string]int64 `json:"tallies,omitempty"`
+	// Counters is the worker's cumulative obs counter snapshot (msgDone).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// RSSKB is the worker process's peak RSS in KiB (msgDone).
+	RSSKB int64  `json:"rss_kb,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// wire frames messages as JSON lines over an arbitrary byte stream.
+type wire struct {
+	dec *json.Decoder
+	w   io.Writer
+}
+
+func newWire(r io.Reader, w io.Writer) *wire {
+	return &wire{dec: json.NewDecoder(bufio.NewReaderSize(r, 1<<16)), w: w}
+}
+
+func (c *wire) send(m *message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s: %w", m.T, err)
+	}
+	_, err = c.w.Write(append(data, '\n'))
+	return err
+}
+
+func (c *wire) recv() (*message, error) {
+	var m message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,157 @@
+// Launchers: how the coordinator materializes workers. ProcLauncher
+// fork/execs the current binary and speaks the protocol over the child's
+// stdio — the -distribute N local mode. TCPLauncher accepts workers over a
+// listener — the same protocol, so remote workers (or locally spawned ones
+// dialing back) are a configuration change, not a redesign.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// ProcLauncher fork/execs worker processes: Path (default: the current
+// executable) run with Args, stdin/stdout as the wire, stderr passed
+// through to the coordinator's stderr.
+type ProcLauncher struct {
+	// Path is the worker binary; empty means os.Executable().
+	Path string
+	// Args are the worker's command-line arguments (e.g. ["-worker"]).
+	Args []string
+}
+
+// Start launches one worker process.
+func (l *ProcLauncher) Start(ctx context.Context, slot, spawn int) (WorkerConn, error) {
+	path := l.Path
+	if path == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("dist: resolve worker binary: %w", err)
+		}
+		path = exe
+	}
+	cmd := exec.CommandContext(ctx, path, l.Args...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		stdout.Close()
+		return nil, fmt.Errorf("dist: start worker %d: %w", slot, err)
+	}
+	return &procConn{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// procConn is a child process's stdio as a WorkerConn.
+type procConn struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+	// closeOnce guards the Wait: the slot's manager and the coordinator's
+	// teardown can both Close a conn, and exec.Cmd.Wait deadlocks its second
+	// concurrent caller.
+	closeOnce sync.Once
+	waitErr   error
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.stdout.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+
+// Kill sends SIGKILL — the forceful teardown of an expired lease's worker.
+func (p *procConn) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill() //nolint:errcheck
+	}
+}
+
+// Close releases the pipes and reaps the child; safe to call from multiple
+// goroutines, the first caller does the work.
+func (p *procConn) Close() error {
+	p.closeOnce.Do(func() {
+		p.stdin.Close()
+		p.stdout.Close()
+		p.waitErr = p.cmd.Wait()
+	})
+	return p.waitErr
+}
+
+// TCPLauncher hands out worker connections accepted on a TCP listener.
+// Spawn, when non-nil, is invoked per Start to launch a worker that will
+// dial back (local TCP mode); with Spawn nil the coordinator simply waits
+// for externally started workers to connect (remote mode: run the command
+// with -worker -connect <addr> on any machine that can reach the listener).
+type TCPLauncher struct {
+	ln net.Listener
+	// Spawn starts the worker instance expected to dial in; nil means the
+	// workers are started out of band.
+	Spawn func(slot, spawn int) error
+}
+
+// ListenTCP opens the coordinator's worker listener on addr (for example
+// "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPLauncher, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	return &TCPLauncher{ln: ln}, nil
+}
+
+// Addr returns the listener's bound address — what workers pass to
+// -connect.
+func (l *TCPLauncher) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting workers.
+func (l *TCPLauncher) Close() error { return l.ln.Close() }
+
+// Start accepts the next worker connection, spawning one first when Spawn
+// is wired. Identity is positional: the coordinator treats whichever worker
+// connects next as the requested slot instance — workers are stateless
+// until granted a lease, so any dialer can serve any slot.
+func (l *TCPLauncher) Start(ctx context.Context, slot, spawn int) (WorkerConn, error) {
+	if l.Spawn != nil {
+		if err := l.Spawn(slot, spawn); err != nil {
+			return nil, err
+		}
+	}
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := l.ln.Accept()
+		ch <- accepted{conn, err}
+	}()
+	select {
+	case a := <-ch:
+		if a.err != nil {
+			return nil, a.err
+		}
+		return &tcpConn{Conn: a.conn}, nil
+	case <-ctx.Done():
+		// Leave the accept goroutine to the listener's Close.
+		return nil, ctx.Err()
+	}
+}
+
+// tcpConn is an accepted worker connection as a WorkerConn.
+type tcpConn struct {
+	net.Conn
+}
+
+// Kill closes the connection; the worker's serve loop ends with a read
+// error and the process (if local) exits.
+func (t *tcpConn) Kill() { t.Conn.Close() }

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"chainchaos/internal/obs"
+)
+
+// TestHelperWorker is not a test: it is the worker process body for
+// TestProcLauncher, selected via the DIST_TEST_WORKER environment variable.
+func TestHelperWorker(t *testing.T) {
+	if os.Getenv("DIST_TEST_WORKER") != "1" {
+		t.Skip("helper process for TestProcLauncher")
+	}
+	err := ServeStdio(context.Background(), func(payload json.RawMessage) (RangeRunner, *obs.Registry, error) {
+		var cfg struct {
+			Mod int `json:"mod"`
+		}
+		if err := json.Unmarshal(payload, &cfg); err != nil {
+			return nil, nil, err
+		}
+		reg := obs.NewRegistry()
+		reg.Counter("helper.leases").Add(1)
+		return testRunner(cfg.Mod), reg, nil
+	})
+	// Exit before the test framework prints its verdict on stdout — stdout
+	// is the wire and must carry protocol lines only.
+	if err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestProcLauncher drives real fork/exec'd worker processes (the test binary
+// re-invoked as TestHelperWorker) over stdio and checks byte identity, tally
+// folding, and that worker-side RSS made it over the wire.
+func TestProcLauncher(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	launcher := &ProcLauncher{Path: exe, Args: []string{"-test.run", "^TestHelperWorker$", "-test.v=false"}}
+	t.Setenv("DIST_TEST_WORKER", "1")
+
+	reg := obs.NewRegistry()
+	var out strings.Builder
+	res, err := Run(context.Background(), Config{
+		Workers: 2, Total: 300, LeaseSize: 50, Out: &out,
+		SinkStage: "test", Launch: launcher, Metrics: reg,
+		Payload: func(slot, spawn int) []byte { return []byte(`{"mod":1}`) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expectOutput(0, 300, 1); out.String() != want {
+		t.Fatalf("exec output differs from serial run (%d vs %d bytes)", out.Len(), len(want))
+	}
+	if res.Tallies["ranks"] != 300 {
+		t.Fatalf("ranks tally = %d, want 300", res.Tallies["ranks"])
+	}
+	// Peak RSS of real processes is nonzero and surfaced per worker and
+	// fleet-wide.
+	for slot, rss := range res.WorkerRSSKB {
+		if rss <= 0 {
+			t.Fatalf("worker %d reported max_rss_kb %d, want > 0", slot, rss)
+		}
+	}
+	if reg.Gauge("proc.fleet_max_rss_kb").Value() <= 0 {
+		t.Fatal("proc.fleet_max_rss_kb not set")
+	}
+	// Worker counter snapshots folded into the coordinator registry.
+	if reg.Counter("helper.leases").Value() == 0 {
+		t.Fatal("worker counters did not fold into the coordinator registry")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package dist
+
+import "os"
+
+// KillSelf approximates an uncatchable kill on platforms without SIGKILL:
+// an immediate exit with the conventional 137 status, skipping all deferred
+// cleanup.
+func KillSelf() {
+	os.Exit(137)
+}

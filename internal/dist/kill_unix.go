@@ -1,0 +1,17 @@
+//go:build unix
+
+package dist
+
+import (
+	"os"
+	"syscall"
+)
+
+// KillSelf sends the process an uncatchable SIGKILL — the chaos knob the CI
+// smoke test arms on one worker to prove a mid-lease kill -9 loses no ranks.
+// No deferred cleanup runs; the coordinator sees exactly what a crashed
+// worker looks like.
+func KillSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck
+	select {}                                  // unreachable: SIGKILL cannot be handled
+}

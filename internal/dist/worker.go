@@ -1,0 +1,137 @@
+// The worker side of the protocol: a serve loop that reads the job config,
+// then executes leases one at a time over the caller's RangeRunner, emitting
+// result lines and liveness marks as ranks complete.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"chainchaos/internal/obs"
+)
+
+// markEvery is the liveness cadence for ranks that produce no output line:
+// one mark message per this many silent ranks. Ranks with lines are their
+// own liveness signal.
+const markEvery = 256
+
+// RangeRunner executes the leased rank range [lo, hi), calling emit exactly
+// once per completed rank, in rank order. line is the rank's result record
+// without a trailing newline, or nil when the rank produces no output (a
+// sparse sink). The returned tallies are lease-granular counts (sites
+// scanned, errors, compliant, ...) the coordinator folds into the merged
+// report exactly once per completed lease; they must derive from the ranks
+// alone so a re-run of the lease yields identical tallies.
+type RangeRunner func(ctx context.Context, lo, hi int, emit func(rank int, line []byte) error) (map[string]int64, error)
+
+// Setup builds a worker's runner from the coordinator's config payload. The
+// returned registry, when non-nil, has its counter snapshot shipped to the
+// coordinator with every lease completion so per-worker metrics fold into
+// one fleet snapshot.
+type Setup func(payload json.RawMessage) (RangeRunner, *obs.Registry, error)
+
+// Serve runs the worker protocol over (r, w): it waits for the config
+// message, builds the runner via setup, answers with hello, then executes
+// leases until a stop message or EOF. Lease failures are reported to the
+// coordinator (msgFail) without ending the serve loop — the coordinator
+// decides whether to retry, reassign, or abort.
+func Serve(ctx context.Context, r io.Reader, w io.Writer, setup Setup) error {
+	conn := newWire(r, w)
+
+	first, err := conn.recv()
+	if err != nil {
+		return fmt.Errorf("dist: worker: read config: %w", err)
+	}
+	if first.T != msgConfig {
+		return fmt.Errorf("dist: worker: expected %s, got %s", msgConfig, first.T)
+	}
+	runner, reg, err := setup(first.Payload)
+	if err != nil {
+		conn.send(&message{T: msgFail, Err: err.Error()}) //nolint:errcheck
+		return fmt.Errorf("dist: worker setup: %w", err)
+	}
+	if err := conn.send(&message{T: msgHello}); err != nil {
+		return err
+	}
+
+	for {
+		m, err := conn.recv()
+		if err == io.EOF {
+			return nil // coordinator closed the wire: clean shutdown
+		}
+		if err != nil {
+			return fmt.Errorf("dist: worker: read: %w", err)
+		}
+		switch m.T {
+		case msgStop:
+			return nil
+		case msgLease:
+			if err := runLease(ctx, conn, runner, reg, m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: worker: unexpected message %q", m.T)
+		}
+	}
+}
+
+// runLease executes one granted lease and streams its results. Only wire
+// errors are returned (they end the worker); runner errors go back to the
+// coordinator as a msgFail.
+func runLease(ctx context.Context, conn *wire, runner RangeRunner, reg *obs.Registry, grant *message) error {
+	silent := 0
+	lastRank := grant.Lo - 1
+	var wireErr error
+	emit := func(rank int, line []byte) error {
+		lastRank = rank
+		if line == nil {
+			if silent++; silent < markEvery {
+				return nil
+			}
+			silent = 0
+			wireErr = conn.send(&message{T: msgMark, Lease: grant.Lease, Epoch: grant.Epoch, Rank: rank})
+			return wireErr
+		}
+		silent = 0
+		wireErr = conn.send(&message{T: msgRec, Lease: grant.Lease, Epoch: grant.Epoch, Rank: rank, Line: json.RawMessage(line)})
+		return wireErr
+	}
+	tallies, err := runner(ctx, grant.Lo, grant.Hi, emit)
+	if wireErr != nil {
+		return fmt.Errorf("dist: worker: send: %w", wireErr)
+	}
+	if err != nil {
+		return conn.send(&message{T: msgFail, Lease: grant.Lease, Epoch: grant.Epoch, Rank: lastRank, Err: err.Error()})
+	}
+	done := &message{
+		T: msgDone, Lease: grant.Lease, Epoch: grant.Epoch, Rank: grant.Hi - 1,
+		Tallies: tallies, RSSKB: obs.MaxRSSKB(),
+	}
+	if reg != nil {
+		done.Counters = reg.Snapshot().Counters
+	}
+	return conn.send(done)
+}
+
+// ServeStdio runs the worker protocol over the process's stdin/stdout — the
+// -worker mode of the commands, matching ProcLauncher on the coordinator
+// side. Anything the job prints must go to stderr; stdout is the wire.
+func ServeStdio(ctx context.Context, setup Setup) error {
+	return Serve(ctx, os.Stdin, os.Stdout, setup)
+}
+
+// ServeTCP dials the coordinator's listener at addr and runs the worker
+// protocol over the connection — the -worker -connect mode, matching
+// TCPLauncher. Remote workers are exactly this plus a routable address.
+func ServeTCP(ctx context.Context, addr string, setup Setup) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: worker: connect %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return Serve(ctx, conn, conn, setup)
+}

@@ -39,6 +39,17 @@ type StreamConfig struct {
 	// stream in Out is the run's durable record.
 	Journal *pipeline.Journal
 	Resume  int
+	// Limit, when > 0, is the first rank the run does NOT process: the run
+	// covers exactly [Resume, Limit) of the Size-domain population. The
+	// population source is rank-deterministic, so the records of a
+	// range-restricted run are byte-identical to the same ranks of a
+	// full-range run — what lets the distributed coordinator lease
+	// sub-ranges to workers.
+	Limit int
+	// Record, when non-nil, receives every retired rank in order (line nil
+	// for compliant chains, which emit no JSONL) — the distributed worker's
+	// tap. See difftest.Harness.Record.
+	Record func(rank int, line []byte) error
 	// Reuse and Pool shape the population's chain-duplication skew
 	// (population.Config.ChainReuse / ChainPool): the fraction of domains
 	// presenting a pooled chain, and the slot-pool size.
@@ -55,6 +66,17 @@ type StreamConfig struct {
 // therefore the table — is bit-identical to Env.DifferentialOverview for the
 // same (size, seed) when the run is not resumed partway.
 func DifferentialStream(ctx context.Context, cfg StreamConfig) (*report.Table, error) {
+	sum, err := DifferentialStreamSummary(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return differentialTable(sum), nil
+}
+
+// DifferentialStreamSummary is DifferentialStream stopping at the raw
+// summary — the form distributed workers ship (as Summary.Tallies) so the
+// coordinator can merge leases before rendering one table.
+func DifferentialStreamSummary(ctx context.Context, cfg StreamConfig) (*difftest.Summary, error) {
 	if cfg.Size <= 0 {
 		cfg.Size = 100000
 	}
@@ -62,15 +84,21 @@ func DifferentialStream(ctx context.Context, cfg StreamConfig) (*report.Table, e
 		Size: cfg.Size, Seed: cfg.Seed, Workers: cfg.Workers,
 		ChainReuse: cfg.Reuse, ChainPool: cfg.Pool,
 	})
-	h := &difftest.Harness{Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out, Dedup: cfg.Dedup}
-	sum, err := h.RunStream(ctx, src, pipeline.Options{
+	h := &difftest.Harness{
+		Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out,
+		Dedup: cfg.Dedup, Record: cfg.Record,
+	}
+	return h.RunStream(ctx, src, pipeline.Options{
 		Name:    "difftest",
 		Metrics: cfg.Metrics,
 		Journal: cfg.Journal,
 		Resume:  cfg.Resume,
+		Limit:   cfg.Limit,
 	}, cfg.Queue)
-	if err != nil {
-		return nil, err
-	}
-	return differentialTable(sum), nil
+}
+
+// DifferentialTableFromTallies renders the §5.2 overview table from the
+// merged tally maps of a distributed run.
+func DifferentialTableFromTallies(t map[string]int64) *report.Table {
+	return differentialTable(difftest.SummaryFromTallies(t))
 }

@@ -32,6 +32,27 @@ type CLI struct {
 	// unconditionally. It is only exported when -metrics names a file.
 	Metrics *Registry
 
+	// Distribute is the -distribute value once parsed: the number of worker
+	// processes a distributed run fans out to (0 = single-process).
+	Distribute int
+	// Worker is true when this process was started as a -worker: it speaks
+	// the dist wire protocol on stdin/stdout (or the -connect address) and
+	// must write nothing else to stdout.
+	Worker bool
+	// Connect is the coordinator address a -worker dials; empty means the
+	// worker was fork/exec'd and serves on stdio.
+	Connect string
+	// DistListen, when set on a coordinator, accepts workers on this TCP
+	// address instead of fork/exec'ing them — remote workers run the same
+	// command with -worker -connect <addr>.
+	DistListen string
+	// DistLease is the -dist-lease value: ranks per lease (0 = auto,
+	// span/(8·workers) capped below at 64). Larger leases amortize per-lease
+	// substrate setup — under -dedup every lease re-deploys and re-scans the
+	// distinct-chain pool it encounters — at the cost of a coarser redo unit
+	// when a worker dies.
+	DistLease int
+
 	metricsFile string
 	pprofAddr   string
 }
@@ -55,6 +76,18 @@ func (c *CLI) BindRetries(def int, usage string) {
 		usage = "extra attempts after a transient failure (0 = try once)"
 	}
 	flag.IntVar(&c.Retries, "retries", def, usage)
+}
+
+// BindDistribute registers the distributed-execution trio: -distribute N
+// runs the command as a coordinator fanning out to N worker processes,
+// -worker marks a process as one of those workers, and -connect points a
+// worker at a remote coordinator's TCP listener instead of stdio.
+func (c *CLI) BindDistribute() {
+	flag.IntVar(&c.Distribute, "distribute", 0, "fan the run out to this many worker processes (0 = single-process)")
+	flag.BoolVar(&c.Worker, "worker", false, "serve as a distributed worker (stdout is the wire protocol)")
+	flag.StringVar(&c.Connect, "connect", "", "coordinator address a -worker dials (empty = stdio to the parent)")
+	flag.StringVar(&c.DistListen, "dist-listen", "", "accept -distribute workers on this TCP address instead of spawning them locally")
+	flag.IntVar(&c.DistLease, "dist-lease", 0, "ranks per lease in a distributed run (0 = auto; larger leases amortize per-lease setup, smaller ones bound the redo window)")
 }
 
 // BindObs registers the -metrics and -pprof pair.

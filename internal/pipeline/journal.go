@@ -4,6 +4,14 @@
 // progress — rank r retired implies every rank below r retired too. A run
 // that is interrupted resumes from Last(stage)+1 and redoes at most the
 // work between the last written watermark and the crash.
+//
+// Multi-writer safety: the file is opened O_APPEND and every record is
+// appended with a single write(2) under an advisory flock, so several
+// processes (a distributed coordinator and its workers, or per-worker
+// shards later merged) can share one journal without tearing each other's
+// lines. A distributed run additionally appends lease records — grant,
+// done, expire events for each leased rank range — interleaved with the
+// stage watermarks; the watermark loader skips them.
 package pipeline
 
 import (
@@ -14,15 +22,36 @@ import (
 	"sync"
 )
 
-// journalEntry is one JSONL line of the shard journal.
+// journalEntry is one JSONL line of the shard journal. Stage watermarks use
+// only (Stage, Rank); lease records carry the extra fields and a non-empty
+// Event, which is what the watermark loader keys off to skip them.
 type journalEntry struct {
 	Stage string `json:"stage"`
 	Rank  int    `json:"rank"`
+
+	Event string `json:"event,omitempty"`
+	Lease int    `json:"lease,omitempty"`
+	Lo    int    `json:"lo,omitempty"`
+	Hi    int    `json:"hi,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
+}
+
+// LeaseRecord is one lease event of a distributed run, as read back from a
+// journal: the coordinator granted, completed, or expired the lease covering
+// ranks [Lo, Hi). Epoch counts reassignments of the same range.
+type LeaseRecord struct {
+	Event string
+	Lease int
+	Lo    int
+	Hi    int
+	Epoch int
 }
 
 // Journal is an append-only JSONL watermark file shared by every stage of a
 // pipeline run. All methods are safe for concurrent use and are no-ops on a
 // nil receiver, so an unjournaled run pays one nil check per retirement.
+// Concurrent appenders — other handles in this process or other processes —
+// are safe too: appends are single O_APPEND writes under an advisory flock.
 type Journal struct {
 	// Every is the write cadence: a stage's watermark line is appended every
 	// Every retirements (and once more at Close). Lower values shrink the
@@ -32,7 +61,6 @@ type Journal struct {
 
 	mu    sync.Mutex
 	f     *os.File
-	w     *bufio.Writer
 	last  map[string]int // highest rank journaled per stage
 	since map[string]int // retirements since the stage's last written line
 	high  map[string]int // highest rank retired (in memory) per stage
@@ -41,7 +69,7 @@ type Journal struct {
 // OpenJournal opens (or creates) the journal at path and loads every
 // existing watermark, so Last immediately reflects the previous run.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: open journal: %w", err)
 	}
@@ -53,6 +81,7 @@ func OpenJournal(path string) (*Journal, error) {
 		high:  make(map[string]int),
 	}
 	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -64,6 +93,9 @@ func OpenJournal(path string) (*Journal, error) {
 			// still stand, so ignore it rather than refuse to resume.
 			continue
 		}
+		if e.Event != "" {
+			continue // lease record, not a watermark
+		}
 		if cur, ok := j.last[e.Stage]; !ok || e.Rank > cur {
 			j.last[e.Stage] = e.Rank
 			j.high[e.Stage] = e.Rank
@@ -73,11 +105,6 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("pipeline: read journal: %w", err)
 	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pipeline: seek journal: %w", err)
-	}
-	j.w = bufio.NewWriter(f)
 	return j, nil
 }
 
@@ -91,6 +118,30 @@ func Checkpoint(path, stage string) (*Journal, int, error) {
 		return nil, 0, err
 	}
 	return j, j.Last(SinkName(stage)) + 1, nil
+}
+
+// ReadLeases returns every lease record in the journal at path, in append
+// order. A missing file returns no records; torn lines are skipped.
+func ReadLeases(path string) ([]LeaseRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: read leases: %w", err)
+	}
+	defer f.Close()
+	var out []LeaseRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var e journalEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Event == "" {
+			continue
+		}
+		out = append(out, LeaseRecord{Event: e.Event, Lease: e.Lease, Lo: e.Lo, Hi: e.Hi, Epoch: e.Epoch})
+	}
+	return out, sc.Err()
 }
 
 // Last returns the highest journaled rank for the stage, or -1 if the stage
@@ -125,21 +176,38 @@ func (j *Journal) Retire(stage string, rank int) {
 		every = 1
 	}
 	if j.since[stage] >= every {
-		j.writeLocked(stage, j.high[stage])
+		j.writeLocked(journalEntry{Stage: stage, Rank: j.high[stage]})
 	}
 }
 
-// writeLocked appends one watermark line and flushes it. Callers hold j.mu.
-func (j *Journal) writeLocked(stage string, rank int) {
-	data, err := json.Marshal(journalEntry{Stage: stage, Rank: rank})
+// Lease appends one lease record: event is "grant", "done", or "expire";
+// the lease covers ranks [lo, hi) and epoch counts reassignments. Lease
+// records are written through immediately — they are the audit trail a
+// failure analysis reads, not a cadence-batched watermark. No-op on nil.
+func (j *Journal) Lease(event string, lease, lo, hi, epoch int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeLocked(journalEntry{Stage: "lease", Rank: hi - 1, Event: event, Lease: lease, Lo: lo, Hi: hi, Epoch: epoch})
+}
+
+// writeLocked appends one journal line as a single O_APPEND write under the
+// file's advisory lock. Callers hold j.mu.
+func (j *Journal) writeLocked(e journalEntry) {
+	data, err := json.Marshal(e)
 	if err != nil {
 		return
 	}
-	j.w.Write(data)     //nolint:errcheck // surfaced by Close's Flush
-	j.w.WriteByte('\n') //nolint:errcheck
-	j.w.Flush()         //nolint:errcheck
-	j.last[stage] = rank
-	j.since[stage] = 0
+	data = append(data, '\n')
+	lockFile(j.f)
+	j.f.Write(data) //nolint:errcheck // surfaced by Close's Sync
+	unlockFile(j.f)
+	if e.Event == "" {
+		j.last[e.Stage] = e.Rank
+		j.since[e.Stage] = 0
+	}
 }
 
 // Flush writes the current in-memory watermark of every stage that advanced
@@ -152,10 +220,10 @@ func (j *Journal) Flush() error {
 	defer j.mu.Unlock()
 	for stage, rank := range j.high {
 		if last, ok := j.last[stage]; !ok || rank > last {
-			j.writeLocked(stage, rank)
+			j.writeLocked(journalEntry{Stage: stage, Rank: rank})
 		}
 	}
-	return j.w.Flush()
+	return nil
 }
 
 // Close flushes the final watermarks and closes the file. No-op on nil.

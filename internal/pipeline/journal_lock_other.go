@@ -1,0 +1,11 @@
+//go:build !unix
+
+package pipeline
+
+import "os"
+
+// Non-unix platforms have no flock; O_APPEND atomicity for small writes is
+// the only cross-process guarantee. Single-process journals (the common
+// case) are fully serialized by Journal.mu regardless.
+func lockFile(*os.File)   {}
+func unlockFile(*os.File) {}

@@ -51,6 +51,11 @@ type Options struct {
 	// Resume is the first rank the source emits (0 is a full run). Callers
 	// resuming from a Journal pass Last(sinkStage)+1.
 	Resume int
+	// Limit, when > 0, is the first rank the source does NOT emit: the run
+	// covers exactly [Resume, Limit). It is how a distributed worker executes
+	// a leased sub-range of the population — per-rank seeding makes the
+	// leased ranks bit-identical to the same ranks of a full-range run.
+	Limit int
 }
 
 // item is one unit of work flowing between stages.
@@ -164,6 +169,9 @@ func From[T any](ctx context.Context, opts Options, name string, queue int, next
 			}
 		}()
 		for rank := opts.Resume; ctx.Err() == nil; rank++ {
+			if opts.Limit > 0 && rank >= opts.Limit {
+				return
+			}
 			v, ok, err := next(rank)
 			if err != nil {
 				r.fail(err)

@@ -47,6 +47,17 @@ type Stream struct {
 	// skipped entirely (their defect assignments are still drawn from the
 	// seeded rng, so the remaining sites are identical to a full run's).
 	Resume int
+	// Limit, when > 0, is the first rank the run does NOT process: the run
+	// covers exactly [Resume, Limit) of a cfg.Sites-site study. Because
+	// every per-rank decision is either replayed (the serial rng burn) or
+	// salted by (Seed, rank), the records of a range-restricted run are
+	// byte-identical to the same ranks of a full run — the property the
+	// distributed coordinator leans on when leasing sub-ranges to workers.
+	Limit int
+	// Record, when non-nil, receives each site's JSONL record (without
+	// trailing newline) in rank order — the distributed worker's tap. It
+	// runs in addition to Out, before it.
+	Record func(rank int, line []byte) error
 	// Queue bounds each stage hop; <= 0 means 2× the stage's workers.
 	Queue int
 	// KeepSites retains every graded *Site in Report.Sites — the batch
@@ -310,7 +321,7 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		return s, true, nil
 	}
 
-	opts := pipeline.Options{Name: "study", Metrics: reg, Journal: st.Journal, Resume: st.Resume}
+	opts := pipeline.Options{Name: "study", Metrics: reg, Journal: st.Journal, Resume: st.Resume, Limit: st.Limit}
 	src := pipeline.From(ctx, opts, "deploy", st.Queue, func(rank int) (deployed, bool, error) {
 		if rank >= cfg.Sites {
 			return deployed{}, false, nil
@@ -581,8 +592,21 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		if st.KeepSites {
 			rep.Sites = append(rep.Sites, g.site)
 		}
-		if st.Out != nil {
-			return writeSiteRecord(st.Out, rank, g)
+		if st.Out != nil || st.Record != nil {
+			data, err := marshalSiteRecord(rank, g)
+			if err != nil {
+				return err
+			}
+			if st.Record != nil {
+				if err := st.Record(rank, data); err != nil {
+					return err
+				}
+			}
+			if st.Out != nil {
+				if _, err := st.Out.Write(append(data, '\n')); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})
@@ -615,10 +639,11 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 	return rep, nil
 }
 
-// writeSiteRecord marshals one site's JSONL line. encoding/json emits map
-// keys sorted, and the record excludes every nondeterministic field, so the
-// byte stream depends only on (Seed, Sites, Resume).
-func writeSiteRecord(w io.Writer, rank int, g gradedSite) error {
+// marshalSiteRecord builds one site's JSONL line, without the trailing
+// newline. encoding/json emits map keys sorted, and the record excludes
+// every nondeterministic field, so the byte stream depends only on
+// (Seed, Sites, Resume, Limit).
+func marshalSiteRecord(rank int, g gradedSite) ([]byte, error) {
 	rec := SiteRecord{
 		Rank:       rank,
 		Domain:     g.site.Domain,
@@ -635,11 +660,5 @@ func writeSiteRecord(w io.Writer, rank int, g gradedSite) error {
 		rec.Completeness = fmt.Sprint(g.site.Report.Completeness.Class)
 		rec.Verdicts = g.site.Verdicts
 	}
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	_, err = w.Write(data)
-	return err
+	return json.Marshal(rec)
 }

@@ -1,100 +1,179 @@
 #!/usr/bin/env bash
-# bench_json.sh — emits BENCH_pr6.json, the PR 6 performance record:
-#   * differential-harness wall and allocs/op (Go benchmark, -benchmem)
-#   * 100k-site study wall, dedup off vs on, at paper-realistic chain reuse
-#     (the off run pays the full physical cost per site; the on run pays it
-#     per distinct chain) — the two JSONL outputs are verified byte-identical
-#   * 10M-site dedup study under GOMEMLIMIT=64MiB: wall, peak RSS, hit rate
+# bench_json.sh — emits BENCH_<pr>.json, the PR performance record.
 #
-# Knobs (env): STUDY_SITES (default 100000), BIG_SITES (default 10000000),
-# REUSE (default 0.9995), POOL (default 3000), OUT (default BENCH_pr6.json).
-# The full run takes ~15 minutes on one core, dominated by the dedup-off
-# baseline and the 10M sweep.
+# Modes (env PR, default pr7):
+#
+#   PR=pr6  the PR 6 record:
+#     * differential-harness wall and allocs/op (Go benchmark, -benchmem)
+#     * 100k-site study wall, dedup off vs on, at paper-realistic chain reuse
+#       (the off run pays the full physical cost per site; the on run pays it
+#       per distinct chain) — the two JSONL outputs are verified byte-identical
+#     * 10M-site dedup study under GOMEMLIMIT=64MiB: wall, peak RSS, hit rate
+#
+#   PR=pr7  the PR 7 record: distributed coordinator/worker scaling —
+#     single-process 100k-site dedup study as the baseline, then the same
+#     study under -distribute 1/2/4/8, each output verified byte-identical
+#     to the baseline, with wall, fleet peak RSS, and lease counters per
+#     fleet size. Speedup is bounded by the host's core count: on a 1-core
+#     box the table measures distribution overhead, not parallelism.
+#
+# Knobs (env): PR (default pr7), OUT (default BENCH_<pr>.json),
+# STUDY_SITES (default 100000), BIG_SITES (default 10000000, pr6 only),
+# REUSE (default 0.9995), POOL (default 3000),
+# WORKER_COUNTS (default "1 2 4 8", pr7 only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr6.json}
+PR=${PR:-pr7}
+OUT=${OUT:-BENCH_${PR}.json}
 REUSE=${REUSE:-0.9995}
 POOL=${POOL:-3000}
 STUDY_SITES=${STUDY_SITES:-100000}
 BIG_SITES=${BIG_SITES:-10000000}
+WORKER_COUNTS=${WORKER_COUNTS:-1 2 4 8}
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 now_ms() { date +%s%3N; }
 
-echo "bench-json: harness benchmark" >&2
-go test -run xxx -bench 'BenchmarkDifferentialHarness2k$' -benchtime 2x -benchmem . >"$TMP/bench.txt"
-HARNESS_NS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $3; exit}' "$TMP/bench.txt")
-HARNESS_ALLOCS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $7; exit}' "$TMP/bench.txt")
-
 go build -o "$TMP/study" ./cmd/study
 
-echo "bench-json: ${STUDY_SITES}-site study, dedup off (full physical cost per site)" >&2
-t0=$(now_ms)
-GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream \
-  -reuse "$REUSE" -distinct "$POOL" \
-  -out "$TMP/off.jsonl" -metrics "$TMP/off.json" >/dev/null
-OFF_MS=$(($(now_ms) - t0))
+bench_pr6() {
+  echo "bench-json: harness benchmark" >&2
+  go test -run xxx -bench 'BenchmarkDifferentialHarness2k$' -benchtime 2x -benchmem . >"$TMP/bench.txt"
+  HARNESS_NS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $3; exit}' "$TMP/bench.txt")
+  HARNESS_ALLOCS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $7; exit}' "$TMP/bench.txt")
 
-echo "bench-json: ${STUDY_SITES}-site study, dedup on" >&2
-t0=$(now_ms)
-GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
-  -reuse "$REUSE" -distinct "$POOL" \
-  -out "$TMP/on.jsonl" -metrics "$TMP/on.json" >/dev/null
-ON_MS=$(($(now_ms) - t0))
+  echo "bench-json: ${STUDY_SITES}-site study, dedup off (full physical cost per site)" >&2
+  t0=$(now_ms)
+  GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream \
+    -reuse "$REUSE" -distinct "$POOL" \
+    -out "$TMP/off.jsonl" -metrics "$TMP/off.json" >/dev/null
+  OFF_MS=$(($(now_ms) - t0))
 
-cmp -s "$TMP/off.jsonl" "$TMP/on.jsonl" || {
-  echo "bench-json: dedup on/off JSONL streams differ — determinism broken" >&2
-  exit 1
+  echo "bench-json: ${STUDY_SITES}-site study, dedup on" >&2
+  t0=$(now_ms)
+  GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
+    -reuse "$REUSE" -distinct "$POOL" \
+    -out "$TMP/on.jsonl" -metrics "$TMP/on.json" >/dev/null
+  ON_MS=$(($(now_ms) - t0))
+
+  cmp -s "$TMP/off.jsonl" "$TMP/on.jsonl" || {
+    echo "bench-json: dedup on/off JSONL streams differ — determinism broken" >&2
+    exit 1
+  }
+
+  echo "bench-json: ${BIG_SITES}-site study, dedup on, GOMEMLIMIT=64MiB" >&2
+  t0=$(now_ms)
+  GOMEMLIMIT=64MiB "$TMP/study" -sites "$BIG_SITES" -vantages 1 -stream -dedup \
+    -reuse "$REUSE" -distinct "$POOL" \
+    -out /dev/null -metrics "$TMP/big.json" >/dev/null
+  BIG_MS=$(($(now_ms) - t0))
+
+  jq -e ".counters[\"study.grade.items\"] == $BIG_SITES" "$TMP/big.json" >/dev/null || {
+    echo "bench-json: 10M run graded fewer than $BIG_SITES sites" >&2
+    exit 1
+  }
+
+  jq -n \
+    --argjson harness_ns "${HARNESS_NS:-0}" \
+    --argjson harness_allocs "${HARNESS_ALLOCS:-0}" \
+    --argjson sites "$STUDY_SITES" --argjson big_sites "$BIG_SITES" \
+    --argjson reuse "$REUSE" --argjson pool "$POOL" \
+    --argjson off_ms "$OFF_MS" --argjson on_ms "$ON_MS" --argjson big_ms "$BIG_MS" \
+    --slurpfile on "$TMP/on.json" --slurpfile big "$TMP/big.json" \
+    '
+    def cache(m): {
+      hits: m.counters["study.vcache.hits"],
+      misses: m.counters["study.vcache.misses"],
+      hit_rate: (m.counters["study.vcache.hits"] /
+                 (m.counters["study.vcache.hits"] + m.counters["study.vcache.misses"]))
+    };
+    {
+      harness_2k: { ns_per_op: $harness_ns, allocs_per_op: $harness_allocs },
+      study_100k: {
+        sites: $sites, reuse: $reuse, pool: $pool, vantages: 1,
+        dedup_off_wall_ms: $off_ms,
+        dedup_on_wall_ms: $on_ms,
+        speedup: ($off_ms / $on_ms),
+        output_identical: true,
+        cache: cache($on[0]),
+        max_rss_kb: $on[0].gauges["proc.max_rss_kb"]
+      },
+      study_10m: {
+        sites: $big_sites, reuse: $reuse, pool: $pool, vantages: 1,
+        gomemlimit: "64MiB",
+        wall_ms: $big_ms,
+        cache: cache($big[0]),
+        max_rss_kb: $big[0].gauges["proc.max_rss_kb"]
+      }
+    }' >"$OUT"
 }
 
-echo "bench-json: ${BIG_SITES}-site study, dedup on, GOMEMLIMIT=64MiB" >&2
-t0=$(now_ms)
-GOMEMLIMIT=64MiB "$TMP/study" -sites "$BIG_SITES" -vantages 1 -stream -dedup \
-  -reuse "$REUSE" -distinct "$POOL" \
-  -out /dev/null -metrics "$TMP/big.json" >/dev/null
-BIG_MS=$(($(now_ms) - t0))
+bench_pr7() {
+  echo "bench-json: ${STUDY_SITES}-site dedup study, single-process baseline" >&2
+  t0=$(now_ms)
+  "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
+    -reuse "$REUSE" -distinct "$POOL" \
+    -out "$TMP/base.jsonl" -metrics "$TMP/base.json" >/dev/null
+  BASE_MS=$(($(now_ms) - t0))
 
-jq -e ".counters[\"study.grade.items\"] == $BIG_SITES" "$TMP/big.json" >/dev/null || {
-  echo "bench-json: 10M run graded fewer than $BIG_SITES sites" >&2
-  exit 1
+  # Two sweeps: default leases (span/(8·W) — fine-grained redo window, but
+  # under -dedup every lease re-deploys and re-scans the distinct-chain pool
+  # it encounters) and one-lease-per-worker (-dist-lease sites/W — the pool
+  # is paid once per worker, the redo unit is the whole range).
+  : >"$TMP/rows.jsonl"
+  for MODE in auto coarse; do
+    for W in $WORKER_COUNTS; do
+      LEASE=0
+      [ "$MODE" = coarse ] && LEASE=$((STUDY_SITES / W))
+      echo "bench-json: ${STUDY_SITES}-site dedup study, -distribute $W -dist-lease $LEASE" >&2
+      t0=$(now_ms)
+      "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -dedup \
+        -reuse "$REUSE" -distinct "$POOL" -distribute "$W" -dist-lease "$LEASE" \
+        -out "$TMP/w$W.jsonl" -metrics "$TMP/w$W.json" >/dev/null
+      W_MS=$(($(now_ms) - t0))
+      cmp -s "$TMP/base.jsonl" "$TMP/w$W.jsonl" || {
+        echo "bench-json: -distribute $W JSONL differs from single-process — determinism broken" >&2
+        exit 1
+      }
+      jq -n --argjson w "$W" --argjson ms "$W_MS" --argjson base "$BASE_MS" \
+        --argjson lease "$LEASE" \
+        --slurpfile m "$TMP/w$W.json" '
+        {
+          workers: $w,
+          lease_size: (if $lease == 0 then "auto" else $lease end),
+          wall_ms: $ms,
+          speedup_vs_single: ($base / $ms),
+          output_identical: true,
+          lease_grants: $m[0].counters["dist.lease_grants"],
+          lease_reassigned: ($m[0].counters["dist.lease_reassigned"] // 0),
+          fleet_max_rss_kb: $m[0].gauges["proc.fleet_max_rss_kb"]
+        }' >>"$TMP/rows.jsonl"
+    done
+  done
+
+  jq -n \
+    --argjson sites "$STUDY_SITES" \
+    --argjson reuse "$REUSE" --argjson pool "$POOL" \
+    --argjson base_ms "$BASE_MS" --argjson cores "$(nproc)" \
+    --slurpfile rows "$TMP/rows.jsonl" \
+    '{
+      study_distributed: {
+        sites: $sites, reuse: $reuse, pool: $pool, vantages: 1, dedup: true,
+        host_cores: $cores,
+        single_process_wall_ms: $base_ms,
+        fleets: $rows
+      }
+    }' >"$OUT"
 }
 
-jq -n \
-  --argjson harness_ns "${HARNESS_NS:-0}" \
-  --argjson harness_allocs "${HARNESS_ALLOCS:-0}" \
-  --argjson sites "$STUDY_SITES" --argjson big_sites "$BIG_SITES" \
-  --argjson reuse "$REUSE" --argjson pool "$POOL" \
-  --argjson off_ms "$OFF_MS" --argjson on_ms "$ON_MS" --argjson big_ms "$BIG_MS" \
-  --slurpfile on "$TMP/on.json" --slurpfile big "$TMP/big.json" \
-  '
-  def cache(m): {
-    hits: m.counters["study.vcache.hits"],
-    misses: m.counters["study.vcache.misses"],
-    hit_rate: (m.counters["study.vcache.hits"] /
-               (m.counters["study.vcache.hits"] + m.counters["study.vcache.misses"]))
-  };
-  {
-    harness_2k: { ns_per_op: $harness_ns, allocs_per_op: $harness_allocs },
-    study_100k: {
-      sites: $sites, reuse: $reuse, pool: $pool, vantages: 1,
-      dedup_off_wall_ms: $off_ms,
-      dedup_on_wall_ms: $on_ms,
-      speedup: ($off_ms / $on_ms),
-      output_identical: true,
-      cache: cache($on[0]),
-      max_rss_kb: $on[0].gauges["proc.max_rss_kb"]
-    },
-    study_10m: {
-      sites: $big_sites, reuse: $reuse, pool: $pool, vantages: 1,
-      gomemlimit: "64MiB",
-      wall_ms: $big_ms,
-      cache: cache($big[0]),
-      max_rss_kb: $big[0].gauges["proc.max_rss_kb"]
-    }
-  }' >"$OUT"
+case "$PR" in
+  pr6) bench_pr6 ;;
+  pr7) bench_pr7 ;;
+  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7)" >&2; exit 1 ;;
+esac
 
 echo "bench-json: wrote $OUT" >&2
 jq . "$OUT"
