@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json race obs
+.PHONY: build test check bench bench-json race obs loadtest
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/...
+RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/... ./internal/chainserved/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -34,6 +34,12 @@ bench:
 # bench-json writes BENCH_<pr>.json (PR=pr7 by default): the distributed
 # coordinator/worker scaling table — single-process baseline vs -distribute
 # 1/2/4/8 walls, each output verified byte-identical, with lease counters and
-# fleet peak RSS. PR=pr6 reproduces the dedup-off/on and 10M-site record.
+# fleet peak RSS. PR=pr6 reproduces the dedup-off/on and 10M-site record;
+# PR=pr8 the chainserved sustained-load + graceful-drain record.
 bench-json:
 	bash scripts/bench_json.sh
+
+# loadtest sustains QPS (default 200) for DURATION seconds (default 5)
+# against an in-process chainserved and writes the latency record to OUT.
+loadtest:
+	bash scripts/loadtest.sh

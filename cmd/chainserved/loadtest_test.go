@@ -1,0 +1,307 @@
+package main
+
+// The load-test driver behind scripts/loadtest.sh: it sustains a target
+// request rate against a chainserved instance and reports the achieved
+// throughput plus the service-side latency distribution (p50/p95/p99 from
+// the obs histograms — the numbers BENCH_pr8.json records).
+//
+// Environment knobs (all optional; the defaults keep the default `go test`
+// run to a ~2s smoke):
+//
+//	LOAD_QPS=200        target request rate
+//	LOAD_SECONDS=2      sustained duration
+//	LOAD_OUT=file.json  write the result record here
+//	LOAD_TARGET=url     drive an external daemon instead of an in-process
+//	                    server (requires LOAD_PEM_DIR)
+//	LOAD_PEM_DIR=dir    chain fixtures for external mode (-exemplars output)
+//
+// The hard assertion is the ISSUE's: zero failed requests at the sustained
+// rate, with every latency number coming from the service's own histograms.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainserved"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/rootstore"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// loadResult is the record written to LOAD_OUT.
+type loadResult struct {
+	Mode        string  `json:"mode"`
+	QPSTarget   int     `json:"qps_target"`
+	Seconds     int     `json:"seconds"`
+	Sent        int64   `json:"sent"`
+	OK          int64   `json:"ok"`
+	Failed      int64   `json:"failed"`
+	Shed429     int64   `json:"shed_429"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	VerdictLatencyNS struct {
+		Count int64 `json:"count"`
+		P50   int64 `json:"p50"`
+		P95   int64 `json:"p95"`
+		P99   int64 `json:"p99"`
+	} `json:"verdict_latency_ns"`
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+}
+
+// TestLoadSustained fires LOAD_QPS requests per second for LOAD_SECONDS and
+// asserts the service absorbs the rate without a single failed request.
+func TestLoadSustained(t *testing.T) {
+	qps := envInt("LOAD_QPS", 200)
+	seconds := envInt("LOAD_SECONDS", 2)
+
+	var base string
+	var bodies [][]byte
+	var snapshot func(t *testing.T) *obs.Snapshot
+
+	if target := os.Getenv("LOAD_TARGET"); target != "" {
+		base = target
+		bodies = externalBodies(t, os.Getenv("LOAD_PEM_DIR"))
+		snapshot = func(t *testing.T) *obs.Snapshot { return fetchSnapshot(t, base) }
+	} else {
+		reg := obs.NewRegistry()
+		srv := httptest.NewServer(inProcessServer(t, reg).Handler())
+		defer srv.Close()
+		base = srv.URL
+		bodies = inProcessBodies(t)
+		snapshot = func(t *testing.T) *obs.Snapshot { return reg.Snapshot() }
+	}
+
+	var sent, okCount, failed, shed atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	interval := time.Second / time.Duration(qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(time.Duration(seconds) * time.Second)
+
+	start := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-ticker.C
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sent.Add(1)
+			resp, err := client.Post(base+"/v1/verdict", "application/json",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				failed.Add(1)
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var v chainserved.VerdictResponse
+				if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || len(v.Matrix) == 0 {
+					failed.Add(1)
+					t.Errorf("request %d: degraded response (err %v)", i, err)
+					return
+				}
+				okCount.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1) // admission shedding is not a failure, but it is counted
+			default:
+				failed.Add(1)
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := loadResult{
+		Mode:        "inprocess",
+		QPSTarget:   qps,
+		Seconds:     seconds,
+		Sent:        sent.Load(),
+		OK:          okCount.Load(),
+		Failed:      failed.Load(),
+		Shed429:     shed.Load(),
+		AchievedQPS: float64(okCount.Load()) / elapsed.Seconds(),
+	}
+	if os.Getenv("LOAD_TARGET") != "" {
+		res.Mode = "external"
+	}
+	snap := snapshot(t)
+	if hs, ok := snap.Histograms["chainserved.verdict.latency"]; ok {
+		res.VerdictLatencyNS.Count = hs.Count
+		res.VerdictLatencyNS.P50 = hs.P50
+		res.VerdictLatencyNS.P95 = hs.P95
+		res.VerdictLatencyNS.P99 = hs.P99
+	}
+	res.Cache.Hits = snap.Counters["chainserved.vcache.hits"]
+	res.Cache.Misses = snap.Counters["chainserved.vcache.misses"]
+
+	t.Logf("sustained %.0f qps over %v: %d ok, %d failed, %d shed; verdict p50=%v p95=%v p99=%v",
+		res.AchievedQPS, elapsed.Round(time.Millisecond), res.OK, res.Failed, res.Shed429,
+		time.Duration(res.VerdictLatencyNS.P50), time.Duration(res.VerdictLatencyNS.P95),
+		time.Duration(res.VerdictLatencyNS.P99))
+
+	if res.Failed != 0 {
+		t.Fatalf("%d failed requests under load", res.Failed)
+	}
+	if res.OK == 0 {
+		t.Fatal("no request succeeded; the load test proved nothing")
+	}
+	if res.VerdictLatencyNS.Count == 0 {
+		t.Fatal("verdict latency histogram is empty — instrumentation is broken")
+	}
+
+	if out := os.Getenv("LOAD_OUT"); out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("record written to %s", out)
+	}
+}
+
+// inProcessServer builds a chainserved instance over a generated PKI.
+func inProcessServer(t *testing.T, reg *obs.Registry) *chainserved.Server {
+	t.Helper()
+	root, _, _ := loadPKI(t)
+	return chainserved.New(chainserved.Config{
+		Roots:       rootstore.NewWith("load", root.Cert),
+		MaxInFlight: 256,
+		Now:         certgen.Reference,
+		Metrics:     reg,
+	})
+}
+
+var pkiOnce struct {
+	sync.Once
+	root, ca2, ca1 *certgen.Authority
+}
+
+// loadPKI generates (once) the load-test PKI: root → ca2 → ca1.
+func loadPKI(t *testing.T) (root, ca1, ca2 *certgen.Authority) {
+	t.Helper()
+	pkiOnce.Do(func() {
+		var err error
+		if pkiOnce.root, err = certgen.NewRoot("Load Root"); err != nil {
+			return
+		}
+		if pkiOnce.ca2, err = pkiOnce.root.NewIntermediate("Load CA 2"); err != nil {
+			return
+		}
+		pkiOnce.ca1, err = pkiOnce.ca2.NewIntermediate("Load CA 1")
+	})
+	if pkiOnce.ca1 == nil {
+		t.Fatal("PKI generation failed")
+	}
+	return pkiOnce.root, pkiOnce.ca1, pkiOnce.ca2
+}
+
+// inProcessBodies builds a rotation of distinct request bodies — a mix of
+// compliant and defective chains across 32 distinct leaves, so the run
+// exercises both the grading path and the cache.
+func inProcessBodies(t *testing.T) [][]byte {
+	t.Helper()
+	_, ca1, ca2 := loadPKI(t)
+	var bodies [][]byte
+	for i := 0; i < 32; i++ {
+		domain := fmt.Sprintf("load-%d.example", i)
+		leaf, err := ca1.NewLeaf(domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain := []*certmodel.Certificate{leaf.Cert, ca1.Cert, ca2.Cert}
+		if i%3 == 1 { // reversed bundle
+			chain = []*certmodel.Certificate{leaf.Cert, ca2.Cert, ca1.Cert}
+		}
+		if i%3 == 2 { // duplicated leaf
+			chain = []*certmodel.Certificate{leaf.Cert, leaf.Cert, ca1.Cert, ca2.Cert}
+		}
+		pem, err := certmodel.EncodePEM(chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(chainserved.VerdictRequest{Domain: domain, PEM: string(pem)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// externalBodies loads every chain fixture (all *.pem except roots.pem)
+// from dir — the -exemplars output — for external-target mode.
+func externalBodies(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	if dir == "" {
+		t.Fatal("LOAD_TARGET requires LOAD_PEM_DIR (run chainserved -exemplars DIR)")
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.pem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies [][]byte
+	for _, p := range paths {
+		if filepath.Base(p) == "roots.pem" {
+			continue
+		}
+		pem, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(chainserved.VerdictRequest{Domain: "exemplar.test", PEM: string(pem)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		t.Fatalf("no chain fixtures in %s", dir)
+	}
+	return bodies
+}
+
+// fetchSnapshot pulls /metrics from an external daemon.
+func fetchSnapshot(t *testing.T, base string) *obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return &snap
+}

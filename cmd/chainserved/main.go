@@ -1,0 +1,205 @@
+// chainserved serves the paper's analysis pipeline as a long-running
+// HTTP/JSON daemon: POST a certificate chain (PEM) or a host:port to
+// live-scan and get back the structural compliance verdict, the
+// eight-client construction matrix, and the §6-recommendations repair.
+//
+// Usage:
+//
+//	chainserved -roots roots.pem [-listen 127.0.0.1:8080] [-workers 0]
+//	            [-max-inflight 64] [-max-body 1048576] [-scan-timeout 5s]
+//	            [-drain-timeout 30s] [-aia] [-reference-time]
+//	            [-metrics metrics.json] [-pprof localhost:6060]
+//
+//	chainserved -exemplars DIR
+//
+// Endpoints:
+//
+//	POST /v1/verdict  {"domain":"example.com","pem":"-----BEGIN ..."}
+//	                  {"target":"example.com:443"}
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGTERM (or SIGINT) triggers a graceful drain: the listener closes, every
+// in-flight verdict completes, the admitted/completed accounting is
+// printed, and the -metrics snapshot is flushed before exit.
+//
+// -exemplars writes the paper's I-1…I-4 defect exemplars (reversed bundle,
+// over-long input list, duplicate/stale/stray pollution, incomplete chain)
+// plus a compliant chain and the matching roots.pem into DIR and exits —
+// the fixture set the smoke tests and the README quickstart submit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainserved"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/rootstore"
+)
+
+func main() {
+	cli := obs.NewCLI("chainserved")
+	listen := flag.String("listen", "127.0.0.1:8080", "address to serve on")
+	rootsFile := flag.String("roots", "", "trust-anchor PEM bundle (required)")
+	maxInFlight := flag.Int("max-inflight", chainserved.DefaultMaxInFlight, "concurrent verdict requests before shedding with 429")
+	maxBody := flag.Int64("max-body", chainserved.DefaultMaxBody, "request body cap in bytes (oversize answers 413)")
+	scanTimeout := flag.Duration("scan-timeout", chainserved.DefaultScanTimeout, "live-scan connection timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on SIGTERM")
+	useAIA := flag.Bool("aia", false, "chase caIssuers URIs over HTTP for completeness recovery, AIA-capable clients, and repair")
+	refTime := flag.Bool("reference-time", false, "validate at the certgen reference instant (exemplar workflows) instead of structurally")
+	exemplars := flag.String("exemplars", "", "write the exemplar chain fixtures plus roots.pem to this directory and exit")
+	cli.BindWorkers("per-request client-matrix fan-out (0 = GOMAXPROCS)")
+	cli.BindObs()
+	flag.Parse()
+	cli.Start()
+
+	if *exemplars != "" {
+		if err := writeExemplars(*exemplars); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chainserved: exemplar fixtures written to %s\n", *exemplars)
+		return
+	}
+
+	if *rootsFile == "" {
+		cli.Fatal(errors.New("-roots is required (generate a fixture set with -exemplars DIR)"))
+	}
+	data, err := os.ReadFile(*rootsFile)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	anchors, err := certmodel.ParsePEMBundle(data)
+	if err != nil {
+		cli.Fatal(fmt.Errorf("parse %s: %w", *rootsFile, err))
+	}
+	cfg := chainserved.Config{
+		Roots:       rootstore.NewWith("chainserved", anchors...),
+		Workers:     cli.Workers,
+		MaxInFlight: *maxInFlight,
+		MaxBody:     *maxBody,
+		ScanTimeout: *scanTimeout,
+		Metrics:     cli.Metrics,
+	}
+	if *useAIA {
+		cfg.AIA = &aia.HTTPFetcher{Metrics: cli.Metrics}
+	}
+	if *refTime {
+		cfg.Now = certgen.Reference
+	}
+	s := chainserved.New(cfg)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "chainserved: %d trust anchors, serving on http://%s\n", len(anchors), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		cli.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills hard
+
+	// Graceful drain: stop accepting, let every admitted request finish,
+	// then flush metrics. The admitted/completed equality is the proof no
+	// in-flight work was dropped.
+	fmt.Fprintf(os.Stderr, "chainserved: draining (%d in flight)\n", s.Admitted()-s.Completed())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		cli.Fatal(fmt.Errorf("drain: %w", err))
+	}
+	cli.Finish()
+	fmt.Fprintf(os.Stderr, "chainserved: drained clean — %d admitted, %d completed, %d shed\n",
+		s.Admitted(), s.Completed(), s.Shed())
+	if s.Admitted() != s.Completed() {
+		cli.Fatal(fmt.Errorf("drain dropped %d in-flight requests", s.Admitted()-s.Completed()))
+	}
+}
+
+// writeExemplars generates one PKI for "exemplar.test" and renders the
+// defect taxonomy as PEM fixtures:
+//
+//	roots.pem          the trust anchor for -roots
+//	ok.pem             compliant: leaf, ca1, ca2
+//	i1-reversed.pem    the bundle pasted in reverse under the leaf
+//	i2-long-list.pem   the needed intermediate buried past position 16
+//	                   (GnuTLS's input-list limit), padded with duplicates
+//	i3-polluted.pem    duplicate leaf, stale renewal leftover, stray root
+//	i4-incomplete.pem  leaf alone — the chain the server forgot to ship
+func writeExemplars(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	root, err := certgen.NewRoot("Exemplar Root")
+	if err != nil {
+		return err
+	}
+	ca2, err := root.NewIntermediate("Exemplar CA 2")
+	if err != nil {
+		return err
+	}
+	ca1, err := ca2.NewIntermediate("Exemplar CA 1")
+	if err != nil {
+		return err
+	}
+	leaf, err := ca1.NewLeaf("exemplar.test")
+	if err != nil {
+		return err
+	}
+	stale, err := ca1.NewLeaf("exemplar.test",
+		certgen.WithValidity(certgen.Reference.AddDate(-2, 0, 0), certgen.Reference.AddDate(-1, 0, 0)))
+	if err != nil {
+		return err
+	}
+	stray, err := certgen.NewRoot("Stray Root")
+	if err != nil {
+		return err
+	}
+
+	c := func(list ...*certmodel.Certificate) []*certmodel.Certificate { return list }
+	long := c(leaf.Cert)
+	for len(long) < 16 {
+		long = append(long, ca1.Cert)
+	}
+	long = append(long, ca2.Cert) // position 17: past GnuTLS's window
+
+	files := map[string][]*certmodel.Certificate{
+		"roots.pem":         c(root.Cert),
+		"ok.pem":            c(leaf.Cert, ca1.Cert, ca2.Cert),
+		"i1-reversed.pem":   c(leaf.Cert, ca2.Cert, ca1.Cert),
+		"i2-long-list.pem":  long,
+		"i3-polluted.pem":   c(leaf.Cert, leaf.Cert, stale.Cert, root.Cert, ca2.Cert, ca1.Cert, stray.Cert),
+		"i4-incomplete.pem": c(leaf.Cert),
+	}
+	for name, list := range files {
+		pem, err := certmodel.EncodePEM(list)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), pem, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

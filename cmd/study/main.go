@@ -62,6 +62,10 @@ func main() {
 	cli.BindObs()
 	flag.Parse()
 	if cli.Worker {
+		// The worker path returns before Start, so validate here too.
+		if err := cli.Validate(); err != nil {
+			cli.Fatal(err)
+		}
 		if err := runWorker(cli); err != nil {
 			cli.Fatal(err)
 		}

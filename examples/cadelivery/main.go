@@ -67,13 +67,16 @@ func main() {
 	iss2 := ca.NewSyntheticIssuer(ca.IssuerConfig{Profile: letsEncrypt, Base: base, Tag: "demo2"})
 	d2 := iss2.Issue("blog.example", base, base.AddDate(0, 3, 0), ca.LeafOptions{})
 	// The admin misreads SF1 and pastes the leaf into the chain file too.
-	in := httpserver.ConfigInput{
-		CertFile:      []*certmodel.Certificate{d2.Leaf},
-		ChainFile:     append([]*certmodel.Certificate{d2.Leaf}, correctBundle(iss2)...),
-		Fullchain:     append([]*certmodel.Certificate{d2.Leaf, d2.Leaf}, correctBundle(iss2)...),
-		PrivateKeyFor: d2.Leaf,
-	}
+	// Each model gets the upload in its own file scheme (Deploy rejects a
+	// fullchain handed to a split-scheme server).
 	for _, model := range []httpserver.Model{httpserver.ApacheOld(), httpserver.AzureAppGateway()} {
+		in := httpserver.ConfigInput{PrivateKeyFor: d2.Leaf}
+		if model.Scheme == httpserver.SchemeSplit {
+			in.CertFile = []*certmodel.Certificate{d2.Leaf}
+			in.ChainFile = append([]*certmodel.Certificate{d2.Leaf}, correctBundle(iss2)...)
+		} else {
+			in.Fullchain = append([]*certmodel.Certificate{d2.Leaf, d2.Leaf}, correctBundle(iss2)...)
+		}
 		wire, err := model.Deploy(in)
 		switch {
 		case err != nil:

@@ -71,11 +71,14 @@ func buildMiniPopulation(t *testing.T) ([]*miniSite, *rootstore.Store, *aia.Repo
 	repoPutCA1()
 
 	deploy := func(model httpserver.Model, leaf *certgen.Leaf, chainFile []*certmodel.Certificate) []*certmodel.Certificate {
-		in := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf.Cert},
-			ChainFile:     chainFile,
-			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chainFile...),
-			PrivateKeyFor: leaf.Cert,
+		// Split-scheme servers reject a Fullchain input outright, so hand
+		// each model only the files its scheme actually reads.
+		in := httpserver.ConfigInput{PrivateKeyFor: leaf.Cert}
+		if model.Scheme == httpserver.SchemeSplit {
+			in.CertFile = []*certmodel.Certificate{leaf.Cert}
+			in.ChainFile = chainFile
+		} else {
+			in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, chainFile...)
 		}
 		wire, err := model.Deploy(in)
 		if err != nil {

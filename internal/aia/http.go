@@ -49,8 +49,32 @@ var ErrTruncated = errors.New("aia: response body exceeds 64 KiB certificate lim
 
 // defaultClient is shared by every HTTPFetcher with a nil Client, so
 // connections are reused across a chase instead of a fresh client (and
-// transport) being allocated per fetch.
-var defaultClient = &http.Client{Timeout: 10 * time.Second}
+// transport) being allocated per fetch. The transport carries explicit
+// connection limits: the stdlib default transport caps idle connections per
+// host at 2 and in-flight connections per host not at all, which under
+// daemon-scale traffic (many concurrent verdict requests chasing the same CA
+// repository) either thrashes connection setup or floods one origin. 16 warm
+// idle connections per host cover a busy chase; 32 in-flight per host bound
+// what one misbehaving repository can absorb.
+var defaultClient = &http.Client{
+	Timeout:   10 * time.Second,
+	Transport: newTransport(),
+}
+
+// newTransport builds the fetcher's bounded transport from the stdlib
+// default (keeping its proxy, dialer, and TLS settings current).
+func newTransport() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		t = &http.Transport{}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 16
+	t.MaxConnsPerHost = 32
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
 
 // StatusError is a non-200 AIA response.
 type StatusError struct {
@@ -124,6 +148,15 @@ func (f *HTTPFetcher) metrics() *httpMetrics {
 // Fetch implements Fetcher over HTTP. The response body is limited to 64 KiB
 // and oversized bodies fail explicitly with ErrTruncated.
 func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
+	return f.FetchContext(context.Background(), uri)
+}
+
+// FetchContext is Fetch under a caller-supplied context: the GET request
+// carries ctx, so cancelling a verdict request aborts its in-flight AIA
+// fetch (connection torn down, retry backoff interrupted) instead of leaking
+// it until the 10s client timeout. The chainserved daemon threads each
+// request's context through here via WithContext.
+func (f *HTTPFetcher) FetchContext(ctx context.Context, uri string) (*certmodel.Certificate, error) {
 	target := uri
 	if f.Rewrite != nil {
 		target = f.Rewrite(uri)
@@ -146,10 +179,10 @@ func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
 	}
 	var der []byte
 	start := clock.Now()
-	err := policy.Do(context.Background(), func(context.Context) error {
+	err := policy.Do(ctx, func(ctx context.Context) error {
 		m.fetches.Inc()
 		var getErr error
-		der, getErr = get(client, target)
+		der, getErr = get(ctx, client, target)
 		return getErr
 	})
 	m.latency.ObserveDuration(clock.Now().Sub(start))
@@ -167,10 +200,31 @@ func (f *HTTPFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
 	return cert, nil
 }
 
-// get performs one GET and returns the body, failing on bad status or a
-// body past the certificate size limit.
-func get(client *http.Client, target string) ([]byte, error) {
-	resp, err := client.Get(target)
+// WithContext binds a fetcher to a request context: the returned Fetcher's
+// Fetch calls FetchContext(ctx, ·). Path construction and completeness
+// analysis take the context-free Fetcher interface, so per-request callers
+// (the chainserved daemon) wrap once and pass the wrapper down.
+func (f *HTTPFetcher) WithContext(ctx context.Context) Fetcher {
+	return ctxFetcher{ctx: ctx, f: f}
+}
+
+type ctxFetcher struct {
+	ctx context.Context
+	f   *HTTPFetcher
+}
+
+func (c ctxFetcher) Fetch(uri string) (*certmodel.Certificate, error) {
+	return c.f.FetchContext(c.ctx, uri)
+}
+
+// get performs one GET under ctx and returns the body, failing on bad status
+// or a body past the certificate size limit.
+func get(ctx context.Context, client *http.Client, target string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, fmt.Errorf("aia: GET %s: %w", target, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("aia: GET %s: %w", target, err)
 	}

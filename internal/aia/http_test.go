@@ -1,6 +1,7 @@
 package aia
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -166,5 +167,76 @@ func TestHTTPFetcherRetriesTransient(t *testing.T) {
 	}
 	if (&StatusError{Code: 404}).Transient() {
 		t.Error("404 classified transient")
+	}
+}
+
+// TestFetchContextCancelFreesInFlight: cancelling the request context must
+// abort an in-flight AIA GET promptly — the handler below never writes a
+// response, so without context propagation the fetch would sit in the
+// client's 10s timeout while the verdict request that wanted it is long
+// gone. The retry policy runs on a FakeClock, so the test also proves the
+// cancel is not spent sleeping in backoff: the clock never advances, and
+// the fetch returns the moment the context dies.
+func TestFetchContextCancelFreesInFlight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	clock := faults.NewFakeClock(time.Unix(0, 0))
+	fetcher := &HTTPFetcher{
+		Client: srv.Client(),
+		Retry:  faults.Policy{Attempts: 3, BaseDelay: time.Hour, Clock: clock},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fetcher.FetchContext(ctx, srv.URL+"/hang.der")
+		done <- err
+	}()
+
+	<-inHandler // the GET is in flight on the server
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled fetch returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled fetch did not return promptly (context not honored)")
+	}
+	if n := len(clock.Sleeps()); n != 0 {
+		t.Errorf("retry backoff slept %d times on a cancelled fetch", n)
+	}
+}
+
+// TestDefaultClientTransportLimits pins the daemon-scale connection limits:
+// the stdlib default transport's 2 idle connections per host (and unlimited
+// in-flight) is what the shared fetcher client must override.
+func TestDefaultClientTransportLimits(t *testing.T) {
+	tr, ok := defaultClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("defaultClient.Transport is %T, want *http.Transport", defaultClient.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 8 {
+		t.Errorf("MaxIdleConnsPerHost = %d, want >= 8", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxConnsPerHost == 0 {
+		t.Error("MaxConnsPerHost unset: one slow repository can absorb unbounded connections")
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConns = %d < per-host %d", tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
 	}
 }

@@ -1,0 +1,519 @@
+// Package chainserved is the serving layer over the paper's analysis
+// pipeline: an HTTP/JSON service that accepts one certificate chain per
+// request — pasted as PEM or named as a host:port to live-scan — and answers
+// with the structural compliance verdict (§3/§4), the per-client
+// construction matrix (Table 9's eight models), and the §6-recommendations
+// repair from chainfix.
+//
+// The production posture mirrors the measurement pipeline's discipline:
+//
+//   - Admission control bounds concurrent verdict work with a semaphore;
+//     excess load is shed immediately with 429 + Retry-After instead of
+//     queueing without bound (a verdict request costs eight path-builds, so
+//     an unbounded queue is a memory bomb).
+//   - Responses are memoized in a verdictcache keyed on the chain digest,
+//     the client-profile-set fingerprint, and the leaf-match bit — the
+//     study's dedup soundness model. Only domain-independent outputs are
+//     cached; leaf placement is recomputed per request. The cache is never
+//     Seal()ed: a daemon keeps learning new chains for its whole lifetime.
+//   - Every endpoint carries its own latency histogram, in-flight gauge,
+//     and request counter; the verdict endpoint additionally counts
+//     admitted vs completed requests, the pair a graceful drain compares to
+//     prove nothing in flight was dropped.
+package chainserved
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"chainchaos/internal/aia"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/chainfix"
+	"chainchaos/internal/clients"
+	"chainchaos/internal/compliance"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/parallel"
+	"chainchaos/internal/pathbuild"
+	"chainchaos/internal/rootstore"
+	"chainchaos/internal/tlsscan"
+	"chainchaos/internal/topo"
+	"chainchaos/internal/verdictcache"
+)
+
+// Defaults for the zero Config fields.
+const (
+	// DefaultMaxBody caps request bodies at 1 MiB — a chain of the paper's
+	// worst observed length (151 certificates) PEM-encodes well under this.
+	DefaultMaxBody = 1 << 20
+	// DefaultMaxInFlight bounds concurrent verdict requests.
+	DefaultMaxInFlight = 64
+	// DefaultScanTimeout bounds one live-scan handshake.
+	DefaultScanTimeout = 5 * time.Second
+)
+
+// Config wires a Server.
+type Config struct {
+	// Roots anchors path construction, completeness analysis, and repair.
+	// Required.
+	Roots *rootstore.Store
+	// AIA, when non-nil, resolves caIssuers URIs for completeness recovery,
+	// AIA-capable client models, and repair completion. Each request binds
+	// the fetcher to its own context, so a cancelled request frees its
+	// in-flight fetch.
+	AIA *aia.HTTPFetcher
+	// Workers bounds the per-request client-matrix fan-out (0 = GOMAXPROCS).
+	Workers int
+	// MaxInFlight is the admission-control width: verdict requests beyond
+	// it are shed with 429 (0 = DefaultMaxInFlight).
+	MaxInFlight int
+	// MaxBody caps the request body in bytes (0 = DefaultMaxBody).
+	MaxBody int64
+	// ScanTimeout bounds a live-scan connection attempt (0 = 5s).
+	ScanTimeout time.Duration
+	// Now is the validation time for the client models; the zero time
+	// disables validity checks, making verdicts purely structural and
+	// therefore stable for the cache's whole lifetime.
+	Now time.Time
+	// Metrics receives the service's counters, gauges, and histograms.
+	// May be nil (all instrumentation becomes no-ops).
+	Metrics *obs.Registry
+}
+
+// Server answers verdict requests. Create with New; the zero value is not
+// usable.
+type Server struct {
+	cfg      Config
+	profiles []clients.Profile
+	scope    certmodel.FP
+	cache    *verdictcache.Cache[*memo]
+	scanner  *tlsscan.Scanner
+	sem      chan struct{}
+
+	// Drain accounting: admitted counts requests past admission control,
+	// completed counts responses fully written. After a graceful drain the
+	// two must match — that equality is the "zero dropped in-flight" proof.
+	admitted  *obs.Counter
+	completed *obs.Counter
+	shed      *obs.Counter
+	cacheable *obs.Counter
+}
+
+// memo is the cached, domain-independent part of a verdict: the order and
+// completeness analyses, the client matrix, and the repair. Leaf placement
+// depends on the queried hostname and is recomputed per request; the
+// hostname's only influence on everything here is the leaf-match bit, which
+// is part of the cache key.
+type memo struct {
+	Order        compliance.OrderReport
+	Completeness compliance.CompletenessReport
+	Matrix       []ClientVerdict
+	Repair       *Repair
+	RepairErr    string
+}
+
+// New builds a Server from cfg, applying defaults and registering metrics.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.ScanTimeout <= 0 {
+		cfg.ScanTimeout = DefaultScanTimeout
+	}
+	s := &Server{
+		cfg:      cfg,
+		profiles: clients.All(),
+		cache:    verdictcache.New[*memo]("chainserved.vcache", cfg.Metrics),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		scanner: &tlsscan.Scanner{
+			Timeout: cfg.ScanTimeout,
+			Metrics: cfg.Metrics,
+		},
+		admitted:  cfg.Metrics.Counter("chainserved.verdict.admitted"),
+		completed: cfg.Metrics.Counter("chainserved.verdict.completed"),
+		shed:      cfg.Metrics.Counter("chainserved.verdict.shed"),
+		cacheable: cfg.Metrics.Counter("chainserved.verdict.cached_responses"),
+	}
+	s.scope = clients.Fingerprint(s.profiles)
+	return s
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/verdict  — grade a chain (PEM body or live-scan target)
+//	GET  /healthz     — liveness + in-flight count
+//	GET  /metrics     — the registry snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/verdict", s.instrument("verdict", s.handleVerdict))
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// Admitted returns the number of verdict requests accepted past admission
+// control, Completed the number fully answered. A drained server reports
+// equal values. Shed counts requests turned away with 429.
+func (s *Server) Admitted() int64  { return s.admitted.Value() }
+func (s *Server) Completed() int64 { return s.completed.Value() }
+func (s *Server) Shed() int64      { return s.shed.Value() }
+
+// instrument wraps an endpoint with its per-endpoint request counter,
+// in-flight gauge, and latency histogram (chainserved.<name>.requests /
+// .inflight / .latency).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	requests := s.cfg.Metrics.Counter("chainserved." + name + ".requests")
+	inflight := s.cfg.Metrics.Gauge("chainserved." + name + ".inflight")
+	latency := s.cfg.Metrics.Histogram("chainserved."+name+".latency", obs.LatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		start := time.Now()
+		h(w, r)
+		latency.ObserveDuration(time.Since(start))
+		inflight.Add(-1)
+	})
+}
+
+// VerdictRequest is the POST /v1/verdict body. Exactly one of PEM and
+// Target must be set.
+type VerdictRequest struct {
+	// Domain is the hostname the chain serves; it drives leaf placement
+	// and hostname validation. Defaults to the Target's host for live
+	// scans; may be empty for pasted PEM (the leaf then grades as
+	// mismatched, never matched).
+	Domain string `json:"domain"`
+	// PEM is the server-supplied certificate list, leaf first, as a PEM
+	// bundle.
+	PEM string `json:"pem,omitempty"`
+	// Target is a host:port to live-scan instead of supplying PEM.
+	Target string `json:"target,omitempty"`
+	// KeepRoot retains the self-signed root in the repaired chain.
+	KeepRoot bool `json:"keep_root,omitempty"`
+}
+
+// ClientVerdict is one cell of the construction matrix.
+type ClientVerdict struct {
+	Client string `json:"client"`
+	Kind   string `json:"kind"`
+	OK     bool   `json:"ok"`
+}
+
+// OrderJSON summarizes the issuance-order analysis.
+type OrderJSON struct {
+	Compliant     bool `json:"compliant"`
+	Duplicates    bool `json:"duplicates"`
+	Irrelevant    bool `json:"irrelevant"`
+	MultiplePaths bool `json:"multiple_paths"`
+	Reversed      bool `json:"reversed"`
+}
+
+// CompletenessJSON summarizes the completeness analysis.
+type CompletenessJSON struct {
+	Class                string `json:"class"`
+	AIARecoverable       bool   `json:"aia_recoverable,omitempty"`
+	MissingIntermediates int    `json:"missing_intermediates,omitempty"`
+}
+
+// Repair is the chainfix result rendered for the wire.
+type Repair struct {
+	Actions   []string `json:"actions"`
+	PEM       string   `json:"pem"`
+	Compliant bool     `json:"compliant"`
+}
+
+// VerdictResponse is the POST /v1/verdict answer.
+type VerdictResponse struct {
+	Domain        string           `json:"domain"`
+	Source        string           `json:"source"` // "pem" or "scan"
+	Digest        string           `json:"digest"`
+	Cached        bool             `json:"cached"`
+	Compliant     bool             `json:"compliant"`
+	LeafPlacement string           `json:"leaf_placement"`
+	Order         OrderJSON        `json:"order"`
+	Completeness  CompletenessJSON `json:"completeness"`
+	Matrix        []ClientVerdict  `json:"matrix"`
+	Repair        *Repair          `json:"repair,omitempty"`
+	RepairError   string           `json:"repair_error,omitempty"`
+}
+
+// ErrorBody is the structured error envelope every failure answers with.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorJSON struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Error codes.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeBadPEM       = "bad_pem"
+	CodeBodyTooLarge = "body_too_large"
+	CodeOverloaded   = "overloaded"
+	CodeScanDial     = "scan_dial"
+	CodeScanShake    = "scan_handshake"
+	CodeScanParse    = "scan_parse"
+	CodeCancelled    = "cancelled"
+)
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorJSON{Error: ErrorBody{Code: code, Message: msg}}) //nolint:errcheck // response write
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response write
+}
+
+// handleHealthz answers liveness probes with the current verdict in-flight
+// count (admission occupancy, not the HTTP-level gauge).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"inflight": len(s.sem),
+	})
+}
+
+// handleMetrics serves the registry snapshot; a nil registry serves an
+// empty snapshot so probes need not branch.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := s.cfg.Metrics.Snapshot().JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // response write
+}
+
+// handleVerdict is the service's reason to exist: admission control, body
+// decode, chain acquisition (PEM or live scan), grading, and the response.
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		return
+	}
+
+	// Admission: take a slot or shed. Shedding immediately (no queue wait)
+	// keeps the 429 cheap and the Retry-After honest — by the time the
+	// client retries, a slot has very likely turned over.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("verdict queue full (%d in flight); retry shortly", cap(s.sem)))
+		return
+	}
+	s.admitted.Inc()
+	defer func() {
+		s.completed.Inc()
+		<-s.sem
+	}()
+
+	var req VerdictRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if (req.PEM == "") == (req.Target == "") {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			`exactly one of "pem" and "target" must be set`)
+		return
+	}
+
+	var list []*certmodel.Certificate
+	source := "pem"
+	if req.PEM != "" {
+		var err error
+		list, err = certmodel.ParsePEMBundle([]byte(req.PEM))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadPEM, err.Error())
+			return
+		}
+	} else {
+		source = "scan"
+		host, _, err := net.SplitHostPort(req.Target)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("target %q is not host:port: %v", req.Target, err))
+			return
+		}
+		if req.Domain == "" {
+			req.Domain = host
+		}
+		res := s.scanner.Scan(r.Context(), tlsscan.Target{Addr: req.Target, Domain: req.Domain})
+		if res.Err != nil {
+			code, status := scanError(res.Cause)
+			writeError(w, status, code,
+				fmt.Sprintf("scan %s: %v", req.Target, res.Err))
+			return
+		}
+		list = res.List
+	}
+	if len(list) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadPEM, "no certificates in input")
+		return
+	}
+
+	resp := s.grade(r.Context(), list, req.Domain, req.KeepRoot)
+	resp.Source = source
+	writeJSON(w, resp)
+}
+
+// scanError maps a scan failure cause to its wire code and HTTP status:
+// transport losses are upstream failures (502), cancellations follow the
+// client (499, the de-facto "client closed request" status).
+func scanError(cause tlsscan.ErrorCause) (string, int) {
+	switch cause {
+	case tlsscan.CauseDial:
+		return CodeScanDial, http.StatusBadGateway
+	case tlsscan.CauseHandshake:
+		return CodeScanShake, http.StatusBadGateway
+	case tlsscan.CauseCancelled:
+		return CodeCancelled, 499
+	default:
+		return CodeScanParse, http.StatusBadGateway
+	}
+}
+
+// grade runs the full analysis over one acquired chain, consulting the
+// verdict cache first. KeepRoot changes the repair output, so it perturbs
+// the cache scope: the two repair configurations are distinct gradings that
+// must never share an entry.
+func (s *Server) grade(ctx context.Context, list []*certmodel.Certificate, domain string, keepRoot bool) *VerdictResponse {
+	scope := s.scope
+	if keepRoot {
+		scope[0] ^= 0xFF
+	}
+	key := verdictcache.Key{
+		Digest: certmodel.ListDigest(list),
+		Scope:  scope,
+		Match:  list[0].MatchesDomain(domain),
+	}
+
+	m, hit := s.cache.Get(key)
+	if !hit {
+		m = s.compute(ctx, list, domain, keepRoot)
+		if ctx.Err() == nil {
+			// A cancelled request may have aborted AIA fetches mid-chase;
+			// its partial analysis must not poison the cache.
+			s.cache.Put(key, m)
+		}
+	} else {
+		s.cacheable.Inc()
+	}
+
+	leaf := compliance.ClassifyLeafPlacement(list, domain)
+	resp := &VerdictResponse{
+		Domain:        domain,
+		Digest:        fmt.Sprintf("%x", key.Digest),
+		Cached:        hit,
+		Compliant:     leaf.CorrectlyPlaced() && !m.Order.NonCompliant() && m.Completeness.Class != compliance.Incomplete,
+		LeafPlacement: leaf.String(),
+		Order: OrderJSON{
+			Compliant:     !m.Order.NonCompliant(),
+			Duplicates:    m.Order.HasDuplicates,
+			Irrelevant:    m.Order.HasIrrelevant,
+			MultiplePaths: m.Order.MultiplePaths,
+			Reversed:      m.Order.ReversedAny,
+		},
+		Completeness: CompletenessJSON{
+			Class:                m.Completeness.Class.String(),
+			AIARecoverable:       m.Completeness.AIARecoverable,
+			MissingIntermediates: m.Completeness.MissingIntermediates,
+		},
+		Matrix:      m.Matrix,
+		Repair:      m.Repair,
+		RepairError: m.RepairErr,
+	}
+	return resp
+}
+
+// compute performs the uncached analysis: order + completeness, the
+// eight-client construction matrix fanned out over the worker pool, and the
+// chainfix repair. AIA fetches are bound to the request context throughout.
+func (s *Server) compute(ctx context.Context, list []*certmodel.Certificate, domain string, keepRoot bool) *memo {
+	var fetcher aia.Fetcher
+	if s.cfg.AIA != nil {
+		fetcher = s.cfg.AIA.WithContext(ctx)
+	}
+
+	analyzer := &compliance.Analyzer{Completeness: compliance.CompletenessConfig{
+		Roots:   s.cfg.Roots,
+		Fetcher: fetcher,
+	}}
+	report := analyzer.Analyze(domain, topo.Build(list))
+
+	// The matrix: one fresh Builder per profile (Builders own scratch and
+	// are not goroutine-safe), fanned out over the bounded pool. Each gets
+	// a fresh intermediate cache so verdicts never depend on what this
+	// process graded earlier.
+	profiles := s.profiles
+	matrix, err := parallel.Map(ctx, s.cfg.Workers, profiles, func(i int, p clients.Profile) ClientVerdict {
+		b := &pathbuild.Builder{
+			Policy:  p.Policy,
+			Roots:   s.cfg.Roots,
+			Fetcher: fetcher,
+			Cache:   rootstore.New("cache"),
+			Now:     s.cfg.Now,
+			Metrics: s.cfg.Metrics,
+		}
+		out := b.Build(list, domain)
+		b.FlushMetrics()
+		return ClientVerdict{Client: p.Name, Kind: p.Kind.String(), OK: out.OK()}
+	})
+	if err != nil {
+		// Context cancelled mid-fan-out: the caller discards the memo.
+		matrix = nil
+	}
+
+	m := &memo{
+		Order:        report.Order,
+		Completeness: report.Completeness,
+		Matrix:       matrix,
+	}
+
+	fixer := &chainfix.Fixer{Roots: s.cfg.Roots, Fetcher: fetcher, KeepRoot: keepRoot}
+	res, err := fixer.Fix(list, domain)
+	if err != nil {
+		m.RepairErr = err.Error()
+		return m
+	}
+	pem, err := certmodel.EncodePEM(res.List)
+	if err != nil {
+		m.RepairErr = err.Error()
+		return m
+	}
+	actions := make([]string, len(res.Actions))
+	for i, a := range res.Actions {
+		actions[i] = a.String()
+	}
+	m.Repair = &Repair{
+		Actions:   actions,
+		PEM:       string(pem),
+		Compliant: res.Report.Compliant(),
+	}
+	return m
+}

@@ -1,0 +1,512 @@
+package chainserved
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chainchaos/internal/certgen"
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/obs"
+	"chainchaos/internal/rootstore"
+)
+
+// fixture builds one PKI and a server over it: root → ca2 → ca1 → leaf for
+// "served.example", plus the raw materials for broken chains.
+type fixture struct {
+	roots *rootstore.Store
+	leaf  *certgen.Leaf
+	ca1   *certgen.Authority
+	ca2   *certgen.Authority
+	root  *certgen.Authority
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	root, err := certgen.NewRoot("Served Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := root.NewIntermediate("Served CA 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca1, err := ca2.NewIntermediate("Served CA 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca1.NewLeaf("served.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		roots: rootstore.NewWith("test", root.Cert),
+		leaf:  leaf, ca1: ca1, ca2: ca2, root: root,
+	}
+}
+
+// pem encodes a chain for the request body.
+func (f *fixture) pem(t *testing.T, list ...*certmodel.Certificate) string {
+	t.Helper()
+	data, err := certmodel.EncodePEM(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func (f *fixture) server(cfg Config) *Server {
+	if cfg.Roots == nil {
+		cfg.Roots = f.roots
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Now.IsZero() {
+		cfg.Now = certgen.Reference
+	}
+	return New(cfg)
+}
+
+// post submits a verdict request and returns the recorder.
+func post(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/verdict", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// decodeError asserts a structured error envelope with the given code.
+func decodeError(t *testing.T, w *httptest.ResponseRecorder, wantStatus int, wantCode string) {
+	t.Helper()
+	if w.Code != wantStatus {
+		t.Fatalf("status = %d, want %d (body %s)", w.Code, wantStatus, w.Body)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not structured JSON: %v (%s)", err, w.Body)
+	}
+	if e.Error.Code != wantCode {
+		t.Fatalf("error code = %q, want %q (message %q)", e.Error.Code, wantCode, e.Error.Message)
+	}
+	if e.Error.Message == "" {
+		t.Fatal("error message is empty")
+	}
+}
+
+func body(t *testing.T, req VerdictRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHandlerErrors covers the request-validation table: every rejection is
+// a structured JSON error with the right status and code.
+func TestHandlerErrors(t *testing.T) {
+	f := newFixture(t)
+	h := f.server(Config{MaxBody: 4096}).Handler()
+	okPEM := f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert)
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed-json", "{not json", http.StatusBadRequest, CodeBadRequest},
+		{"neither-pem-nor-target", `{"domain":"x"}`, http.StatusBadRequest, CodeBadRequest},
+		{"both-pem-and-target", body(t, VerdictRequest{PEM: okPEM, Target: "x:443"}), http.StatusBadRequest, CodeBadRequest},
+		{"bad-pem", `{"pem":"-----BEGIN CERTIFICATE-----\nZZZZ\n-----END CERTIFICATE-----\n"}`, http.StatusBadRequest, CodeBadPEM},
+		{"empty-pem-bundle", `{"pem":"no pem blocks here"}`, http.StatusBadRequest, CodeBadPEM},
+		{"bad-target", `{"target":"no-port-here"}`, http.StatusBadRequest, CodeBadRequest},
+		{"oversized-body", body(t, VerdictRequest{Domain: "served.example",
+			PEM: okPEM + strings.Repeat(" ", 8192)}), http.StatusRequestEntityTooLarge, CodeBodyTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			decodeError(t, post(t, h, tc.body), tc.wantStatus, tc.wantCode)
+		})
+	}
+
+	t.Run("method-not-allowed", func(t *testing.T) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/verdict", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		decodeError(t, w, http.StatusMethodNotAllowed, CodeBadRequest)
+	})
+}
+
+// TestVerdictCompliantChain asserts the happy path end to end: a compliant
+// deployment grades compliant, all eight clients accept it, and the repair
+// is a no-op-shaped success.
+func TestVerdictCompliantChain(t *testing.T) {
+	f := newFixture(t)
+	h := f.server(Config{}).Handler()
+
+	w := post(t, h, body(t, VerdictRequest{
+		Domain: "served.example",
+		PEM:    f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert),
+	}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var resp VerdictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Compliant {
+		t.Errorf("compliant = false, want true: %+v", resp)
+	}
+	if resp.Source != "pem" || resp.Cached || resp.Digest == "" {
+		t.Errorf("source/cached/digest = %q/%v/%q", resp.Source, resp.Cached, resp.Digest)
+	}
+	if resp.LeafPlacement != "correct-placed/matched" {
+		t.Errorf("leaf placement = %q", resp.LeafPlacement)
+	}
+	if len(resp.Matrix) != 8 {
+		t.Fatalf("matrix has %d clients, want 8", len(resp.Matrix))
+	}
+	for _, v := range resp.Matrix {
+		if !v.OK {
+			t.Errorf("client %s rejects a compliant chain", v.Client)
+		}
+	}
+	if resp.Repair == nil || !resp.Repair.Compliant {
+		t.Fatalf("repair = %+v, want compliant repair", resp.Repair)
+	}
+}
+
+// TestVerdictBrokenChain submits the doctor example's pathology — reversed
+// bundle, duplicated leaf, stray root — and expects a non-compliant verdict
+// with a working repair whose output parses and grades compliant.
+func TestVerdictBrokenChain(t *testing.T) {
+	f := newFixture(t)
+	h := f.server(Config{}).Handler()
+	stray, err := certgen.NewRoot("Stray Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sick := f.pem(t, f.leaf.Cert, f.leaf.Cert, f.root.Cert, f.ca2.Cert, f.ca1.Cert, stray.Cert)
+	w := post(t, h, body(t, VerdictRequest{Domain: "served.example", PEM: sick}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var resp VerdictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Compliant {
+		t.Error("broken chain graded compliant")
+	}
+	if !resp.Order.Duplicates || !resp.Order.Irrelevant || !resp.Order.Reversed {
+		t.Errorf("order analysis missed defects: %+v", resp.Order)
+	}
+	if resp.Repair == nil {
+		t.Fatalf("no repair; error %q", resp.RepairError)
+	}
+	if !resp.Repair.Compliant || len(resp.Repair.Actions) == 0 {
+		t.Errorf("repair = %+v", resp.Repair)
+	}
+	repaired, err := certmodel.ParsePEMBundle([]byte(resp.Repair.PEM))
+	if err != nil {
+		t.Fatalf("repaired PEM does not parse: %v", err)
+	}
+	// Recommended shape: leaf, ca1, ca2 — root stripped.
+	if len(repaired) != 3 || !repaired[0].MatchesDomain("served.example") {
+		t.Errorf("repaired chain has %d certs, leaf %q", len(repaired), repaired[0].Subject)
+	}
+}
+
+// TestVerdictCacheHitRate submits one chain repeatedly and asserts the
+// memoization contract: first miss, then hits; cached responses are flagged
+// and still carry the full verdict; the per-request leaf placement stays
+// correct across different domains sharing one cache entry scope.
+func TestVerdictCacheHitRate(t *testing.T) {
+	f := newFixture(t)
+	reg := obs.NewRegistry()
+	h := f.server(Config{Metrics: reg}).Handler()
+	chain := body(t, VerdictRequest{Domain: "served.example",
+		PEM: f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert)})
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		w := post(t, h, chain)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, w.Code)
+		}
+		var resp VerdictResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached != (i > 0) {
+			t.Errorf("request %d: cached = %v", i, resp.Cached)
+		}
+		if !resp.Compliant || len(resp.Matrix) != 8 {
+			t.Errorf("request %d: degraded cached verdict: %+v", i, resp)
+		}
+	}
+	snap := reg.Snapshot()
+	if hits := snap.Counters["chainserved.vcache.hits"]; hits != n-1 {
+		t.Errorf("vcache.hits = %d, want %d", hits, n-1)
+	}
+	if misses := snap.Counters["chainserved.vcache.misses"]; misses != 1 {
+		t.Errorf("vcache.misses = %d, want 1", misses)
+	}
+
+	// A mismatched domain flips the leaf-match key bit: new entry, and the
+	// per-request leaf placement reflects the new domain.
+	w := post(t, h, body(t, VerdictRequest{Domain: "other.example",
+		PEM: f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert)}))
+	var resp VerdictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("mismatched-domain request must not share the matched-domain entry")
+	}
+	if resp.LeafPlacement != "correct-placed/mismatched" {
+		t.Errorf("leaf placement = %q", resp.LeafPlacement)
+	}
+}
+
+// TestScanDialFailure live-scans a port that refuses connections and
+// expects a structured scan_dial error, not a bare 500.
+func TestScanDialFailure(t *testing.T) {
+	f := newFixture(t)
+	h := f.server(Config{ScanTimeout: 2 * time.Second}).Handler()
+
+	// Reserve a port, then close it: the follow-up dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	w := post(t, h, body(t, VerdictRequest{Target: addr}))
+	decodeError(t, w, http.StatusBadGateway, CodeScanDial)
+}
+
+// TestAdmissionControl fills the single verdict slot with a live scan
+// against a listener that accepts and stalls, then asserts the next request
+// is shed with 429 + Retry-After while a healthz probe still answers.
+func TestAdmissionControl(t *testing.T) {
+	f := newFixture(t)
+	reg := obs.NewRegistry()
+	s := f.server(Config{MaxInFlight: 1, ScanTimeout: 30 * time.Second, Metrics: reg})
+	h := s.Handler()
+
+	// The tar pit: accepts TCP, never completes a handshake.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/verdict",
+			strings.NewReader(body(t, VerdictRequest{Target: ln.Addr().String()})))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req.WithContext(ctx))
+		done <- w
+	}()
+
+	// Wait for the scan to occupy the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Admitted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := post(t, h, body(t, VerdictRequest{Domain: "served.example",
+		PEM: f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert)}))
+	decodeError(t, w, http.StatusTooManyRequests, CodeOverloaded)
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Health stays green while verdicts shed.
+	hw := httptest.NewRecorder()
+	h.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hw.Code != http.StatusOK {
+		t.Errorf("healthz = %d during saturation", hw.Code)
+	}
+
+	// Release the tar-pitted request; it reports the cancellation
+	// structurally and frees its slot.
+	cancel()
+	first := <-done
+	if first.Code != 499 {
+		t.Errorf("cancelled scan status = %d, want 499 (body %s)", first.Code, first.Body)
+	}
+	if got := reg.Snapshot().Counters["chainserved.verdict.shed"]; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	if a, c := s.Admitted(), s.Completed(); a != c {
+		t.Errorf("admitted %d != completed %d after release", a, c)
+	}
+}
+
+// TestGracefulDrain runs the service on a real listener, keeps a burst of
+// concurrent verdict requests in flight, shuts the server down mid-burst,
+// and asserts the drain contract: every admitted request completes with a
+// full response (zero dropped in flight), admitted == completed, and
+// Shutdown returns cleanly. Run under -race this also exercises the
+// handler's concurrency.
+func TestGracefulDrain(t *testing.T) {
+	f := newFixture(t)
+	reg := obs.NewRegistry()
+	s := f.server(Config{Metrics: reg, MaxInFlight: 64})
+	srv := &http.Server{Handler: s.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	base := "http://" + ln.Addr().String()
+
+	// Distinct chains per goroutine so the burst does real grading work
+	// rather than collapsing into one cache entry.
+	const n = 24
+	bodies := make([]string, n)
+	for i := range bodies {
+		leaf, err := f.ca1.NewLeaf(fmt.Sprintf("drain-%d.example", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = body(t, VerdictRequest{
+			Domain: fmt.Sprintf("drain-%d.example", i),
+			PEM:    f.pem(t, leaf.Cert, f.ca1.Cert, f.ca2.Cert),
+		})
+	}
+
+	// Fresh connection per request: the transport silently retries requests
+	// written on a reused connection the server closed concurrently, which
+	// would let one server-side completion show up client-side as an error
+	// and break the delivered == Completed() equality below.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+
+	var wg sync.WaitGroup
+	type outcome struct {
+		status int
+		ok     bool // response decoded as a full verdict
+		reject bool // connection refused (arrived after drain began)
+	}
+	results := make([]outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/verdict", "application/json",
+				bytes.NewReader([]byte(bodies[i])))
+			if err != nil {
+				results[i] = outcome{reject: true}
+				return
+			}
+			defer resp.Body.Close()
+			var v VerdictResponse
+			decodeErr := json.NewDecoder(resp.Body).Decode(&v)
+			results[i] = outcome{
+				status: resp.StatusCode,
+				ok:     decodeErr == nil && len(v.Matrix) == 8,
+			}
+		}(i)
+	}
+
+	// Begin the drain while the burst is in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Admitted() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("burst never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	delivered := 0
+	for i, r := range results {
+		switch {
+		case r.reject:
+			// Arrived after the listener closed — shed at the door, fine.
+		case r.status == http.StatusOK && r.ok:
+			delivered++
+		default:
+			t.Errorf("request %d: status %d, full verdict %v — an admitted request was dropped", i, r.status, r.ok)
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no request completed; the drain test proved nothing")
+	}
+	if a, c := s.Admitted(), s.Completed(); a != c {
+		t.Errorf("admitted %d != completed %d after drain", a, c)
+	}
+	if int64(delivered) != s.Completed() {
+		t.Errorf("clients saw %d full responses, server completed %d", delivered, s.Completed())
+	}
+}
+
+// TestEndpointInstrumentation asserts the per-endpoint histograms and
+// gauges exist and observe: nonzero latency counts for every endpoint hit,
+// and the in-flight gauges return to zero at rest.
+func TestEndpointInstrumentation(t *testing.T) {
+	f := newFixture(t)
+	reg := obs.NewRegistry()
+	h := f.server(Config{Metrics: reg}).Handler()
+
+	post(t, h, body(t, VerdictRequest{Domain: "served.example",
+		PEM: f.pem(t, f.leaf.Cert, f.ca1.Cert, f.ca2.Cert)}))
+	for _, path := range []string{"/healthz", "/metrics"} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s = %d", path, w.Code)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, ep := range []string{"verdict", "healthz", "metrics"} {
+		hs, ok := snap.Histograms["chainserved."+ep+".latency"]
+		if !ok || hs.Count == 0 {
+			t.Errorf("endpoint %s: latency histogram missing or empty", ep)
+		}
+		if got := snap.Gauges["chainserved."+ep+".inflight"]; got != 0 {
+			t.Errorf("endpoint %s: inflight gauge = %d at rest", ep, got)
+		}
+		if snap.Counters["chainserved."+ep+".requests"] == 0 {
+			t.Errorf("endpoint %s: request counter is zero", ep)
+		}
+	}
+}

@@ -24,36 +24,31 @@ func (e *Env) HTTPServerCharacteristics() *report.Table {
 
 	t := report.New("Table 4 — SSL deployment characteristics across HTTP servers",
 		"Server", "Auto Mgmt", "Cert Fields", "Key/Leaf Match Check", "Dup Leaf Check", "Dup Intermediate/Root Check")
+	// probeInput builds the scheme-appropriate upload: split-scheme servers
+	// get CertFile+ChainFile, the rest get one Fullchain (Deploy rejects a
+	// Fullchain handed to a split-scheme server).
+	probeInput := func(m httpserver.Model, chain []*certmodel.Certificate, key *certmodel.Certificate) httpserver.ConfigInput {
+		in := httpserver.ConfigInput{PrivateKeyFor: key}
+		if m.Scheme == httpserver.SchemeSplit {
+			in.CertFile = []*certmodel.Certificate{leaf}
+			in.ChainFile = chain
+		} else {
+			in.Fullchain = append([]*certmodel.Certificate{leaf}, chain...)
+		}
+		return in
+	}
 	for _, m := range httpserver.Models() {
 		// Probe 1: private key belongs to a different certificate.
-		mismatch := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf},
-			ChainFile:     []*certmodel.Certificate{inter},
-			Fullchain:     []*certmodel.Certificate{leaf, inter},
-			PrivateKeyFor: otherLeaf,
-		}
-		_, err := m.Deploy(mismatch)
+		_, err := m.Deploy(probeInput(m, []*certmodel.Certificate{inter}, otherLeaf))
 		keyCheck := errors.Is(err, httpserver.ErrPrivateKeyMismatch)
 
 		// Probe 2: duplicate leaf in the upload.
-		dupLeaf := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf},
-			ChainFile:     []*certmodel.Certificate{leaf, inter},
-			Fullchain:     []*certmodel.Certificate{leaf, leaf, inter},
-			PrivateKeyFor: leaf,
-		}
-		_, err = m.Deploy(dupLeaf)
+		_, err = m.Deploy(probeInput(m, []*certmodel.Certificate{leaf, inter}, leaf))
 		dupLeafCheck := errors.Is(err, httpserver.ErrDuplicateLeaf)
 
 		// Probe 3: duplicate intermediate.
-		dupInter := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf},
-			ChainFile:     []*certmodel.Certificate{inter, inter},
-			Fullchain:     []*certmodel.Certificate{leaf, inter, inter},
-			PrivateKeyFor: leaf,
-		}
-		_, err = m.Deploy(dupInter)
-		dupInterCheck := err != nil
+		_, err = m.Deploy(probeInput(m, []*certmodel.Certificate{inter, inter}, leaf))
+		dupInterCheck := errors.Is(err, httpserver.ErrDuplicateIntermediate)
 
 		t.Add(m.Name,
 			report.Mark(m.AutomaticManagement),

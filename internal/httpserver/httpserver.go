@@ -55,7 +55,11 @@ type Model struct {
 	// ChecksDuplicateLeaf: upload is rejected when the leaf appears more
 	// than once (Azure, IIS).
 	ChecksDuplicateLeaf bool
-	// ChecksDuplicateIntermediate: no surveyed server does this.
+	// ChecksDuplicateIntermediate: upload is rejected when any certificate
+	// after the leaf appears more than once. No surveyed server of Table 4
+	// sets it — the paper's duplicated-intermediate chains survive every
+	// upload check — but the flag is enforced so hypothetical-server
+	// modelling (and the chainserved admission path) can use it.
 	ChecksDuplicateIntermediate bool
 }
 
@@ -120,8 +124,16 @@ var (
 	ErrPrivateKeyMismatch = errors.New("httpserver: private key does not match first certificate")
 	// ErrDuplicateLeaf is Azure/IIS upload rejection.
 	ErrDuplicateLeaf = errors.New("httpserver: duplicate leaf certificate in upload")
+	// ErrDuplicateIntermediate is the rejection of a repeated non-leaf
+	// certificate by a model with ChecksDuplicateIntermediate.
+	ErrDuplicateIntermediate = errors.New("httpserver: duplicate intermediate certificate in upload")
 	// ErrNoCertificates: nothing to deploy.
 	ErrNoCertificates = errors.New("httpserver: no certificates supplied")
+	// ErrSchemeMismatch: a Fullchain file was supplied to a split-scheme
+	// server. Previously the file was silently ignored — the administrator
+	// thought the chain was configured while the server deployed only the
+	// split files.
+	ErrSchemeMismatch = errors.New("httpserver: fullchain file supplied to a split-scheme server")
 )
 
 // Deploy assembles the wire list from the input, enforcing the model's
@@ -131,6 +143,9 @@ func (m Model) Deploy(in ConfigInput) ([]*certmodel.Certificate, error) {
 	var list []*certmodel.Certificate
 	switch m.Scheme {
 	case SchemeSplit:
+		if len(in.Fullchain) > 0 {
+			return nil, fmt.Errorf("%w: %s expects CertFile + ChainFile", ErrSchemeMismatch, m.Name)
+		}
 		list = append(append([]*certmodel.Certificate(nil), in.CertFile...), in.ChainFile...)
 	case SchemeFullchain, SchemePFX:
 		list = append([]*certmodel.Certificate(nil), in.Fullchain...)
@@ -149,6 +164,16 @@ func (m Model) Deploy(in ConfigInput) ([]*certmodel.Certificate, error) {
 			if c.Fingerprint() == leafFP {
 				return nil, ErrDuplicateLeaf
 			}
+		}
+	}
+	if m.ChecksDuplicateIntermediate {
+		seen := make(map[certmodel.FP]bool, len(list)-1)
+		for _, c := range list[1:] {
+			fp := c.Fingerprint()
+			if seen[fp] {
+				return nil, fmt.Errorf("%w: %q", ErrDuplicateIntermediate, c.Subject)
+			}
+			seen[fp] = true
 		}
 	}
 	return list, nil

@@ -52,15 +52,23 @@ func TestFullchainSchemeIgnoresSplitFiles(t *testing.T) {
 	}
 }
 
+// inputFor builds the upload in the model's own file scheme: split models
+// receive CertFile+ChainFile, the others one Fullchain of leaf+chain.
+func inputFor(m Model, leaf *certmodel.Certificate, chain []*certmodel.Certificate, key *certmodel.Certificate) ConfigInput {
+	in := ConfigInput{PrivateKeyFor: key}
+	if m.Scheme == SchemeSplit {
+		in.CertFile = []*certmodel.Certificate{leaf}
+		in.ChainFile = chain
+	} else {
+		in.Fullchain = append([]*certmodel.Certificate{leaf}, chain...)
+	}
+	return in
+}
+
 func TestPrivateKeyMismatch(t *testing.T) {
 	f := newFixture()
 	for _, m := range Models() {
-		in := ConfigInput{
-			CertFile:      []*certmodel.Certificate{f.leaf},
-			ChainFile:     []*certmodel.Certificate{f.inter},
-			Fullchain:     []*certmodel.Certificate{f.leaf, f.inter},
-			PrivateKeyFor: f.otherLeaf,
-		}
+		in := inputFor(m, f.leaf, []*certmodel.Certificate{f.inter}, f.otherLeaf)
 		if _, err := m.Deploy(in); !errors.Is(err, ErrPrivateKeyMismatch) {
 			t.Errorf("%s: err = %v, want key mismatch", m.Name, err)
 		}
@@ -73,13 +81,8 @@ func TestPrivateKeyMismatch(t *testing.T) {
 
 func TestDuplicateLeafChecks(t *testing.T) {
 	f := newFixture()
-	dupIn := ConfigInput{
-		CertFile:      []*certmodel.Certificate{f.leaf},
-		ChainFile:     []*certmodel.Certificate{f.leaf, f.inter},
-		Fullchain:     []*certmodel.Certificate{f.leaf, f.leaf, f.inter},
-		PrivateKeyFor: f.leaf,
-	}
 	for _, m := range Models() {
+		dupIn := inputFor(m, f.leaf, []*certmodel.Certificate{f.leaf, f.inter}, f.leaf)
 		wire, err := m.Deploy(dupIn)
 		if m.ChecksDuplicateLeaf {
 			if !errors.Is(err, ErrDuplicateLeaf) {
@@ -104,18 +107,102 @@ func TestDuplicateLeafChecks(t *testing.T) {
 	}
 }
 
-func TestDuplicateIntermediateNeverChecked(t *testing.T) {
+func TestDuplicateIntermediateNeverCheckedBySurveyedServers(t *testing.T) {
 	f := newFixture()
-	in := ConfigInput{
-		CertFile:      []*certmodel.Certificate{f.leaf},
-		ChainFile:     []*certmodel.Certificate{f.inter, f.inter},
-		Fullchain:     []*certmodel.Certificate{f.leaf, f.inter, f.inter},
-		PrivateKeyFor: f.leaf,
-	}
 	for _, m := range Models() {
+		in := inputFor(m, f.leaf, []*certmodel.Certificate{f.inter, f.inter}, f.leaf)
 		if _, err := m.Deploy(in); err != nil {
 			t.Errorf("%s: duplicate intermediate rejected: %v (no surveyed server checks this)", m.Name, err)
 		}
+	}
+}
+
+// TestDuplicateIntermediateCheck covers both branches of the
+// ChecksDuplicateIntermediate scan: a model with the check rejects any
+// repeated non-leaf fingerprint (intermediate or root), one without it
+// deploys the duplicate onto the wire.
+func TestDuplicateIntermediateCheck(t *testing.T) {
+	f := newFixture()
+	checking := Model{Name: "Hypothetical", Scheme: SchemeFullchain, ChecksDuplicateIntermediate: true}
+	lax := Model{Name: "Lax", Scheme: SchemeFullchain}
+	cases := []struct {
+		name   string
+		model  Model
+		chain  []*certmodel.Certificate
+		reject bool
+	}{
+		{"checking/dup-intermediate", checking, []*certmodel.Certificate{f.inter, f.inter}, true},
+		{"checking/dup-root", checking, []*certmodel.Certificate{f.inter, f.root, f.root}, true},
+		{"checking/clean", checking, []*certmodel.Certificate{f.inter, f.root}, false},
+		{"lax/dup-intermediate", lax, []*certmodel.Certificate{f.inter, f.inter}, false},
+		{"lax/dup-root", lax, []*certmodel.Certificate{f.inter, f.root, f.root}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire, err := tc.model.Deploy(inputFor(tc.model, f.leaf, tc.chain, f.leaf))
+			if tc.reject {
+				if !errors.Is(err, ErrDuplicateIntermediate) {
+					t.Fatalf("err = %v, want ErrDuplicateIntermediate", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("deploy failed: %v", err)
+			}
+			if len(wire) != 1+len(tc.chain) {
+				t.Errorf("wire length = %d, want %d", len(wire), 1+len(tc.chain))
+			}
+		})
+	}
+}
+
+// TestDuplicateIntermediateCheckIgnoresRepeatedLeaf: the intermediate scan is
+// about the tail; a leaf repeated in the tail is the duplicate-leaf check's
+// job, but a checking model still rejects it as a repeated tail fingerprint.
+func TestDuplicateIntermediateCheckIgnoresRepeatedLeaf(t *testing.T) {
+	f := newFixture()
+	m := Model{Name: "Hypothetical", Scheme: SchemeFullchain, ChecksDuplicateIntermediate: true}
+	// Leaf appears once up front and once in the tail: one tail occurrence,
+	// no repeated tail fingerprint, so the intermediate check passes.
+	wire, err := m.Deploy(inputFor(m, f.leaf, []*certmodel.Certificate{f.leaf, f.inter}, f.leaf))
+	if err != nil {
+		t.Fatalf("deploy failed: %v", err)
+	}
+	if len(wire) != 3 {
+		t.Errorf("wire length = %d, want 3", len(wire))
+	}
+}
+
+// TestSplitSchemeRejectsFullchain: handing a Fullchain to a split-scheme
+// server is a misconfiguration that used to be silently ignored (the server
+// deployed only the split files while the administrator believed the chain
+// was configured); it now fails loudly.
+func TestSplitSchemeRejectsFullchain(t *testing.T) {
+	f := newFixture()
+	for _, m := range []Model{ApacheOld(), AWSELB()} {
+		in := ConfigInput{
+			CertFile:      []*certmodel.Certificate{f.leaf},
+			ChainFile:     []*certmodel.Certificate{f.inter},
+			Fullchain:     []*certmodel.Certificate{f.leaf, f.inter},
+			PrivateKeyFor: f.leaf,
+		}
+		if _, err := m.Deploy(in); !errors.Is(err, ErrSchemeMismatch) {
+			t.Errorf("%s: err = %v, want ErrSchemeMismatch", m.Name, err)
+		}
+		// Fullchain alone (no split files) is equally wrong for SF1.
+		in.CertFile, in.ChainFile = nil, nil
+		if _, err := m.Deploy(in); !errors.Is(err, ErrSchemeMismatch) {
+			t.Errorf("%s: fullchain-only err = %v, want ErrSchemeMismatch", m.Name, err)
+		}
+	}
+	// Fullchain-scheme servers still ignore stray split files.
+	wire, err := Nginx().Deploy(ConfigInput{
+		CertFile:      []*certmodel.Certificate{f.otherLeaf},
+		Fullchain:     []*certmodel.Certificate{f.leaf, f.inter},
+		PrivateKeyFor: f.leaf,
+	})
+	if err != nil || len(wire) != 2 {
+		t.Errorf("nginx deploy = (%v, %v)", wire, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -96,9 +97,43 @@ func (c *CLI) BindObs() {
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address for the run's duration")
 }
 
-// Start performs the post-Parse setup (today: the pprof listener), exiting
-// with a diagnostic on failure so every command reports errors the same way.
+// Validate rejects contradictory or orphaned distributed-flag combinations.
+// Each of the five flags has a governing mode: -distribute marks a
+// coordinator, -worker marks a worker, and the two are mutually exclusive;
+// -connect is meaningful only on a worker, -dist-listen and -dist-lease only
+// on a coordinator. Silently accepting a stray flag (the pre-PR-8 behaviour)
+// meant, e.g., `-worker -distribute 4` ran as a worker that never fanned out,
+// with nothing telling the operator which half of the command line won.
+func (c *CLI) Validate() error {
+	if c.Distribute < 0 {
+		return fmt.Errorf("-distribute %d: worker count cannot be negative", c.Distribute)
+	}
+	if c.DistLease < 0 {
+		return fmt.Errorf("-dist-lease %d: lease size cannot be negative", c.DistLease)
+	}
+	if c.Worker && c.Distribute > 0 {
+		return errors.New("-worker and -distribute are mutually exclusive (a process is a coordinator or a worker, never both)")
+	}
+	if c.Connect != "" && !c.Worker {
+		return fmt.Errorf("-connect %s requires -worker (only a worker dials a coordinator)", c.Connect)
+	}
+	if c.DistListen != "" && c.Distribute == 0 {
+		return fmt.Errorf("-dist-listen %s requires -distribute (only a coordinator accepts workers)", c.DistListen)
+	}
+	if c.DistLease > 0 && c.Distribute == 0 {
+		return fmt.Errorf("-dist-lease %d requires -distribute (lease size is a coordinator knob)", c.DistLease)
+	}
+	return nil
+}
+
+// Start performs the post-Parse setup (flag validation, then the pprof
+// listener), exiting with a diagnostic on failure so every command reports
+// errors the same way. Commands that branch into -worker mode before Start
+// must call Validate themselves — the worker path returns early.
 func (c *CLI) Start() {
+	if err := c.Validate(); err != nil {
+		c.Fatal(err)
+	}
 	addr, err := StartPprof(c.pprofAddr)
 	if err != nil {
 		c.Fatal(err)

@@ -265,20 +265,25 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 			chain = append(chain, stray.Cert)
 		}
 
-		in := httpserver.ConfigInput{
-			CertFile:      []*certmodel.Certificate{leaf.Cert},
-			ChainFile:     chain,
-			Fullchain:     append([]*certmodel.Certificate{leaf.Cert}, chain...),
-			PrivateKeyFor: leaf.Cert,
+		// The upload follows the model's file scheme: split-scheme servers
+		// take CertFile+ChainFile, the rest one Fullchain. Deploy now
+		// rejects a Fullchain handed to a split-scheme server, so the input
+		// must pick one layout, exactly as an administrator does.
+		input := func(chain []*certmodel.Certificate) httpserver.ConfigInput {
+			in := httpserver.ConfigInput{PrivateKeyFor: leaf.Cert}
+			if model.Scheme == httpserver.SchemeSplit {
+				in.CertFile = []*certmodel.Certificate{leaf.Cert}
+				in.ChainFile = chain
+			} else {
+				in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, chain...)
+			}
+			return in
 		}
-		wire, err := model.Deploy(in)
+		wire, err := model.Deploy(input(chain))
 		if err == httpserver.ErrDuplicateLeaf {
 			// The server's check fired; the administrator fixes the files.
-			fixed := chain[1:]
-			in.ChainFile = fixed
-			in.Fullchain = append([]*certmodel.Certificate{leaf.Cert}, fixed...)
 			inj = defectNone
-			wire, err = model.Deploy(in)
+			wire, err = model.Deploy(input(chain[1:]))
 		}
 		if err != nil {
 			return nil, nil, inj, fmt.Errorf("study: deploy %s on %s: %w", name, model.Name, err)

@@ -17,10 +17,19 @@
 #     fleet size. Speedup is bounded by the host's core count: on a 1-core
 #     box the table measures distribution overhead, not parallelism.
 #
+#   PR=pr8  the PR 8 record: the chainserved daemon under sustained load —
+#     a real daemon process serving the exemplar fixture set is driven at
+#     LOAD_QPS for LOAD_SECONDS by scripts/loadtest.sh's Go driver (zero
+#     failed requests required), then SIGTERM-drained; the record carries
+#     the achieved qps, the verdict-endpoint p50/p95/p99 from the daemon's
+#     own histograms, the cache hit counts, and the drain accounting
+#     (admitted == completed, i.e. zero dropped in flight).
+#
 # Knobs (env): PR (default pr7), OUT (default BENCH_<pr>.json),
 # STUDY_SITES (default 100000), BIG_SITES (default 10000000, pr6 only),
 # REUSE (default 0.9995), POOL (default 3000),
-# WORKER_COUNTS (default "1 2 4 8", pr7 only).
+# WORKER_COUNTS (default "1 2 4 8", pr7 only),
+# LOAD_QPS (default 300) and LOAD_SECONDS (default 10, pr8 only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -169,10 +178,60 @@ bench_pr7() {
     }' >"$OUT"
 }
 
+bench_pr8() {
+  LOAD_QPS=${LOAD_QPS:-300}
+  LOAD_SECONDS=${LOAD_SECONDS:-10}
+
+  go build -o "$TMP/chainserved" ./cmd/chainserved
+  "$TMP/chainserved" -exemplars "$TMP/fixtures" 2>/dev/null
+
+  echo "bench-json: starting chainserved daemon" >&2
+  "$TMP/chainserved" -listen 127.0.0.1:0 -roots "$TMP/fixtures/roots.pem" \
+    -reference-time -metrics "$TMP/served.json" 2>"$TMP/daemon.log" &
+  DAEMON=$!
+  ADDR=
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*serving on http://##p' "$TMP/daemon.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "bench-json: daemon never came up" >&2; exit 1; }
+
+  echo "bench-json: sustaining ${LOAD_QPS} qps for ${LOAD_SECONDS}s against http://$ADDR" >&2
+  TARGET="http://$ADDR" PEM_DIR="$TMP/fixtures" \
+    QPS="$LOAD_QPS" DURATION="$LOAD_SECONDS" OUT="$TMP/load.json" \
+    scripts/loadtest.sh >&2
+
+  echo "bench-json: SIGTERM drain" >&2
+  kill -TERM "$DAEMON"
+  wait "$DAEMON" || { echo "bench-json: daemon exited non-zero" >&2; exit 1; }
+
+  jq -n --slurpfile load "$TMP/load.json" --slurpfile m "$TMP/served.json" '
+    {
+      chainserved_load: ($load[0] + {
+        drain: {
+          admitted: $m[0].counters["chainserved.verdict.admitted"],
+          completed: $m[0].counters["chainserved.verdict.completed"],
+          shed: ($m[0].counters["chainserved.verdict.shed"] // 0),
+          dropped_in_flight: ($m[0].counters["chainserved.verdict.admitted"]
+                            - $m[0].counters["chainserved.verdict.completed"])
+        }
+      })
+    }' >"$OUT"
+
+  jq -e '.chainserved_load.failed == 0
+     and .chainserved_load.drain.dropped_in_flight == 0
+     and .chainserved_load.verdict_latency_ns.count > 0' "$OUT" >/dev/null || {
+    echo "bench-json: load/drain contract violated (failed requests, dropped in-flight, or empty histograms)" >&2
+    exit 1
+  }
+}
+
 case "$PR" in
   pr6) bench_pr6 ;;
   pr7) bench_pr7 ;;
-  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7)" >&2; exit 1 ;;
+  pr8) bench_pr8 ;;
+  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7|pr8)" >&2; exit 1 ;;
 esac
 
 echo "bench-json: wrote $OUT" >&2

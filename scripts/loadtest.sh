@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# loadtest.sh — sustained-rate load test against chainserved.
+#
+# Default: in-process mode — the Go driver (cmd/chainserved/loadtest_test.go)
+# starts a server on a loopback socket and sustains QPS for DURATION seconds,
+# asserting zero failed requests and reporting p50/p95/p99 from the service's
+# own obs histograms.
+#
+# External mode: point TARGET at a running daemon and PEM_DIR at a fixture
+# directory (chainserved -exemplars DIR) to drive a real process instead —
+# scripts/bench_json.sh PR=pr8 does exactly that.
+#
+# Knobs (env): QPS (default 200), DURATION seconds (default 5),
+# OUT (default loadtest.json), TARGET (e.g. http://127.0.0.1:8080), PEM_DIR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QPS=${QPS:-200}
+DURATION=${DURATION:-5}
+OUT=${OUT:-loadtest.json}
+
+LOAD_QPS="$QPS" LOAD_SECONDS="$DURATION" LOAD_OUT="$OUT" \
+LOAD_TARGET="${TARGET:-}" LOAD_PEM_DIR="${PEM_DIR:-}" \
+  go test ./cmd/chainserved -run 'TestLoadSustained$' -count=1 -v
+
+echo "loadtest: wrote $OUT" >&2
