@@ -11,7 +11,7 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/... ./internal/chainserved/...
+RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/... ./internal/chainserved/... ./internal/divfuzz/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -35,7 +35,9 @@ bench:
 # coordinator/worker scaling table — single-process baseline vs -distribute
 # 1/2/4/8 walls, each output verified byte-identical, with lease counters and
 # fleet peak RSS. PR=pr6 reproduces the dedup-off/on and 10M-site record;
-# PR=pr8 the chainserved sustained-load + graceful-drain record.
+# PR=pr8 the chainserved sustained-load + graceful-drain record; PR=pr9 the
+# divergence-fuzzer campaign record (mutants/s, bins, worker-invariant
+# manifest, scenario replay through a streamed study).
 bench-json:
 	bash scripts/bench_json.sh
 

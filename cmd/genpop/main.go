@@ -38,6 +38,8 @@ func main() {
 	stream := flag.Bool("stream", false, "emit rows as domains are generated instead of materializing the population")
 	outFile := flag.String("out", "", "write the TSV here (default stdout; implies -stream)")
 	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
+	scenarioFile := flag.String("scenario-file", "", "inject fuzzer-discovered chain topologies from this scenario file (cmd/divfuzz -scenarios)")
+	scenarioRate := flag.Float64("scenario-rate", 0.01, "fraction of domains presenting an injected scenario under -scenario-file")
 	cli.BindWorkers("parallel workers for generation (0 = GOMAXPROCS)")
 	cli.BindObs()
 	flag.Parse()
@@ -45,6 +47,13 @@ func main() {
 	defer cli.Finish()
 
 	cfg := population.Config{Size: *size, Seed: *seed, Workers: cli.Workers, ChainReuse: *reuse, ChainPool: *pool}
+	if *scenarioFile != "" {
+		scs, err := population.LoadScenarios(*scenarioFile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		cfg.Scenarios, cfg.ScenarioRate = scs, *scenarioRate
+	}
 	if !(*stream || *outFile != "" || *checkpoint != "") {
 		pop := population.Generate(cfg)
 		if *summary {
@@ -141,7 +150,7 @@ func writeRow(w io.Writer, d *population.Domain) {
 type stats struct {
 	n                                          int
 	dup, irr, multi, rev, inc, mismatch, other int
-	nc, shared                                 int
+	nc, shared, scenario                       int
 	chains                                     map[certmodel.FP]struct{}
 	byCA, byServer                             map[string]int
 }
@@ -153,6 +162,9 @@ func (s *stats) add(d *population.Domain) {
 	s.byServer[d.Server]++
 	if d.Shared {
 		s.shared++
+	}
+	if d.Scenario != "" {
+		s.scenario++
 	}
 	if s.chains == nil {
 		s.chains = map[certmodel.FP]struct{}{}
@@ -196,6 +208,7 @@ func (s *stats) print(pop *population.Population) {
 	fmt.Printf("leaf mismatch:        %s\n", pct(s.mismatch))
 	fmt.Printf("leaf 'other':         %s\n", pct(s.other))
 	fmt.Printf("shared chain:         %s\n", pct(s.shared))
+	fmt.Printf("injected scenario:    %s\n", pct(s.scenario))
 	fmt.Printf("distinct chains:      %d\n", len(s.chains))
 	fmt.Printf("issuer hierarchies:   %d, AIA repository entries: %d\n", len(pop.Issuers), pop.Repo.Len())
 	fmt.Printf("union root store:     %d roots\n", pop.Roots().Len())

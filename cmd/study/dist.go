@@ -17,6 +17,7 @@ import (
 	"chainchaos/internal/dist"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
+	"chainchaos/internal/population"
 	"chainchaos/internal/study"
 	"chainchaos/internal/tlsserve"
 )
@@ -35,6 +36,11 @@ type workerJob struct {
 	Distinct int     `json:"distinct,omitempty"`
 	Dedup    bool    `json:"dedup,omitempty"`
 	Chaos    bool    `json:"chaos,omitempty"`
+	// Scenarios ship the replayed fuzzer topologies to every worker inline
+	// (the coordinator loaded the scenario file; workers may not share its
+	// filesystem).
+	Scenarios    []population.Scenario `json:"scenarios,omitempty"`
+	ScenarioRate float64               `json:"scenario_rate,omitempty"`
 	// KillAfter, when > 0, makes the worker SIGKILL itself after emitting
 	// that many records — the chaos knob the CI smoke test arms on one
 	// worker to prove a mid-lease kill -9 loses no sites.
@@ -46,6 +52,7 @@ func (j workerJob) config(metrics *obs.Registry) study.Config {
 		Sites: j.Sites, Seed: j.Seed, Vantages: j.Vantages,
 		Workers: j.Workers, Retries: j.Retries, Metrics: metrics,
 		Reuse: j.Reuse, DistinctChains: j.Distinct, Dedup: j.Dedup,
+		Scenarios: j.Scenarios, ScenarioRate: j.ScenarioRate,
 	}
 	if j.Chaos {
 		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
@@ -133,6 +140,7 @@ func runDistributed(cli *obs.CLI, cfg study.Config, chaos bool, outFile, checkpo
 		Sites: cfg.Sites, Seed: cfg.Seed, Vantages: cfg.Vantages,
 		Workers: cfg.Workers, Retries: cfg.Retries,
 		Reuse: cfg.Reuse, Distinct: cfg.DistinctChains, Dedup: cfg.Dedup,
+		Scenarios: cfg.Scenarios, ScenarioRate: cfg.ScenarioRate,
 		Chaos: chaos,
 	}
 	payload := func(slot, spawn int) []byte {

@@ -39,6 +39,7 @@ import (
 
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
+	"chainchaos/internal/population"
 	"chainchaos/internal/study"
 	"chainchaos/internal/tlsserve"
 )
@@ -56,6 +57,8 @@ func main() {
 	outFile := flag.String("out", "", "write per-site JSONL records here (default stdout; implies -stream)")
 	checkpoint := flag.String("checkpoint", "", "journal progress to this file and resume an interrupted run from it (implies -stream)")
 	killAfter := flag.Int("dist-kill-after", 0, "chaos: the first worker SIGKILLs itself after emitting this many records (distributed runs only)")
+	scenarioFile := flag.String("scenario-file", "", "replay fuzzer-discovered chain topologies from this scenario file (cmd/divfuzz -scenarios)")
+	scenarioRate := flag.Float64("scenario-rate", 0.02, "fraction of sites replaying an injected scenario under -scenario-file")
 	cli.BindWorkers("parallel workers for the grading loop (0 = GOMAXPROCS)")
 	cli.BindRetries(2, "extra handshake attempts per transport failure (0 = scan once)")
 	cli.BindDistribute()
@@ -81,6 +84,13 @@ func main() {
 	}
 	if *chaos {
 		cfg.Faults = tlsserve.FaultConfig{FailFirst: 1, SlowWrite: time.Millisecond}
+	}
+	if *scenarioFile != "" {
+		scs, err := population.LoadScenarios(*scenarioFile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		cfg.Scenarios, cfg.ScenarioRate = scs, *scenarioRate
 	}
 
 	start := time.Now()

@@ -1,6 +1,7 @@
 package certmodel
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -219,4 +220,53 @@ func SyntheticLeaf(domain, serial string, parent *Certificate, notBefore, notAft
 // cross-signing and for crafting AKID-correct variants).
 func KeyOf(cert *Certificate) SyntheticKey {
 	return SyntheticKey{name: "", id: cert.PublicKeyID}
+}
+
+// KeyFromID wraps a raw key identifier (a PublicKeyID or SignedByKeyID taken
+// from an existing synthetic certificate) as a SyntheticKey. A nil or empty
+// id yields the zero key.
+func KeyFromID(id []byte) SyntheticKey {
+	if len(id) == 0 {
+		return SyntheticKey{}
+	}
+	return SyntheticKey{id: append([]byte(nil), id...)}
+}
+
+// SyntheticConfigOf reverse-maps a synthetic certificate to a SyntheticConfig
+// that rebuilds it bit-identically: NewSynthetic(SyntheticConfigOf(c)) has
+// Raw equal to c.Raw. Mutation operators use it to rebuild a certificate with
+// one field perturbed instead of constructing configs from scratch.
+func SyntheticConfigOf(c *Certificate) SyntheticConfig {
+	cfg := SyntheticConfig{
+		Subject:               c.Subject,
+		Issuer:                c.Issuer,
+		Serial:                c.SerialNumber,
+		NotBefore:             c.NotBefore,
+		NotAfter:              c.NotAfter,
+		Key:                   KeyFromID(c.PublicKeyID),
+		SignedBy:              KeyFromID(c.SignedByKeyID),
+		KeyUsage:              c.KeyUsage,
+		HasKeyUsage:           c.HasKeyUsage,
+		IsCA:                  c.IsCA,
+		BasicConstraintsValid: c.BasicConstraintsValid,
+		DNSNames:              append([]string(nil), c.DNSNames...),
+		IPAddresses:           append([]string(nil), c.IPAddresses...),
+		AIAIssuerURLs:         append([]string(nil), c.AIAIssuerURLs...),
+		ExtKeyUsages:          append([]ExtKeyUsage(nil), c.ExtKeyUsages...),
+		PermittedDNSDomains:   append([]string(nil), c.PermittedDNSDomains...),
+		ExcludedDNSDomains:    append([]string(nil), c.ExcludedDNSDomains...),
+		WeakSignature:         c.WeakSignature,
+	}
+	if c.MaxPathLen != MaxPathLenUnset {
+		cfg.MaxPathLen = c.MaxPathLen
+		cfg.HasPathLen = true
+	}
+	cfg.OmitSKID = c.SubjectKeyID == nil && !cfg.Key.IsZero()
+	switch {
+	case c.AuthorityKeyID == nil:
+		cfg.OmitAKID = !cfg.SignedBy.IsZero()
+	case !bytes.Equal(c.AuthorityKeyID, c.SignedByKeyID):
+		cfg.AKIDOverride = append([]byte(nil), c.AuthorityKeyID...)
+	}
+	return cfg
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 	"testing/quick"
 )
 
@@ -198,5 +199,68 @@ func TestSyntheticRootHelpers(t *testing.T) {
 	}
 	if leaf.NotAfter != base.AddDate(1, 0, 0) {
 		t.Error("leaf validity wrong")
+	}
+}
+
+// TestSyntheticConfigOfRoundTrip: NewSynthetic(SyntheticConfigOf(c)) must
+// reproduce c bit-identically for every shape of synthetic certificate the
+// generator and the fuzzer's mutation operators produce — including omitted
+// key IDs, AKID overrides, path-length constraints, and name constraints.
+func TestSyntheticConfigOfRoundTrip(t *testing.T) {
+	base := time.Date(2024, 3, 15, 12, 0, 0, 0, time.UTC)
+	root := SyntheticRoot("Round Trip Root", base)
+	inter := SyntheticIntermediate("Round Trip CA", root, base)
+	leaf := SyntheticLeaf("rt.example", "rt-1", inter, base, base.AddDate(1, 0, 0))
+
+	variants := []*Certificate{
+		root, inter, leaf,
+		NewSynthetic(SyntheticConfig{
+			Subject:   Name{CommonName: "No KID CA"},
+			Issuer:    root.Subject,
+			Serial:    "nokid",
+			NotBefore: base,
+			NotAfter:  base.AddDate(2, 0, 0),
+			Key:       NewSyntheticKey("nokid"),
+			SignedBy:  KeyOf(root),
+			OmitSKID:  true,
+			OmitAKID:  true,
+			IsCA:      true, BasicConstraintsValid: true,
+		}),
+		NewSynthetic(SyntheticConfig{
+			Subject:      Name{CommonName: "AKID Mismatch"},
+			Issuer:       root.Subject,
+			Serial:       "badakid",
+			NotBefore:    base,
+			NotAfter:     base.AddDate(2, 0, 0),
+			Key:          NewSyntheticKey("badakid"),
+			SignedBy:     KeyOf(root),
+			AKIDOverride: []byte("not-the-signer-id-20"),
+			MaxPathLen:   0, HasPathLen: true,
+			IsCA: true, BasicConstraintsValid: true,
+			PermittedDNSDomains: []string{".example"},
+			ExcludedDNSDomains:  []string{".forbidden.example"},
+			ExtKeyUsages:        []ExtKeyUsage{EKUServerAuth},
+			WeakSignature:       true,
+		}),
+	}
+	for _, want := range variants {
+		got := NewSynthetic(SyntheticConfigOf(want))
+		if !got.Equal(want) {
+			t.Errorf("%s: round trip differs:\n got %s\nwant %s",
+				want.Subject.CommonName, got.Raw, want.Raw)
+		}
+	}
+}
+
+// TestKeyFromID: the wrapped key must carry the exact identifier and be
+// usable as a signer, and the zero cases must collapse to the zero key.
+func TestKeyFromID(t *testing.T) {
+	orig := NewSyntheticKey("from-id")
+	k := KeyFromID(orig.ID())
+	if !bytes.Equal(k.ID(), orig.ID()) {
+		t.Fatalf("KeyFromID id = %x, want %x", k.ID(), orig.ID())
+	}
+	if !KeyFromID(nil).IsZero() || !KeyFromID([]byte{}).IsZero() {
+		t.Fatal("KeyFromID of empty input must be the zero key")
 	}
 }

@@ -175,9 +175,9 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		inflight.Add(1)
-		start := time.Now()
+		start := s.cfg.Metrics.Time()
 		h(w, r)
-		latency.ObserveDuration(time.Since(start))
+		latency.ObserveDuration(s.cfg.Metrics.Time().Sub(start))
 		inflight.Add(-1)
 	})
 }

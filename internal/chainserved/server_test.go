@@ -15,6 +15,7 @@ import (
 
 	"chainchaos/internal/certgen"
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/faults"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/rootstore"
 )
@@ -508,5 +509,41 @@ func TestEndpointInstrumentation(t *testing.T) {
 		if snap.Counters["chainserved."+ep+".requests"] == 0 {
 			t.Errorf("endpoint %s: request counter is zero", ep)
 		}
+	}
+}
+
+// TestLatencyHistogramFakeClock: endpoint latency must come from the metrics
+// registry's injectable clock. A handler that advances a FakeClock by a fixed
+// amount per request yields a latency histogram whose count and sum are exact,
+// which is impossible to assert against the wall clock.
+func TestLatencyHistogramFakeClock(t *testing.T) {
+	const (
+		requests = 5
+		step     = 13 * time.Millisecond
+	)
+	clock := faults.NewFakeClock(time.Date(2024, 3, 15, 12, 0, 0, 0, time.UTC))
+	reg := obs.NewRegistry()
+	reg.Now = clock.Now
+
+	f := newFixture(t)
+	s := f.server(Config{Metrics: reg})
+	// Wrap a trivial handler in the same instrumentation the real endpoints
+	// use, with the handler itself standing in for request work: each request
+	// "takes" exactly one clock step.
+	h := s.instrument("fake", func(w http.ResponseWriter, r *http.Request) {
+		clock.Advance(step)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	for i := 0; i < requests; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/fake", nil))
+	}
+
+	hist := reg.Histogram("chainserved.fake.latency", obs.LatencyBuckets)
+	if hist.Count() != requests {
+		t.Fatalf("latency count = %d, want %d", hist.Count(), requests)
+	}
+	if want := int64(requests) * int64(step); hist.Sum() != want {
+		t.Fatalf("latency sum = %d ns, want exactly %d ns", hist.Sum(), want)
 	}
 }

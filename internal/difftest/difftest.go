@@ -772,6 +772,34 @@ func backtrackerPasses(rec *ChainRecord) bool {
 	return false
 }
 
+// AttributeCauses classifies a hand-assembled record's client disagreements
+// into the paper's I-1…I-4 causes — the same attribution the harness applies
+// at its sink. Exported for the divergence fuzzer, which constructs records
+// for mutated chains outside any harness run and bins them by cause.
+func AttributeCauses(rec *ChainRecord) []Cause {
+	rec.buildIndex()
+	return classifyCauses(rec)
+}
+
+// DefaultWarmCache builds the harness's default Firefox-style warm
+// intermediate cache over the population: every disclosed CA's intermediates,
+// sealed (see setup). Out-of-harness graders — the divergence fuzzer's oracle
+// — use it so mutants are judged in the identical client context.
+func DefaultWarmCache(pop *population.Population) *rootstore.Store {
+	var h Harness
+	_, cache := h.setup(pop)
+	return cache
+}
+
+// Builders constructs one pathbuild.Builder per profile wired exactly as the
+// harness wires its graders: the client's vendor root store, the population's
+// AIA repository, the shared read-only warm cache, validation pinned to the
+// population's reference time.
+func Builders(pop *population.Population, profiles []clients.Profile, cache *rootstore.Store, reg *obs.Registry) []*pathbuild.Builder {
+	h := &Harness{Metrics: reg}
+	return h.newGrader(pop, profiles, cache).builders
+}
+
 // CauseNames renders the causes of a record for reports.
 func CauseNames(causes []Cause) string {
 	if len(causes) == 0 {

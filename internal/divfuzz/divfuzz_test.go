@@ -1,0 +1,197 @@
+package divfuzz
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chainchaos/internal/certmodel"
+	"chainchaos/internal/difftest"
+	"chainchaos/internal/population"
+)
+
+// smallCfg is the shared test campaign: big enough to rediscover known
+// classes and breed novel topologies, small enough for the race detector.
+func smallCfg(workers int) Config {
+	return Config{Seed: 1, Generations: 3, PerGen: 96, SeedDomains: 48, Workers: workers, Dedup: true}
+}
+
+// TestRunFindsKnownAndNovel: a fixed-seed campaign rediscovers at least one
+// of the paper's I-1…I-4 divergence classes and bins at least one topology
+// outside them — the acceptance shape the CI smoke asserts on the binary.
+func TestRunFindsKnownAndNovel(t *testing.T) {
+	res, err := Run(context.Background(), smallCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := 0
+	for _, class := range []string{"I-1", "I-2", "I-3", "I-4"} {
+		known += res.Bins[class]
+	}
+	if known == 0 {
+		t.Fatalf("no known I-class divergence rediscovered; bins: %v", res.Bins)
+	}
+	if res.Bins["novel"] == 0 {
+		t.Fatalf("no novel divergence binned; bins: %v", res.Bins)
+	}
+	if res.Mutants != 48+3*96 {
+		t.Fatalf("mutants = %d, want %d", res.Mutants, 48+3*96)
+	}
+	for _, d := range res.Divergences {
+		if !d.Novel && len(d.Causes) == 0 {
+			t.Fatalf("divergence %s neither novel nor attributed", d.Digest[:12])
+		}
+	}
+}
+
+// TestManifestWorkerInvariance: the manifest bytes are identical for 1, 4,
+// and 8 workers — the determinism contract the distributed corpus scheduler
+// rests on.
+func TestManifestWorkerInvariance(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Run(context.Background(), smallCfg(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Manifest().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d: manifest differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestMinimizeIdempotent: minimize(minimize(g)) == minimize(g) for every
+// divergence a campaign finds — the fixpoint property the canonical digest
+// relies on.
+func TestMinimizeIdempotent(t *testing.T) {
+	res, err := Run(context.Background(), smallCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatal("campaign found no divergences to minimize")
+	}
+	warm := difftest.DefaultWarmCache(res.Pop)
+	oracle := NewOracle(res.Pop, warm, nil, nil)
+	for _, d := range res.Divergences {
+		base := res.Pop.Domains[d.Minimized.Base].List
+		again := Minimize(res.Pop, base, d.Minimized, oracle)
+		if again.Encode() != d.Minimized.Encode() {
+			t.Fatalf("minimize not idempotent for %s: %s -> %s",
+				d.Digest[:12], d.Minimized.Encode(), again.Encode())
+		}
+		if again.Digest() != d.Digest {
+			t.Fatalf("digest drifted on re-minimize for %s", d.Digest[:12])
+		}
+	}
+}
+
+// TestApplyPure: applying a genome never mutates the base list.
+func TestApplyPure(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 4, Seed: 2})
+	base := pop.Domains[0].List
+	before := certmodel.ListDigest(base)
+	snapshot := append([]*certmodel.Certificate(nil), base...)
+	for op := Op(0); op < opCount; op++ {
+		Apply(pop, base, Genome{Muts: []Mut{{Op: op, A: 3, Salt: 7}}})
+	}
+	if certmodel.ListDigest(base) != before {
+		t.Fatal("Apply mutated the base list digest")
+	}
+	for i := range base {
+		if base[i] != snapshot[i] {
+			t.Fatalf("Apply replaced base[%d]", i)
+		}
+	}
+}
+
+// TestGenomeEncodeStable: encoding is canonical and digest-stable.
+func TestGenomeEncodeStable(t *testing.T) {
+	g := Genome{Base: 3, Muts: []Mut{{Op: OpReverse, A: 5, Salt: 0xbeef}, {Op: OpBloat, A: 1, Salt: 2}}}
+	if got, want := g.Encode(), "b3;3:5:beef;4:1:2"; got != want {
+		t.Fatalf("Encode() = %q, want %q", got, want)
+	}
+	if g.Digest() != g.Clone().Digest() {
+		t.Fatal("clone digest differs")
+	}
+	c := g.Clone()
+	c.Muts[0].A = 99
+	if g.Muts[0].A != 5 {
+		t.Fatal("Clone shares the mutation slice")
+	}
+}
+
+// TestScenariosReplayable: every emitted scenario survives the JSON round
+// trip and materializes to the exact divergent list — digest-equal — so
+// population injection replays what the fuzzer graded.
+func TestScenariosReplayable(t *testing.T) {
+	res, err := Run(context.Background(), smallCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := res.Scenarios()
+	if len(scs) == 0 {
+		t.Fatal("campaign emitted no scenarios")
+	}
+	data, err := json.Marshal(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []population.Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	byDigest := map[string]*Divergence{}
+	for _, d := range res.Divergences {
+		if d.Novel {
+			byDigest["novel-"+d.Digest[:12]] = d
+		}
+	}
+	for _, s := range back {
+		m, err := s.Materialize()
+		if err != nil {
+			t.Fatalf("scenario %s: %v", s.Name, err)
+		}
+		d := byDigest[s.Name]
+		if d == nil {
+			t.Fatalf("scenario %s has no matching novel divergence", s.Name)
+		}
+		if certmodel.ListDigest(m.List) != certmodel.ListDigest(d.List) {
+			t.Fatalf("scenario %s: materialized list digest differs from the graded mutant", s.Name)
+		}
+		if !reflect.DeepEqual(s.Causes, d.Causes) {
+			t.Fatalf("scenario %s: causes %v != %v", s.Name, s.Causes, d.Causes)
+		}
+	}
+}
+
+// TestVectorSignature: divergence detection and signature formatting.
+func TestVectorSignature(t *testing.T) {
+	pop := population.Generate(population.Config{Size: 2, Seed: 9})
+	warm := difftest.DefaultWarmCache(pop)
+	o := NewOracle(pop, warm, nil, nil)
+	vec := o.Evaluate(pop.Domains[0].List)
+	if len(vec) != 8 {
+		t.Fatalf("vector has %d entries, want 8", len(vec))
+	}
+	if vec.Signature() == "" {
+		t.Fatal("empty signature")
+	}
+	uniform := Vector{0, 0, 0}
+	if uniform.Divergent() {
+		t.Fatal("uniform vector reported divergent")
+	}
+	mixed := Vector{0, 1, 0}
+	if !mixed.Divergent() {
+		t.Fatal("mixed vector not reported divergent")
+	}
+}

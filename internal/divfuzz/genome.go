@@ -1,0 +1,164 @@
+// Package divfuzz is a coverage-guided divergence fuzzer for certificate
+// chain construction: it mutates deployed certificate lists and keeps the
+// mutants on which any two client profiles disagree about the chain — the
+// behavioural divergences the paper's differential harness finds in the wild,
+// searched for here by evolution instead of by population statistics.
+//
+// The feedback signal is the verdict vector: each mutant is graded by every
+// client profile (the same builder wiring as internal/difftest) and the
+// per-client verdict classes, joined in profile order, form its signature. A
+// mutant whose signature has not been seen joins the corpus; a divergent
+// signature (any two classes differ) is minimized by greedy delta-debugging
+// to a canonical genome, attributed to the paper's I-1…I-4 causes, and —
+// when it falls outside them — emitted as an injectable scenario that
+// internal/population can replay.
+//
+// Determinism contract (the PR 1 rule): every mutation draw derives from
+// (Config.Seed, generation, rank) through a splitmix64 stream, parents are
+// picked from a corpus snapshot frozen at generation start, and corpus
+// admission happens at the pipeline sink in rank order — so a given seed
+// reproduces the identical corpus, minimized set, and bin counts for any
+// worker count.
+package divfuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the mutation operators. Each is total: indices are taken
+// modulo the current list length and inapplicable ops degrade to no-ops, so
+// any genome applies to any list.
+type Op uint8
+
+const (
+	// OpSwap exchanges two list positions.
+	OpSwap Op = iota
+	// OpDup inserts a duplicate of one certificate after itself — the
+	// Apache two-file shape.
+	OpDup
+	// OpDrop removes one certificate (never the last one standing).
+	OpDrop
+	// OpReverse reverses the intermediates, leaving the leaf first — the
+	// reseller-bundle shape behind finding I-1.
+	OpReverse
+	// OpBloat repeats the list until it exceeds GnuTLS's 16-certificate
+	// input limit — the lever behind finding I-2.
+	OpBloat
+	// OpTruncate keeps only the leaf — the incomplete-chain shape behind
+	// finding I-4.
+	OpTruncate
+	// OpCrossInsert inserts another hierarchy's cross-signed intermediate.
+	OpCrossInsert
+	// OpCrossRoot appends a hierarchy's root together with its cross-signed
+	// variant — the §6.2 multi-path shape behind finding I-3.
+	OpCrossRoot
+	// OpStripSKID rebuilds one certificate without its Subject Key
+	// Identifier, forcing name-based chaining.
+	OpStripSKID
+	// OpPerturbAKID rebuilds one certificate with an AKID that matches no
+	// key, desynchronizing KID-based and name-based chaining.
+	OpPerturbAKID
+	// OpShiftValidity moves one certificate's validity window wholly into
+	// the past or the future.
+	OpShiftValidity
+	// OpPerturbEKU replaces one certificate's extended key usages with
+	// code-signing only.
+	OpPerturbEKU
+	// OpToggleBC flips one certificate's basicConstraints CA bit.
+	OpToggleBC
+	// OpNameConstrain rebuilds one certificate with a permitted-DNS name
+	// constraint no leaf satisfies.
+	OpNameConstrain
+	// OpSelfSignLeaf rebuilds the leaf as self-signed — divergent because
+	// only some profiles tolerate self-signed leaves at all.
+	OpSelfSignLeaf
+
+	opCount
+)
+
+var opNames = [...]string{
+	"swap", "dup", "drop", "reverse", "bloat", "truncate",
+	"cross-insert", "cross-root", "strip-skid", "perturb-akid",
+	"shift-validity", "perturb-eku", "toggle-bc", "name-constrain",
+	"self-sign-leaf",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Mut is one mutation: an operator plus its parameters. A is the primary
+// index operand (interpreted modulo the list length at application time);
+// Salt supplies secondary entropy — the partner index, the issuer pick, the
+// direction of a validity shift.
+type Mut struct {
+	Op   Op
+	A    int
+	Salt uint64
+}
+
+// Genome is a mutant's recipe: a seed-corpus base index plus an ordered
+// mutation list. Applying the same genome to the same base is pure, so the
+// genome — not the materialized list — is the unit of corpus storage,
+// minimization, and manifest identity.
+type Genome struct {
+	Base int
+	Muts []Mut
+}
+
+// Clone returns a deep copy whose mutation list the caller may extend.
+func (g Genome) Clone() Genome {
+	return Genome{Base: g.Base, Muts: append([]Mut(nil), g.Muts...)}
+}
+
+// Encode renders the genome canonically: base index, then each mutation as
+// op:a:salt. Equal genomes encode equally, and the encoding round-trips
+// through the manifest.
+func (g Genome) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b%d", g.Base)
+	for _, m := range g.Muts {
+		fmt.Fprintf(&b, ";%d:%d:%x", int(m.Op), m.A, m.Salt)
+	}
+	return b.String()
+}
+
+// Digest is the canonical identity of the genome — the sha256 of its
+// encoding. Divergences are deduplicated by the digest of their minimized
+// genome, which is stable because minimization runs to a fixpoint.
+func (g Genome) Digest() string {
+	sum := sha256.Sum256([]byte(g.Encode()))
+	return hex.EncodeToString(sum[:])
+}
+
+// rng is a splitmix64 stream keyed by (seed, generation, rank) — the same
+// finalizer the population and study generators use, so every mutation draw
+// is a pure function of its coordinates and never of scheduling.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, gen, rank int) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 +
+		uint64(gen)*0xD1B54A32D192ED03 +
+		uint64(rank)*0x8CB92BA72F3D8DD7 + 1}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

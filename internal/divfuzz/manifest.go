@@ -1,0 +1,79 @@
+// The manifest is the run's deterministic fingerprint: everything in it is a
+// pure function of the Config, so two runs with the same seed — at any
+// worker count — marshal to identical bytes. Raced observables (wall time,
+// cache hit counters) are deliberately absent; they live in the metrics
+// snapshot instead.
+package divfuzz
+
+import "encoding/json"
+
+// Manifest summarizes a run for reproducibility checks and CI byte-identity
+// assertions.
+type Manifest struct {
+	Seed        int64 `json:"seed"`
+	Generations int   `json:"generations"`
+	PerGen      int   `json:"per_gen"`
+	SeedDomains int   `json:"seed_domains"`
+	MaxMuts     int   `json:"max_muts"`
+	Mutants     int   `json:"mutants"`
+
+	// Corpus holds every admitted genome's encoding in admission order.
+	Corpus []string `json:"corpus"`
+	// Bins counts divergences per attributed class plus "novel"; JSON
+	// marshalling sorts the keys, keeping the bytes stable.
+	Bins map[string]int `json:"bins"`
+	// Divergences lists the confirmed divergences in discovery order.
+	Divergences []ManifestEntry `json:"divergences"`
+}
+
+// ManifestEntry is one divergence's deterministic identity.
+type ManifestEntry struct {
+	Digest    string   `json:"digest"`
+	Base      int      `json:"base"`
+	Domain    string   `json:"domain"`
+	Genome    string   `json:"genome"`
+	Found     string   `json:"found"`
+	Signature string   `json:"signature"`
+	Causes    []string `json:"causes,omitempty"`
+	Novel     bool     `json:"novel,omitempty"`
+}
+
+// Manifest builds the run's manifest.
+func (r *Result) Manifest() Manifest {
+	m := Manifest{
+		Seed:        r.Cfg.Seed,
+		Generations: r.Cfg.Generations,
+		PerGen:      r.Cfg.PerGen,
+		SeedDomains: r.Cfg.SeedDomains,
+		MaxMuts:     r.Cfg.MaxMuts,
+		Mutants:     r.Mutants,
+		Bins:        r.Bins,
+	}
+	for _, g := range r.Corpus {
+		m.Corpus = append(m.Corpus, g.Encode())
+	}
+	for _, d := range r.Divergences {
+		m.Divergences = append(m.Divergences, ManifestEntry{
+			Digest:    d.Digest,
+			Base:      d.Minimized.Base,
+			Domain:    d.Domain,
+			Genome:    d.Minimized.Encode(),
+			Found:     d.Found.Encode(),
+			Signature: d.Signature,
+			Causes:    d.Causes,
+			Novel:     d.Novel,
+		})
+	}
+	return m
+}
+
+// MarshalIndent renders the manifest as indented JSON with a trailing
+// newline — the exact bytes cmd/divfuzz writes, compared verbatim by the CI
+// reproducibility check.
+func (m Manifest) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -63,6 +63,12 @@ func (r *Registry) now() time.Time {
 	return time.Now()
 }
 
+// Time returns the registry's current time: the injected Now when set, the
+// wall clock otherwise. Safe on a nil registry. Instrumented code that needs
+// a raw timestamp (rather than a Timer) reads it here so latency measurements
+// stay deterministic under a fake clock.
+func (r *Registry) Time() time.Time { return r.now() }
+
 // Counter returns the named counter, creating it on first use. Returns nil
 // on a nil registry.
 func (r *Registry) Counter(name string) *Counter {

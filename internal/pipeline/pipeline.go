@@ -30,7 +30,6 @@ package pipeline
 import (
 	"context"
 	"sync"
-	"time"
 
 	"chainchaos/internal/faults"
 	"chainchaos/internal/obs"
@@ -259,7 +258,7 @@ func Through[In, Out any](f *Flow[In], st Stage[In, Out]) *Flow[Out] {
 				if r.ctx.Err() != nil {
 					return
 				}
-				began := time.Now()
+				began := r.opts.Metrics.Time()
 				var outV Out
 				attempt := 0
 				err := st.Retry.Do(r.ctx, func(ctx context.Context) error {
@@ -274,7 +273,7 @@ func Through[In, Out any](f *Flow[In], st Stage[In, Out]) *Flow[Out] {
 					r.fail(err)
 					return
 				}
-				latency.ObserveDuration(time.Since(began))
+				latency.ObserveDuration(r.opts.Metrics.Time().Sub(began))
 				items.Inc()
 				if !ro.put(in.rank, outV) {
 					return

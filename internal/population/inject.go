@@ -14,6 +14,12 @@ import (
 // ranks; rng is reseeded per domain from (Config.Seed, rank), and rank-scoped
 // serials replace run-global counters so output never depends on which worker
 // generated which domain.
+//
+// Concurrency audit: rng is the only math/rand state in the package and it is
+// strictly per-worker — never the global source, never shared across
+// goroutines — so there is no Rand data race, and the per-rank reseed makes
+// every draw a pure function of (Seed, rank) regardless of worker count or
+// -distribute lease shape.
 type generator struct {
 	cfg         Config
 	rng         *rand.Rand

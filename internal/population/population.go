@@ -54,6 +54,15 @@ type Config struct {
 	// Slots are picked with a power-law skew: a handful of hosting-provider
 	// chains dominate, with a long tail, as in the paper's dataset.
 	ChainPool int
+	// Scenarios are fuzzer-discovered chain topologies to inject: at
+	// ScenarioRate, a site presents a scenario's chain verbatim instead of
+	// generating one (see scenario.go). The scenario coin and pick are
+	// salted per-rank streams, so injection is worker-invariant and an empty
+	// Scenarios leaves the population byte-identical.
+	Scenarios []Scenario
+	// ScenarioRate is the fraction of sites presenting an injected scenario
+	// when Scenarios is non-empty.
+	ScenarioRate float64
 }
 
 func (c *Config) fillDefaults() {
@@ -134,6 +143,11 @@ type Domain struct {
 	// own. Shared domains of one slot compare digest-equal, which is what
 	// the verdict dedup cache exploits.
 	Shared bool
+	// Scenario names the injected scenario when the domain presents a
+	// fuzzer-discovered chain (Config.Scenarios); empty otherwise. Scenario
+	// domains carry a zero Truth — their defects are the fuzzer's discovery,
+	// not this generator's injection.
+	Scenario string
 }
 
 // Population is the generated dataset plus the PKI context needed to analyze

@@ -27,6 +27,7 @@ type Source struct {
 	pop         *Population
 	hierarchies []hierarchy
 	weightTotal float64
+	scenarios   []*MaterializedScenario
 }
 
 // NewSource builds the shared PKI context for cfg without generating any
@@ -45,6 +46,20 @@ func NewSource(cfg Config) *Source {
 			omitsOf[h.iss.Root.Fingerprint()] = h.storeOmit
 		}
 	}
+	// Injected scenarios contribute their trust anchors (to every vendor
+	// store — the fuzzer graded them against a shared warm context) and their
+	// AIA repository entries before the stores seal below.
+	var scenarios []*MaterializedScenario
+	for _, s := range cfg.Scenarios {
+		m, err := s.Materialize()
+		if err != nil {
+			// LoadScenarios validates at load time; reaching this means the
+			// caller handed Config.Scenarios unvalidated specs.
+			panic(fmt.Sprintf("population: scenario %q does not materialize: %v", s.Name, err))
+		}
+		allRoots = append(allRoots, m.Roots...)
+		scenarios = append(scenarios, m)
+	}
 	vendors := rootstore.NewVendorSet(allRoots, func(root *certmodel.Certificate, vendor int) bool {
 		return omitsOf[root.Fingerprint()][vendor]
 	})
@@ -62,11 +77,18 @@ func NewSource(cfg Config) *Source {
 	wrongTarget := certmodel.SyntheticRoot("Wrong AIA Target", cfg.Base)
 	repo.Put(cfg.AIABase+"/wrong/ca.der", wrongTarget)
 
+	for _, m := range scenarios {
+		uris, certs := m.AIAEntries()
+		for i, uri := range uris {
+			repo.Put(uri, certs[i])
+		}
+	}
+
 	weightTotal := 0.0
 	for i := range hierarchies {
 		weightTotal += hierarchies[i].weight
 	}
-	return &Source{cfg: cfg, pop: pop, hierarchies: hierarchies, weightTotal: weightTotal}
+	return &Source{cfg: cfg, pop: pop, hierarchies: hierarchies, weightTotal: weightTotal, scenarios: scenarios}
 }
 
 // Population returns the PKI context (issuers, AIA repository, vendor
@@ -87,6 +109,9 @@ type Generator struct {
 	// worker regenerating the slots it encounters yields identical domains;
 	// the memo only amortizes the work.
 	slots map[int]*Domain
+	// scenarios are the source's materialized injectable scenarios, shared
+	// read-only across workers.
+	scenarios []*MaterializedScenario
 }
 
 // Generator returns a fresh domain generator bound to this source's context.
@@ -97,15 +122,19 @@ func (s *Source) Generator() *Generator {
 		hierarchies: s.hierarchies,
 		repo:        s.pop.Repo,
 		weightTotal: s.weightTotal,
-	}, slots: make(map[int]*Domain)}
+	}, slots: make(map[int]*Domain), scenarios: s.scenarios}
 }
 
 // Domain generates the domain at rank (1-based, matching Domain.Rank). The
 // rng is reseeded from (Seed, rank) per call, so output depends only on the
 // rank, never on call order. Under Config.ChainReuse, reusing ranks
-// materialize from their slot template instead (see reuse.go) — still a pure
-// function of the rank.
+// materialize from their slot template instead (see reuse.go), and under
+// Config.Scenarios the scenario coin is checked first (see scenario.go) —
+// each still a pure function of the rank.
 func (g *Generator) Domain(rank int) *Domain {
+	if inject, idx := g.gen.cfg.scenarioPlan(rank); inject {
+		return g.scenarioDomain(rank, idx)
+	}
 	if shared, slot := g.gen.cfg.reusePlan(rank); shared {
 		return g.sharedDomain(rank, slot)
 	}

@@ -28,6 +28,11 @@ const (
 	studySlotSalt  = 0xDC0FFEE51F8B08BA
 	slotDefectSalt = 0x5EEDF00D7E57AB1E
 	slotServerSalt = 0xA11CE5B0B5CAFE17
+	siteDefectSalt = 0x9E11F15CA1DED00D
+	siteServerSalt = 0x0DDBA11FEEDC0DE5
+
+	studyScenarioCoinSalt = 0xFEE1DEADC0DEBA5E
+	studyScenarioPickSalt = 0xBEEFCAFEF01DAB1E
 )
 
 // unit derives a uniform [0,1) draw for (seed, rank) on the salted stream —
@@ -65,6 +70,21 @@ func (c *Config) reusePlan(rank int) (bool, int) {
 		slot = c.DistinctChains - 1
 	}
 	return true, slot
+}
+
+// scenarioPlan decides, per rank, whether the site replays an injected
+// scenario and which one. The draws live on their own salted streams, so a
+// run with no scenarios loaded is byte-identical to one before replay
+// existed. Scenario replay preempts the reuse plan: a scenario rank never
+// consults the reuse coin's outcome.
+func (c *Config) scenarioPlan(rank int) (bool, int) {
+	if len(c.Scenarios) == 0 || c.ScenarioRate <= 0 {
+		return false, 0
+	}
+	if unit(c.Seed, rank, studyScenarioCoinSalt) >= c.ScenarioRate {
+		return false, 0
+	}
+	return true, pick(len(c.Scenarios), c.Seed, rank, studyScenarioPickSalt)
 }
 
 // slotZone is the DNS zone a slot's sites share; the slot leaf is the zone

@@ -11,7 +11,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -25,6 +24,7 @@ import (
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/pipeline"
+	"chainchaos/internal/population"
 	"chainchaos/internal/rootstore"
 	"chainchaos/internal/tlsscan"
 	"chainchaos/internal/tlsserve"
@@ -44,15 +44,15 @@ type Stream struct {
 	Journal *pipeline.Journal
 	// Resume is the first site rank to deploy; a resuming caller passes
 	// Journal.Last(pipeline.SinkName("grade"))+1. Ranks below Resume are
-	// skipped entirely (their defect assignments are still drawn from the
-	// seeded rng, so the remaining sites are identical to a full run's).
+	// skipped entirely (every per-rank assignment is salted by (Seed, rank),
+	// so the remaining sites are identical to a full run's).
 	Resume int
 	// Limit, when > 0, is the first rank the run does NOT process: the run
 	// covers exactly [Resume, Limit) of a cfg.Sites-site study. Because
-	// every per-rank decision is either replayed (the serial rng burn) or
-	// salted by (Seed, rank), the records of a range-restricted run are
-	// byte-identical to the same ranks of a full run — the property the
-	// distributed coordinator leans on when leasing sub-ranges to workers.
+	// every per-rank decision is salted by (Seed, rank), the records of a
+	// range-restricted run are byte-identical to the same ranks of a full
+	// run — the property the distributed coordinator leans on when leasing
+	// sub-ranges to workers.
 	Limit int
 	// Record, when non-nil, receives each site's JSONL record (without
 	// trailing newline) in rank order — the distributed worker's tap. It
@@ -80,6 +80,7 @@ type SiteRecord struct {
 	Verdicts     map[string]bool `json:"verdicts,omitempty"`
 	ScanErrors   int             `json:"scan_errors,omitempty"`
 	Rescanned    bool            `json:"rescanned,omitempty"`
+	Scenario     string          `json:"scenario,omitempty"`
 }
 
 // deployed is one live site between the deploy source and the scan stage.
@@ -90,6 +91,10 @@ type deployed struct {
 	// slot is non-nil for a Dedup-mode shared site: the scan stage then
 	// reuses the slot's once-only physical scan instead of srv/target.
 	slot *studySlot
+	// list is non-nil for a scenario-replay site: the synthetic chain cannot
+	// complete a real handshake, so it bypasses the listener and scan and is
+	// graded as captured.
+	list []*certmodel.Certificate
 	// minted records whether this rank minted a leaf (always true for
 	// unique sites; true for the slot site that materialized its slot).
 	minted bool
@@ -166,8 +171,8 @@ func Run(cfg Config) (*Report, error) {
 
 // RunStream executes the study as a deploy→scan→grade pipeline. Sites flow
 // through bounded stage queues: the serial deploy source assigns defects
-// from the seeded rng in rank order (bit-identical to the batch path for any
-// worker count), cfg.Concurrency scan workers handshake each site from every
+// from per-rank salted splitmix64 streams (bit-identical to the batch path
+// for any worker count), cfg.Concurrency scan workers handshake each site from every
 // vantage and re-scan the missed ones, and cfg.Workers grade workers run the
 // analyzer plus all eight client models before the listener is torn down.
 // The sink aggregates the Report and, when st.Out is set, writes one JSONL
@@ -206,9 +211,32 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Scenario replay: materialize the injected topologies up front so their
+	// trust anchors land in the store before it seals and their AIA entries
+	// are served alongside the study's own.
+	scenarios := make([]*population.MaterializedScenario, 0, len(cfg.Scenarios))
+	for _, s := range cfg.Scenarios {
+		m, err := s.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("study: scenario %q: %w", s.Name, err)
+		}
+		scenarios = append(scenarios, m)
+	}
+
 	repo := aia.NewRepository().Instrument(reg)
 	repo.Put(ca2URI, ca2.Cert)
+	for _, m := range scenarios {
+		uris, certs := m.AIAEntries()
+		for i, uri := range uris {
+			repo.Put(uri, certs[i])
+		}
+	}
 	roots := rootstore.NewWith("study", root.Cert)
+	for _, m := range scenarios {
+		for _, r := range m.Roots {
+			roots.Add(r)
+		}
+	}
 	// The study trust store never grows after this point; sealed, the
 	// parallel site-grading workers read it without locking. The per-site
 	// intermediate caches created below stay unsealed — Firefox-style
@@ -227,15 +255,6 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 
 	live := &liveServers{m: map[*tlsserve.Server]struct{}{}}
 	defer live.closeAll()
-
-	// The deploy source is serial — rank order is the rng's spine. A resumed
-	// run replays the skipped ranks' draws so the remaining sites get the
-	// same assignments as in the full run.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for rank := 0; rank < st.Resume; rank++ {
-		rng.Intn(len(defects))
-		rng.Intn(len(servers))
-	}
 
 	// mintDeployment mints one leaf (exactly one — a stale-leaf deployment
 	// mints its expired leaf directly, the admin who never renewed, instead
@@ -333,12 +352,22 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		}
 		sw := deployTimer.Start()
 		defer sw.Stop()
-		// The two serial draws are burned for every rank — shared sites take
-		// their assignment from the slot instead — so each rank's draws stay
-		// at a fixed stream position and a Reuse=0 run is byte-identical to
-		// the pre-reuse study.
-		inj := defects[rng.Intn(len(defects))]
-		model := servers[rng.Intn(len(servers))]
+		// Each rank's defect and server-model assignment comes from its own
+		// salted splitmix64 stream, so a resumed or range-restricted run needs
+		// no replay: rank r draws the same pair in every run shape. Shared
+		// sites take their assignment from the slot instead.
+		inj := defects[pick(len(defects), cfg.Seed, rank, siteDefectSalt)]
+		model := servers[pick(len(servers), cfg.Seed, rank, siteServerSalt)]
+
+		if replay, idx := cfg.scenarioPlan(rank); replay {
+			// Scenario sites present a fuzzer-discovered synthetic chain. No
+			// leaf is minted and no listener started — the chain cannot
+			// handshake — so the site skips the physical scan and its list is
+			// graded as captured.
+			m := scenarios[idx]
+			site := &Site{Domain: m.Domain, Injected: defectScenario, Server: "scenario", Scenario: m.Name}
+			return deployed{site: site, list: m.List}, true, nil
+		}
 
 		if shared, idx := cfg.reusePlan(rank); shared {
 			s, minted, err := mintSlot(idx)
@@ -407,6 +436,11 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 		Queue:   st.Queue,
 		Fn: func(ctx context.Context, _, _ int, d deployed) (scannedSite, error) {
 			out := scannedSite{deployed: d}
+			if d.list != nil {
+				// Scenario replay: the chain is already "captured" verbatim.
+				out.list, out.digest = d.list, certmodel.ListDigest(d.list)
+				return out, nil
+			}
 			if d.slot != nil {
 				// Shared chain under Dedup: the slot's first site to arrive
 				// performs the one physical scan — same vantage and re-scan
@@ -560,7 +594,7 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 				lost:      sc.lost,
 				minted:    sc.minted,
 			}
-			if sc.slot == nil {
+			if sc.srv != nil {
 				g.faultsInjected = sc.srv.FaultsInjected()
 				g.acceptRetries = sc.srv.AcceptRetries()
 				g.deadlineExpiries = sc.srv.DeadlineExpiries()
@@ -657,6 +691,7 @@ func marshalSiteRecord(rank int, g gradedSite) ([]byte, error) {
 		Scanned:    !g.lost,
 		ScanErrors: g.errs.Total(),
 		Rescanned:  g.rescanned,
+		Scenario:   g.site.Scenario,
 	}
 	if !g.lost {
 		rec.Compliant = g.site.Report.Compliant()

@@ -19,6 +19,7 @@ import (
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/faults"
 	"chainchaos/internal/obs"
+	"chainchaos/internal/population"
 	"chainchaos/internal/report"
 	"chainchaos/internal/tlsscan"
 	"chainchaos/internal/tlsserve"
@@ -74,6 +75,18 @@ type Config struct {
 	// off; under injected faults only the run-level scan/fault tallies may
 	// differ (shared sites are physically scanned once, not per site).
 	Dedup bool
+	// Scenarios are fuzzer-discovered chain topologies to replay: at
+	// ScenarioRate, a site presents a scenario's synthetic chain verbatim
+	// instead of minting a deployment (see cmd/divfuzz -scenarios). Synthetic
+	// certificates cannot complete a real TLS handshake, so scenario sites
+	// skip the physical listener and scan; their lists enter the grade stage
+	// directly, against a trust store extended with the scenarios' anchors.
+	Scenarios []population.Scenario
+	// ScenarioRate is the fraction of sites replaying a scenario when
+	// Scenarios is non-empty. The coin and pick are salted per-rank streams
+	// (see reuse.go), so replay is worker-invariant and an empty Scenarios
+	// leaves the run byte-identical.
+	ScenarioRate float64
 	// Metrics, when non-nil, instruments the whole pipeline: scanner and
 	// listener counters, AIA repository hits, per-client construction
 	// metrics, and per-stage timers (study.deploy / study.scan /
@@ -118,6 +131,9 @@ const (
 	defectIncomplete
 	defectIrrelevant
 	defectStaleLeaf
+	// defectScenario marks a site replaying a fuzzer-discovered topology;
+	// the actual defect shape is the scenario's, not this enum's.
+	defectScenario
 )
 
 func (d defect) String() string {
@@ -134,6 +150,8 @@ func (d defect) String() string {
 		return "irrelevant"
 	case defectStaleLeaf:
 		return "stale-leaf"
+	case defectScenario:
+		return "scenario"
 	default:
 		return "unknown"
 	}
@@ -145,6 +163,8 @@ type Site struct {
 	Addr     string
 	Injected defect
 	Server   string
+	// Scenario names the replayed scenario for defectScenario sites.
+	Scenario string
 
 	Report   compliance.Report
 	Verdicts map[string]bool

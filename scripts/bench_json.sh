@@ -25,11 +25,20 @@
 #     own histograms, the cache hit counts, and the drain accounting
 #     (admitted == completed, i.e. zero dropped in flight).
 #
+#   PR=pr9  the PR 9 record: the coverage-guided divergence fuzzer —
+#     a fixed-seed campaign (FUZZ_GENS generations × FUZZ_MUTANTS mutants
+#     over FUZZ_DOMAINS seed chains), with wall, mutants/s, corpus size,
+#     divergence bins, and the novel-scenario count; the manifest is
+#     verified byte-identical between -workers 1 and -workers 8, and the
+#     emitted scenarios are replayed through a streamed study run.
+#
 # Knobs (env): PR (default pr7), OUT (default BENCH_<pr>.json),
 # STUDY_SITES (default 100000), BIG_SITES (default 10000000, pr6 only),
 # REUSE (default 0.9995), POOL (default 3000),
 # WORKER_COUNTS (default "1 2 4 8", pr7 only),
-# LOAD_QPS (default 300) and LOAD_SECONDS (default 10, pr8 only).
+# LOAD_QPS (default 300) and LOAD_SECONDS (default 10, pr8 only),
+# FUZZ_GENS (default 8), FUZZ_MUTANTS (default 256) and
+# FUZZ_DOMAINS (default 48, pr9 only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -227,11 +236,70 @@ bench_pr8() {
   }
 }
 
+bench_pr9() {
+  FUZZ_GENS=${FUZZ_GENS:-8}
+  FUZZ_MUTANTS=${FUZZ_MUTANTS:-256}
+  FUZZ_DOMAINS=${FUZZ_DOMAINS:-48}
+
+  go build -o "$TMP/divfuzz" ./cmd/divfuzz
+
+  echo "bench-json: fuzz campaign, seed 1, ${FUZZ_GENS}x${FUZZ_MUTANTS} mutants over ${FUZZ_DOMAINS} chains" >&2
+  t0=$(now_ms)
+  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
+    -seed-domains "$FUZZ_DOMAINS" -manifest "$TMP/fuzz.json" -scenarios "$TMP/novel.json" >/dev/null
+  FUZZ_MS=$(($(now_ms) - t0))
+
+  echo "bench-json: worker-invariance gate (-workers 1 vs -workers 8)" >&2
+  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
+    -seed-domains "$FUZZ_DOMAINS" -workers 1 -manifest "$TMP/fuzz-w1.json" >/dev/null
+  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
+    -seed-domains "$FUZZ_DOMAINS" -workers 8 -manifest "$TMP/fuzz-w8.json" >/dev/null
+  cmp -s "$TMP/fuzz-w1.json" "$TMP/fuzz-w8.json" || {
+    echo "bench-json: fuzz manifests differ between worker counts — determinism broken" >&2
+    exit 1
+  }
+
+  echo "bench-json: replaying novel scenarios through a streamed study" >&2
+  t0=$(now_ms)
+  "$TMP/study" -sites 2000 -vantages 1 -stream \
+    -scenario-file "$TMP/novel.json" -scenario-rate 0.02 \
+    -out "$TMP/scen.jsonl" >/dev/null
+  REPLAY_MS=$(($(now_ms) - t0))
+  REPLAYED=$(jq -s '[.[] | select(.scenario != null)] | length' "$TMP/scen.jsonl")
+  [ "$REPLAYED" -ge 1 ] || {
+    echo "bench-json: study replayed no scenario sites" >&2
+    exit 1
+  }
+
+  jq -n \
+    --argjson wall_ms "$FUZZ_MS" --argjson replay_ms "$REPLAY_MS" \
+    --argjson replayed "$REPLAYED" \
+    --slurpfile m "$TMP/fuzz.json" --slurpfile novel "$TMP/novel.json" \
+    '{
+      divfuzz: {
+        seed: $m[0].seed,
+        generations: $m[0].generations,
+        per_generation: $m[0].per_gen,
+        seed_domains: $m[0].seed_domains,
+        mutants: $m[0].mutants,
+        wall_ms: $wall_ms,
+        mutants_per_s: (($m[0].mutants * 1000) / $wall_ms),
+        corpus_signatures: ($m[0].corpus | length),
+        divergences: ($m[0].divergences | length),
+        bins: $m[0].bins,
+        novel_scenarios: ($novel[0] | length),
+        manifest_worker_invariant: true,
+        study_replay: { sites: 2000, rate: 0.02, replayed: $replayed, wall_ms: $replay_ms }
+      }
+    }' >"$OUT"
+}
+
 case "$PR" in
   pr6) bench_pr6 ;;
   pr7) bench_pr7 ;;
   pr8) bench_pr8 ;;
-  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7|pr8)" >&2; exit 1 ;;
+  pr9) bench_pr9 ;;
+  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7|pr8|pr9)" >&2; exit 1 ;;
 esac
 
 echo "bench-json: wrote $OUT" >&2
