@@ -11,7 +11,7 @@ test:
 # Race-test the packages that own goroutines: the parallel substrate and its
 # users, plus the network layer (scanner retries, server accept loops, the
 # faults clock) that runs goroutines against real sockets.
-RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/... ./internal/chainserved/... ./internal/divfuzz/...
+RACE_PKGS = ./internal/pipeline/... ./internal/difftest/... ./internal/parallel/... ./internal/experiments/... ./internal/study/... ./internal/population/... ./internal/faults/... ./internal/tlsserve/... ./internal/tlsscan/... ./internal/aia/... ./internal/obs/... ./internal/verdictcache/... ./internal/dist/... ./internal/chainserved/... ./internal/divfuzz/... ./internal/ledger/... ./internal/grid/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -31,13 +31,14 @@ check:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# bench-json writes BENCH_<pr>.json (PR=pr7 by default): the distributed
-# coordinator/worker scaling table — single-process baseline vs -distribute
-# 1/2/4/8 walls, each output verified byte-identical, with lease counters and
-# fleet peak RSS. PR=pr6 reproduces the dedup-off/on and 10M-site record;
-# PR=pr8 the chainserved sustained-load + graceful-drain record; PR=pr9 the
-# divergence-fuzzer campaign record (mutants/s, bins, worker-invariant
-# manifest, scenario replay through a streamed study).
+# bench-json writes BENCH_<pr>.json (PR=pr7 by default) by driving cmd/grid
+# over the committed spec in scripts/grids/<pr>.json. PR=pr6 reproduces the
+# dedup-off/on and 10M-site record; PR=pr7 the distributed scaling table
+# (outputs byte-identical to the single-process baseline); PR=pr8 the
+# chainserved sustained-load + graceful-drain record; PR=pr9 the
+# divergence-fuzzer campaign record (worker-invariant manifest, ledgered
+# divergence records, scenario replay); PR=pr10 the Merkle-ledger overhead
+# record (off vs on, audited roots, <5% wall gate).
 bench-json:
 	bash scripts/bench_json.sh
 

@@ -77,6 +77,11 @@ func runWorker(cli *obs.CLI) error {
 	return dist.ServeStdio(context.Background(), setup)
 }
 
+// The distributed path does not ledger: worker-side root folding needs a
+// dense sink (leaf index == rank), and the verdict stream is sparse — a
+// line's leaf index is its position in the merged file, which no worker can
+// know. Single-process -stream runs ledger; see runStreaming.
+//
 // runDistributed is the -distribute N coordinator: same journal/output
 // wiring as runStreaming, with the evaluation executed by N worker processes
 // instead of in-process stages. The verdict JSONL is sparse — only

@@ -29,11 +29,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"chainchaos/internal/experiments"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 )
@@ -52,6 +54,7 @@ func main() {
 	killAfter := flag.Int("dist-kill-after", 0, "chaos: the first worker SIGKILLs itself after processing this many ranks (distributed runs only)")
 	cli.BindWorkers("parallel workers for generation/analysis/difftest (0 = GOMAXPROCS)")
 	cli.BindDistribute()
+	cli.BindLedger()
 	cli.BindObs()
 	flag.Parse()
 	if cli.Worker {
@@ -147,8 +150,11 @@ func runStreaming(cli *obs.CLI, size int, seed int64, run, outFile, checkpoint s
 		Size: size, Seed: seed, Workers: cli.Workers, Metrics: cli.Metrics,
 		Reuse: reuse, Pool: pool, Dedup: dedup,
 	}
+	var j *pipeline.Journal
 	if checkpoint != "" {
-		j, resume, err := pipeline.Checkpoint(checkpoint, "verdict")
+		var resume int
+		var err error
+		j, resume, err = pipeline.Checkpoint(checkpoint, "verdict")
 		if err != nil {
 			cli.Fatal(err)
 		}
@@ -178,11 +184,33 @@ func runStreaming(cli *obs.CLI, size int, seed int64, run, outFile, checkpoint s
 		defer f.Close()
 		cfg.Out = f
 	}
+	// Ledger the sparse verdict stream: leaf index is the line's position
+	// in the file, so the resume replay feeds every recovered line (-1).
+	if j != nil && outFile != "" && cli.LedgerBatch > 0 {
+		var sw io.Writer
+		if cli.LedgerSidecar != "" {
+			side, err := os.Create(cli.LedgerSidecar)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			defer side.Close()
+			sw = side
+		}
+		cfg.Ledger = ledger.JournalBatcher(j, "verdict", cli.LedgerBatch, cli.LedgerLatency, nil, sw)
+		if err := ledger.Replay(cfg.Ledger, outFile, 0, -1); err != nil {
+			cli.Fatal(err)
+		}
+	}
 	fmt.Printf("population: %d domains, seed %d (streaming)\n\n", size, seed)
 	start := time.Now()
 	t, err := experiments.DifferentialStream(context.Background(), cfg)
 	if err != nil {
 		cli.Fatal(err)
+	}
+	if cfg.Ledger != nil {
+		if _, _, err := ledger.Seal(cfg.Ledger, j, "verdict"); err != nil {
+			cli.Fatal(err)
+		}
 	}
 	fmt.Println(t)
 	fmt.Printf("[d1 took %v]\n\n", time.Since(start).Round(time.Millisecond))

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"chainchaos/internal/certmodel"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
@@ -41,6 +42,7 @@ func main() {
 	scenarioFile := flag.String("scenario-file", "", "inject fuzzer-discovered chain topologies from this scenario file (cmd/divfuzz -scenarios)")
 	scenarioRate := flag.Float64("scenario-rate", 0.01, "fraction of domains presenting an injected scenario under -scenario-file")
 	cli.BindWorkers("parallel workers for generation (0 = GOMAXPROCS)")
+	cli.BindLedger()
 	cli.BindObs()
 	flag.Parse()
 	cli.Start()
@@ -118,6 +120,30 @@ func main() {
 		defer f.Close()
 		out = f
 	}
+	// The TSV sink only exposes an io.Writer, so the ledger tees through a
+	// LineWriter: every completed row (header excluded) becomes a leaf, and
+	// row rank == leaf index.
+	var b *ledger.Batcher
+	if opts.Journal != nil && *outFile != "" && cli.LedgerBatch > 0 {
+		var sw io.Writer
+		if cli.LedgerSidecar != "" {
+			side, err := os.Create(cli.LedgerSidecar)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			defer side.Close()
+			sw = side
+		}
+		b = ledger.JournalBatcher(opts.Journal, "generate", cli.LedgerBatch, cli.LedgerLatency, nil, sw)
+		if err := ledger.Replay(b, *outFile, 1, opts.Resume); err != nil {
+			cli.Fatal(err)
+		}
+		skip := 0
+		if opts.Resume == 0 {
+			skip = 1 // this run writes the header; a resumed run appends rows only
+		}
+		out = &ledger.LineWriter{W: out, B: b, Skip: skip}
+	}
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	if opts.Resume == 0 {
@@ -129,6 +155,16 @@ func main() {
 	})
 	if err != nil {
 		cli.Fatal(err)
+	}
+	if b != nil {
+		// Flush before sealing: rows still buffered here have not reached
+		// the LineWriter, and the run root must cover every row.
+		if err := w.Flush(); err != nil {
+			cli.Fatal(err)
+		}
+		if _, _, err := ledger.Seal(b, opts.Journal, "generate"); err != nil {
+			cli.Fatal(err)
+		}
 	}
 }
 

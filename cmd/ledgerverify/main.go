@@ -1,0 +1,117 @@
+// ledgerverify audits a run's output file against the Merkle anchors its
+// checkpoint journal committed to: it re-hashes every record line, rebuilds
+// each batch root, and compares them to the journaled anchors and run root.
+//
+// Usage:
+//
+//	ledgerverify -out sites.jsonl -journal study.ckpt
+//	ledgerverify -out sites.jsonl -journal study.ckpt -sidecar sites.leaves
+//	ledgerverify -out verdicts.jsonl -journal diff.ckpt -stage verdict
+//	ledgerverify -out population.tsv -journal pop.ckpt -stage generate -header 1
+//	ledgerverify -out sites.jsonl -journal study.ckpt -prove 4242
+//
+// Exit status: 0 when the file matches every commitment, 1 when it has been
+// tampered with (the diagnostic names the offending rank when a -sidecar is
+// available, the batch range otherwise), 2 on usage or I/O errors.
+//
+// -prove N emits an RFC 6962-style inclusion proof for record N against its
+// anchored batch root — the audit path a third party can check with nothing
+// but the journal's anchor line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chainchaos/internal/ledger"
+	"chainchaos/internal/pipeline"
+)
+
+func main() {
+	out := flag.String("out", "", "output file to audit (the run's -out)")
+	journal := flag.String("journal", "", "checkpoint journal holding the anchors (the run's -checkpoint)")
+	stage := flag.String("stage", "grade", "journal stage the anchors were recorded under (grade, verdict, generate, divergence)")
+	header := flag.Int("header", 0, "leading non-record lines to skip (1 for the genpop TSV)")
+	sidecar := flag.String("sidecar", "", "leaf-hash sidecar from the run's -ledger-sidecar (enables exact-rank attribution)")
+	prove := flag.Int("prove", -1, "emit an inclusion proof for this record instead of verifying the whole file")
+	flag.Parse()
+	if *out == "" || *journal == "" {
+		fmt.Fprintln(os.Stderr, "ledgerverify: -out and -journal are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *prove >= 0 {
+		if err := proveInclusion(*out, *header, *journal, *stage, *prove); err != nil {
+			fmt.Fprintf(os.Stderr, "ledgerverify: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	rep, err := ledger.VerifyFile(*out, *header, *journal, *stage, *sidecar)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ledgerverify: %v\n", err)
+		if _, tampered := err.(*ledger.TamperError); tampered {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("ledgerverify: OK — %d record lines, %d anchored batches", rep.Lines, rep.Batches)
+	if rep.Partials > 0 {
+		fmt.Printf(", %d partial anchors", rep.Partials)
+	}
+	if rep.Tail > 0 {
+		fmt.Printf(", %d unanchored tail lines (interrupted run)", rep.Tail)
+	}
+	fmt.Println()
+	if rep.RunRoot != "" {
+		fmt.Printf("run root: %s\n", rep.RunRoot)
+	} else {
+		fmt.Println("run root: (none journaled — run not sealed)")
+	}
+}
+
+// proveInclusion prints the audit path for one record: its leaf hash, the
+// sibling hashes up to its batch root, and the anchored root it resolves to.
+func proveInclusion(out string, header int, journal, stage string, rank int) error {
+	recs, err := pipeline.ReadAnchors(journal)
+	if err != nil {
+		return err
+	}
+	var anchor *pipeline.AnchorRecord
+	for i, r := range recs {
+		if r.Stage != stage || r.Event != "anchor" || r.Partial {
+			continue
+		}
+		if r.Lo <= rank && rank < r.Hi {
+			anchor = &recs[i]
+			break
+		}
+	}
+	if anchor == nil {
+		return fmt.Errorf("no final anchor covers record %d (stage %q)", rank, stage)
+	}
+	root, ok := ledger.ParseHash(anchor.Root)
+	if !ok {
+		return fmt.Errorf("journal anchor for batch %d holds malformed root %q", anchor.Batch, anchor.Root)
+	}
+	leaves, err := ledger.ReadLeafRange(out, header, anchor.Lo, anchor.Hi)
+	if err != nil {
+		return err
+	}
+	idx := rank - anchor.Lo
+	proof := ledger.InclusionProof(leaves, idx)
+	if !ledger.VerifyInclusion(root, len(leaves), idx, leaves[idx], proof) {
+		return fmt.Errorf("record %d does not verify against the anchored root for batch %d — the file is tampered; run without -prove for the full audit", rank, anchor.Batch)
+	}
+	fmt.Printf("record:     %d (leaf %d of batch %d, leaves [%d,%d))\n", rank, idx, anchor.Batch, anchor.Lo, anchor.Hi)
+	fmt.Printf("leaf hash:  %s\n", ledger.HexHash(leaves[idx]))
+	for i, h := range proof {
+		fmt.Printf("path[%d]:    %s\n", i, ledger.HexHash(h))
+	}
+	fmt.Printf("batch root: %s (anchored)\n", anchor.Root)
+	fmt.Println("inclusion proof verifies")
+	return nil
+}

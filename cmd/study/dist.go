@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chainchaos/internal/dist"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
@@ -136,6 +137,27 @@ func runDistributed(cli *obs.CLI, cfg study.Config, chaos bool, outFile, checkpo
 		out = f
 	}
 
+	// The distributed ledger: workers hash their own emitted lines into
+	// compact ranges, the coordinator folds them into the same anchor
+	// sequence a single-process run journals. Recovered output replays
+	// through the folder first, exactly like the single-process path.
+	var folder *ledger.Folder
+	if j != nil && outFile != "" && cli.LedgerBatch > 0 {
+		side, err := openSidecar(cli.LedgerSidecar)
+		if err != nil {
+			return nil, err
+		}
+		var sw io.Writer
+		if side != nil {
+			defer side.Close()
+			sw = side
+		}
+		folder = ledger.JournalFolder(j, "grade", cli.LedgerBatch, sw)
+		if err := ledger.Replay(folder, outFile, 0, resume); err != nil {
+			return nil, err
+		}
+	}
+
 	job := workerJob{
 		Sites: cfg.Sites, Seed: cfg.Seed, Vantages: cfg.Vantages,
 		Workers: cfg.Workers, Retries: cfg.Retries,
@@ -173,9 +195,15 @@ func runDistributed(cli *obs.CLI, cfg study.Config, chaos bool, outFile, checkpo
 		LeaseSize: cli.DistLease,
 		Out:       out, Journal: j, SinkStage: "grade",
 		Metrics: cli.Metrics, Launch: launch, Payload: payload,
+		Ledger: folder,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if folder != nil {
+		if _, _, err := ledger.SealFolder(folder, j, "grade", cfg.Sites); err != nil {
+			return nil, err
+		}
 	}
 	if res.Reassigned > 0 {
 		fmt.Fprintf(os.Stderr, "study: %d lease reassignments, %d worker respawns\n", res.Reassigned, res.Respawns)

@@ -9,8 +9,15 @@
 //	study [-sites 60] [-seed 1] [-vantages 2] [-workers 0] [-retries 2] [-chaos]
 //	      [-reuse 0.9995] [-distinct 3000] [-dedup]
 //	      [-stream] [-out sites.jsonl] [-checkpoint study.ckpt]
+//	      [-ledger-batch 1024] [-ledger-latency 0] [-ledger-sidecar sites.leaves]
 //	      [-distribute 4] [-dist-listen addr | -worker -connect addr]
 //	      [-metrics metrics.json] [-pprof localhost:6060]
+//
+// A run with both -out and -checkpoint is tamper-evident by default: every
+// record line becomes a Merkle leaf, batch roots anchor into the checkpoint
+// journal as they complete, and cmd/ledgerverify audits the output against
+// them afterwards (-ledger-batch 0 opts out). Distributed runs fold
+// worker-hashed subtree roots into the identical anchor sequence.
 //
 // -distribute N runs the study as a coordinator leasing contiguous site
 // ranges to N worker processes (copies of this binary run with -worker);
@@ -37,6 +44,7 @@ import (
 	"os"
 	"time"
 
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
@@ -62,6 +70,7 @@ func main() {
 	cli.BindWorkers("parallel workers for the grading loop (0 = GOMAXPROCS)")
 	cli.BindRetries(2, "extra handshake attempts per transport failure (0 = scan once)")
 	cli.BindDistribute()
+	cli.BindLedger()
 	cli.BindObs()
 	flag.Parse()
 	if cli.Worker {
@@ -99,7 +108,7 @@ func main() {
 	if cli.Distribute > 0 {
 		rep, err = runDistributed(cli, cfg, *chaos, *outFile, *checkpoint, *killAfter)
 	} else if *stream || *outFile != "" || *checkpoint != "" {
-		rep, err = runStreaming(cfg, *outFile, *checkpoint)
+		rep, err = runStreaming(cli, cfg, *outFile, *checkpoint)
 	} else {
 		rep, err = study.Run(cfg)
 	}
@@ -125,11 +134,16 @@ func main() {
 
 // runStreaming wires the -stream/-out/-checkpoint trio: per-site JSONL to
 // out (appending under a checkpoint so resumed output continues the file),
-// a journal of retired ranks, and a resume rank picked up from it.
-func runStreaming(cfg study.Config, outFile, checkpoint string) (*study.Report, error) {
+// a journal of retired ranks, and a resume rank picked up from it. When the
+// run both checkpoints and writes a real -out file, the ledger anchors batch
+// roots into the same journal so cmd/ledgerverify can audit the output.
+func runStreaming(cli *obs.CLI, cfg study.Config, outFile, checkpoint string) (*study.Report, error) {
 	st := study.Stream{}
+	var j *pipeline.Journal
+	resume := 0
 	if checkpoint != "" {
-		j, resume, err := pipeline.Checkpoint(checkpoint, "grade")
+		var err error
+		j, resume, err = pipeline.Checkpoint(checkpoint, "grade")
 		if err != nil {
 			return nil, err
 		}
@@ -160,5 +174,45 @@ func runStreaming(cfg study.Config, outFile, checkpoint string) (*study.Report, 
 		out = f
 	}
 	st.Out = out
-	return study.RunStream(context.Background(), cfg, st)
+	// The ledger needs both halves of the audit pair — a journal to anchor
+	// into and an on-disk output to verify against — so a stdout run stays
+	// unledgered even with -checkpoint.
+	if j != nil && outFile != "" && cli.LedgerBatch > 0 {
+		side, err := openSidecar(cli.LedgerSidecar)
+		if err != nil {
+			return nil, err
+		}
+		var sw io.Writer
+		if side != nil {
+			defer side.Close()
+			sw = side
+		}
+		b := ledger.JournalBatcher(j, "grade", cli.LedgerBatch, cli.LedgerLatency, nil, sw)
+		// Resume = replay: re-hash the recovered lines so already-journaled
+		// anchors verify (not re-emit) and the sidecar regrows in step.
+		if err := ledger.Replay(b, outFile, 0, resume); err != nil {
+			return nil, err
+		}
+		st.Ledger = b
+	}
+	rep, err := study.RunStream(context.Background(), cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	if st.Ledger != nil {
+		if _, _, err := ledger.Seal(st.Ledger, j, "grade"); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// openSidecar truncates and opens the leaf-hash sidecar. Truncation is
+// deliberate: on resume the ledger replay regenerates the recovered prefix,
+// keeping the sidecar aligned with the output file line for line.
+func openSidecar(path string) (*os.File, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return os.Create(path)
 }

@@ -16,6 +16,7 @@ import (
 	"chainchaos/internal/clients"
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/core"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
@@ -252,6 +253,11 @@ type Harness struct {
 	// produce no output (compliant chains): the harness is a sparse sink,
 	// and the nil calls let the caller track progress through silent ranks.
 	Record func(rank int, line []byte) error
+	// Ledger, when non-nil, receives every emitted RecordLine as a Merkle
+	// leaf. The harness is a sparse sink — compliant chains emit nothing —
+	// so the leaf index is the line's position in the output file, not the
+	// domain rank. Nil is inert.
+	Ledger *ledger.Batcher
 }
 
 // RecordLine is the JSONL row the sink emits per non-compliant chain when
@@ -532,6 +538,11 @@ func (h *Harness) drainSummary(f *pipeline.Flow[*ChainRecord]) (*Summary, error)
 		}
 		if h.Out != nil && line != nil {
 			if _, err := h.Out.Write(append(line, '\n')); err != nil {
+				return err
+			}
+		}
+		if line != nil {
+			if err := h.Ledger.Append(line); err != nil {
 				return err
 			}
 		}

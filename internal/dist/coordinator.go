@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chainchaos/internal/faults"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 )
@@ -83,6 +84,13 @@ type Config struct {
 	// MaxLeaseAttempts bounds executions of one lease before the run is
 	// declared failed; <= 0 means 5.
 	MaxLeaseAttempts int
+	// Ledger, when non-nil, folds worker-shipped Merkle subtree roots into
+	// journal-anchored batch roots — lease grants announce Ledger.Size and
+	// workers hash their own lines. Dense sinks only (rank == leaf index):
+	// the study qualifies; sparse sinks must ledger single-process. A
+	// resuming caller replays the recovered output through Ledger.Append
+	// (ledger.Replay) before Run.
+	Ledger *ledger.Folder
 	// Metrics, when non-nil, receives the coordinator's dist.* counters,
 	// per-worker peak-RSS gauges, and — at completion — every worker's
 	// counter snapshot folded in, so one snapshot describes the fleet.
@@ -406,6 +414,17 @@ func (c *coord) handleMsg(slot int, m *message) {
 			c.cfg.Journal.Retire(c.sink, m.Rank)
 		}
 	case msgDone:
+		if c.cfg.Ledger != nil {
+			// Exactly-once per leaf: the state/epoch gate above drops done
+			// messages from superseded executions, and a reassigned lease's
+			// failed epoch never reached this point.
+			for _, w := range m.Roots {
+				if err := c.cfg.Ledger.Add(w); err != nil && c.runErr == nil {
+					c.runErr = fmt.Errorf("dist: ledger fold (lease %d): %w", l.id, err)
+					return
+				}
+			}
+		}
 		l.state = leaseDone
 		l.tallies = m.Tallies
 		if m.Counters != nil {
@@ -444,6 +463,13 @@ func (c *coord) flushLine(l *lease, rank int, line []byte) {
 			c.runErr = fmt.Errorf("dist: write output: %w", err)
 			return
 		}
+	}
+	// The flush path is the one place lines pass in global rank order, so
+	// the per-record sidecar hashes are written here; batch roots come from
+	// the workers' folded ranges, not from these hashes.
+	if err := c.cfg.Ledger.SidecarLine(line); err != nil && c.runErr == nil {
+		c.runErr = err
+		return
 	}
 	l.flushed = rank
 	c.cfg.Journal.Retire(c.sink, rank)
@@ -500,7 +526,13 @@ func (c *coord) grantNext(slot int) {
 			continue
 		}
 		p := c.procs[slot]
-		err := p.wire.send(&message{T: msgLease, Lease: l.id, Epoch: l.epoch, Lo: l.lo, Hi: l.hi})
+		lsize := 0
+		if c.cfg.Ledger != nil {
+			if lsize = c.cfg.Ledger.Size; lsize <= 0 {
+				lsize = ledger.DefaultBatch
+			}
+		}
+		err := p.wire.send(&message{T: msgLease, Lease: l.id, Epoch: l.epoch, Lo: l.lo, Hi: l.hi, LedgerSize: lsize})
 		if err != nil {
 			// The worker died between events; its manager will report the
 			// death and respawn. The lease stays pending.

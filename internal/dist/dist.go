@@ -37,6 +37,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"chainchaos/internal/ledger"
 )
 
 // Wire message types. coordinator→worker: msgConfig, msgLease, msgStop.
@@ -74,6 +76,15 @@ type message struct {
 	// RSSKB is the worker process's peak RSS in KiB (msgDone).
 	RSSKB int64  `json:"rss_kb,omitempty"`
 	Err   string `json:"err,omitempty"`
+	// LedgerSize, on a msgLease, asks the worker to fold its emitted lines
+	// into Merkle compact ranges of this batch size (0 = no ledgering).
+	// Only dense sinks — every rank emits a line, rank == leaf index — may
+	// set it; the study qualifies, the sparse differential sink does not.
+	LedgerSize int `json:"lsize,omitempty"`
+	// Roots, on a msgDone, carries one compact range per (batch, contiguous
+	// span) the lease covered; the coordinator's folder merges them into the
+	// same anchored batch roots a single-process run would journal.
+	Roots []ledger.WireRange `json:"roots,omitempty"`
 }
 
 // wire frames messages as JSON lines over an arbitrary byte stream.

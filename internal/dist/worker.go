@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 )
 
@@ -86,6 +87,21 @@ func runLease(ctx context.Context, conn *wire, runner RangeRunner, reg *obs.Regi
 	silent := 0
 	lastRank := grant.Lo - 1
 	var wireErr error
+	// Ledger folding: hash each emitted line locally and accumulate one
+	// compact range per batch span the lease crosses, so the coordinator
+	// anchors batch roots without rehashing a single line. Leaf index ==
+	// rank (the coordinator only enables this for dense sinks).
+	var (
+		roots   []ledger.WireRange
+		cr      *ledger.CompactRange
+		crBatch int
+	)
+	closeRange := func() {
+		if cr != nil && cr.Len() > 0 {
+			roots = append(roots, cr.Wire(crBatch))
+		}
+		cr = nil
+	}
 	emit := func(rank int, line []byte) error {
 		lastRank = rank
 		if line == nil {
@@ -97,6 +113,15 @@ func runLease(ctx context.Context, conn *wire, runner RangeRunner, reg *obs.Regi
 			return wireErr
 		}
 		silent = 0
+		if grant.LedgerSize > 0 {
+			batch := rank / grant.LedgerSize
+			if cr == nil || batch != crBatch {
+				closeRange()
+				cr = ledger.NewCompactRange(rank - batch*grant.LedgerSize)
+				crBatch = batch
+			}
+			cr.AppendLeaf(ledger.LeafHash(line))
+		}
 		wireErr = conn.send(&message{T: msgRec, Lease: grant.Lease, Epoch: grant.Epoch, Rank: rank, Line: json.RawMessage(line)})
 		return wireErr
 	}
@@ -107,9 +132,10 @@ func runLease(ctx context.Context, conn *wire, runner RangeRunner, reg *obs.Regi
 	if err != nil {
 		return conn.send(&message{T: msgFail, Lease: grant.Lease, Epoch: grant.Epoch, Rank: lastRank, Err: err.Error()})
 	}
+	closeRange()
 	done := &message{
 		T: msgDone, Lease: grant.Lease, Epoch: grant.Epoch, Rank: grant.Hi - 1,
-		Tallies: tallies, RSSKB: obs.MaxRSSKB(),
+		Tallies: tallies, RSSKB: obs.MaxRSSKB(), Roots: roots,
 	}
 	if reg != nil {
 		done.Counters = reg.Snapshot().Counters

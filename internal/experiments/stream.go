@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"chainchaos/internal/difftest"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/obs"
 	"chainchaos/internal/pipeline"
 	"chainchaos/internal/population"
@@ -59,6 +60,9 @@ type StreamConfig struct {
 	// lookup instead of a full analysis and eight client path-builds. The
 	// summary and JSONL are bit-identical either way.
 	Dedup bool
+	// Ledger, when non-nil, Merkle-anchors every emitted RecordLine. See
+	// difftest.Harness.Ledger.
+	Ledger *ledger.Batcher
 }
 
 // DifferentialStream runs the §5.2 differential evaluation over a streaming
@@ -86,7 +90,7 @@ func DifferentialStreamSummary(ctx context.Context, cfg StreamConfig) (*difftest
 	})
 	h := &difftest.Harness{
 		Workers: cfg.Workers, Metrics: cfg.Metrics, Out: cfg.Out,
-		Dedup: cfg.Dedup, Record: cfg.Record,
+		Dedup: cfg.Dedup, Record: cfg.Record, Ledger: cfg.Ledger,
 	}
 	return h.RunStream(ctx, src, pipeline.Options{
 		Name:    "difftest",

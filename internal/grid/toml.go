@@ -1,0 +1,162 @@
+// A deliberately small TOML subset, just enough for hand-written grid specs
+// without a dependency: [table] and [[array-of-table]] headers, key = value
+// pairs with string/integer/float/boolean/array/inline-table values, and #
+// comments. Dotted keys, multi-line strings, and dates are out of scope —
+// specs needing more use JSON.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML parses the subset into the same map shape encoding/json
+// produces, so one decoder serves both formats.
+func parseTOML(src string) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		fail := func(msg string) error { return fmt.Errorf("toml line %d: %s", ln+1, msg) }
+		switch {
+		case strings.HasPrefix(line, "[["):
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"))
+			if name == "" || strings.Contains(name, ".") {
+				return nil, fail("bad array-of-tables header")
+			}
+			entry := map[string]any{}
+			list, _ := root[name].([]any)
+			root[name] = append(list, any(entry))
+			cur = entry
+		case strings.HasPrefix(line, "["):
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"))
+			if name == "" || strings.Contains(name, ".") {
+				return nil, fail("bad table header")
+			}
+			t := map[string]any{}
+			root[name] = t
+			cur = t
+		default:
+			k, v, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, fail("expected key = value")
+			}
+			key := strings.TrimSpace(k)
+			if key == "" {
+				return nil, fail("empty key")
+			}
+			val, rest, err := parseValue(strings.TrimSpace(v))
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			if strings.TrimSpace(rest) != "" {
+				return nil, fail("trailing content after value")
+			}
+			cur[strings.Trim(key, `"`)] = val
+		}
+	}
+	return root, nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseValue parses one value, returning the unconsumed remainder (used
+// inside arrays and inline tables).
+func parseValue(s string) (any, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", fmt.Errorf("empty value")
+	}
+	switch s[0] {
+	case '"':
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, "", fmt.Errorf("unterminated string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '[':
+		rest := strings.TrimSpace(s[1:])
+		var arr []any
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated array")
+			}
+			if rest[0] == ']' {
+				return arr, rest[1:], nil
+			}
+			v, r, err := parseValue(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			arr = append(arr, v)
+			rest = strings.TrimSpace(r)
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimSpace(rest[1:])
+			}
+		}
+	case '{':
+		rest := strings.TrimSpace(s[1:])
+		obj := map[string]any{}
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated inline table")
+			}
+			if rest[0] == '}' {
+				return obj, rest[1:], nil
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, "", fmt.Errorf("inline table expects key = value")
+			}
+			key := strings.Trim(strings.TrimSpace(rest[:eq]), `"`)
+			v, r, err := parseValue(rest[eq+1:])
+			if err != nil {
+				return nil, "", err
+			}
+			obj[key] = v
+			rest = strings.TrimSpace(r)
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimSpace(rest[1:])
+			}
+		}
+	}
+	// Bare scalar: ends at , ] or }.
+	end := len(s)
+	for i, r := range s {
+		if r == ',' || r == ']' || r == '}' {
+			end = i
+			break
+		}
+	}
+	tok, rest := strings.TrimSpace(s[:end]), s[end:]
+	switch tok {
+	case "true":
+		return true, rest, nil
+	case "false":
+		return false, rest, nil
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return float64(n), rest, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f, rest, nil
+	}
+	return nil, "", fmt.Errorf("unrecognized value %q", tok)
+}

@@ -1,0 +1,305 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chainchaos/internal/faults"
+)
+
+func lines(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"rank":%d,"verdict":"ok"}`, i))
+	}
+	return out
+}
+
+func TestBatcherAnchorsMatchDirectRoots(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100} {
+		var got []Anchor
+		b := &Batcher{Size: 8, Emit: func(a Anchor) error { got = append(got, a); return nil }}
+		all := lines(n)
+		for _, l := range all {
+			if err := b.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runRoot, leaves, err := b.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leaves != n {
+			t.Fatalf("n=%d: Close reports %d leaves", n, leaves)
+		}
+		wantBatches := (n + 7) / 8
+		if len(got) != wantBatches {
+			t.Fatalf("n=%d: %d anchors, want %d", n, len(got), wantBatches)
+		}
+		var roots []Hash
+		for bi, a := range got {
+			lo, hi := bi*8, (bi+1)*8
+			if hi > n {
+				hi = n
+			}
+			if a.Batch != bi || a.Lo != lo || a.Hi != hi || a.Partial {
+				t.Fatalf("n=%d: anchor %+v, want batch %d [%d,%d)", n, a, bi, lo, hi)
+			}
+			if want := RootOf(hashLeaves(all[lo:hi])); a.Root != want {
+				t.Fatalf("n=%d batch %d: root mismatch", n, bi)
+			}
+			roots = append(roots, a.Root)
+		}
+		if runRoot != RunRoot(roots) {
+			t.Fatalf("n=%d: run root mismatch", n)
+		}
+	}
+}
+
+func TestBatcherLatencyFlushEmitsPartials(t *testing.T) {
+	clock := faults.NewFakeClock(time.Unix(100, 0))
+	var got []Anchor
+	b := &Batcher{Size: 100, MaxLatency: time.Second, Clock: clock,
+		Emit: func(a Anchor) error { got = append(got, a); return nil }}
+	all := lines(10)
+	for i, l := range all {
+		if i == 5 {
+			clock.Advance(2 * time.Second)
+		}
+		if err := b.Append(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 || !got[0].Partial || got[0].Lo != 0 || got[0].Hi != 5 {
+		t.Fatalf("partials = %+v, want one partial [0,5)", got)
+	}
+	if got[0].Root != RootOf(hashLeaves(all[:5])) {
+		t.Fatal("partial root mismatch")
+	}
+	// Close supersedes the partial with a final anchor over all 10 leaves.
+	if _, _, err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := got[len(got)-1]
+	if last.Partial || last.Lo != 0 || last.Hi != 10 {
+		t.Fatalf("final anchor = %+v", last)
+	}
+}
+
+// TestBatcherReplayResume models kill-and-resume: a run dies mid-stream, the
+// survivor replays the recovered lines with the dead run's anchors as Known,
+// and the union of emitted anchors must be exactly the uninterrupted run's —
+// each anchor journaled once, byte-identically.
+func TestBatcherReplayResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := lines(137)
+	for trial := 0; trial < 20; trial++ {
+		cut := rng.Intn(len(all) + 1)
+
+		journal := map[int]Hash{} // batch -> root, as the journal would hold
+		emit := func(a Anchor) error {
+			if prev, ok := journal[a.Batch]; ok && prev != a.Root {
+				return fmt.Errorf("batch %d re-anchored differently", a.Batch)
+			}
+			journal[a.Batch] = a.Root
+			return nil
+		}
+		known := func(batch int) (Hash, bool) { h, ok := journal[batch]; return h, ok }
+
+		first := &Batcher{Size: 10, Emit: emit, Known: known}
+		for _, l := range all[:cut] {
+			if err := first.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Crash: no Close. The resumed run replays the recovered prefix.
+		emitted := 0
+		second := &Batcher{Size: 10, Known: known, Emit: func(a Anchor) error {
+			if _, ok := journal[a.Batch]; ok {
+				t.Fatalf("cut=%d: batch %d re-emitted", cut, a.Batch)
+			}
+			emitted++
+			return emit(a)
+		}}
+		for _, l := range all[:cut] {
+			if err := second.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, l := range all[cut:] {
+			if err := second.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runRoot, leaves, err := second.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leaves != len(all) {
+			t.Fatalf("cut=%d: %d leaves", cut, leaves)
+		}
+
+		// Reference: one uninterrupted run.
+		ref := map[int]Hash{}
+		direct := &Batcher{Size: 10, Emit: func(a Anchor) error { ref[a.Batch] = a.Root; return nil }}
+		for _, l := range all {
+			direct.Append(l) //nolint:errcheck
+		}
+		refRoot, _, _ := direct.Close()
+		if len(journal) != len(ref) || runRoot != refRoot {
+			t.Fatalf("cut=%d: resumed anchors diverge from uninterrupted run", cut)
+		}
+		for b, r := range ref {
+			if journal[b] != r {
+				t.Fatalf("cut=%d: batch %d root differs", cut, b)
+			}
+		}
+	}
+}
+
+func TestBatcherDivergenceDetected(t *testing.T) {
+	journal := map[int]Hash{0: LeafHash([]byte("not the real root"))}
+	b := &Batcher{Size: 4, Known: func(batch int) (Hash, bool) { h, ok := journal[batch]; return h, ok }}
+	var err error
+	for _, l := range lines(4) {
+		if err = b.Append(l); err != nil {
+			break
+		}
+	}
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("err = %v, want divergence", err)
+	}
+}
+
+// TestFolderMatchesBatcher is the cross-worker invariance property: any
+// partition of the leaf span into leases, arriving in any order, must anchor
+// the same roots a serial Batcher over the same lines would.
+func TestFolderMatchesBatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const size = 16
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(300)
+		all := lines(n)
+
+		var want []Anchor
+		b := &Batcher{Size: size, Emit: func(a Anchor) error { want = append(want, a); return nil }}
+		for _, l := range all {
+			b.Append(l) //nolint:errcheck
+		}
+		wantRoot, _, _ := b.Close()
+
+		// Random lease partition, as 1/4/8 workers would produce.
+		var leases [][2]int
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(60)
+			if hi > n {
+				hi = n
+			}
+			leases = append(leases, [2]int{lo, hi})
+			lo = hi
+		}
+		// Each lease ships one wire range per batch span, as runLease does.
+		var wires []WireRange
+		for _, lease := range leases {
+			for lo := lease[0]; lo < lease[1]; {
+				batch := lo / size
+				hi := (batch + 1) * size
+				if hi > lease[1] {
+					hi = lease[1]
+				}
+				seg := NewCompactRange(lo - batch*size)
+				for i := lo; i < hi; i++ {
+					seg.AppendLeaf(LeafHash(all[i]))
+				}
+				wires = append(wires, seg.Wire(batch))
+				lo = hi
+			}
+		}
+		rng.Shuffle(len(wires), func(i, j int) { wires[i], wires[j] = wires[j], wires[i] })
+
+		var got []Anchor
+		f := &Folder{Size: size, Emit: func(a Anchor) error { got = append(got, a); return nil }}
+		for _, w := range wires {
+			if err := f.Add(w); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		gotRoot, leaves, err := f.Close(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if leaves != n || gotRoot != wantRoot {
+			t.Fatalf("n=%d: folded run root diverges from serial batcher", n)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d anchors vs %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: anchor %d: %+v vs %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFolderRejectsOverlap(t *testing.T) {
+	seg := NewCompactRange(0)
+	seg.AppendLeaf(LeafHash([]byte("a")))
+	seg.AppendLeaf(LeafHash([]byte("b")))
+	f := &Folder{Size: 8}
+	if err := f.Add(seg.Wire(0)); err != nil {
+		t.Fatal(err)
+	}
+	dup := NewCompactRange(1)
+	dup.AppendLeaf(LeafHash([]byte("b")))
+	if err := f.Add(dup.Wire(0)); err == nil {
+		t.Fatal("overlapping segment accepted")
+	}
+}
+
+func TestLineWriterFeedsCompleteLines(t *testing.T) {
+	var out bytes.Buffer
+	var fed []string
+	collect := appendFunc(func(line []byte) error { fed = append(fed, string(line)); return nil })
+	lw := &LineWriter{W: &out, B: collect, Skip: 1}
+	for _, chunk := range []string{"hea", "der\nrow1\nro", "w2\nrow3", "\n"} {
+		if _, err := lw.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.String() != "header\nrow1\nrow2\nrow3\n" {
+		t.Fatalf("underlying stream corrupted: %q", out.String())
+	}
+	if want := []string{"row1", "row2", "row3"}; len(fed) != 3 || fed[0] != want[0] || fed[1] != want[1] || fed[2] != want[2] {
+		t.Fatalf("fed = %v", fed)
+	}
+}
+
+type appendFunc func([]byte) error
+
+func (f appendFunc) Append(line []byte) error { return f(line) }
+
+func TestReplayFeedsRecoveredLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	if err := os.WriteFile(path, []byte("h1\tcol\nr0\nr1\nr2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fed []string
+	collect := appendFunc(func(line []byte) error { fed = append(fed, string(line)); return nil })
+	if err := Replay(collect, path, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(fed) != 2 || fed[0] != "r0" || fed[1] != "r1" {
+		t.Fatalf("fed = %v", fed)
+	}
+	if err := Replay(collect, path, 1, 9); err == nil {
+		t.Fatal("short file accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Compact ranges: the minimal set of perfect, aligned subtree roots covering
+// a contiguous leaf span [begin, end) of a Merkle tree. A distributed worker
+// folds the leaves of its leased rank range into one compact range per
+// batch; the coordinator merges adjacent ranges — without rehashing a single
+// line — and extracts the batch root once the merged range covers the whole
+// batch. Because the RFC 6962 tree over n leaves is exactly the right-to-
+// left fold of the perfect subtrees in n's binary decomposition, the merged
+// root is bit-identical to hashing the lines serially.
+package ledger
+
+import "fmt"
+
+// node is one perfect subtree in a compact range: 1<<level leaves starting
+// at leaf index start (start is a multiple of 1<<level).
+type node struct {
+	level int
+	start int
+	hash  Hash
+}
+
+// CompactRange covers leaves [Begin, End) with canonical subtree roots.
+// The zero value is an empty range starting at leaf 0; NewCompactRange
+// starts one at an arbitrary leaf index.
+type CompactRange struct {
+	begin, end int
+	nodes      []node
+}
+
+// NewCompactRange returns an empty range positioned at leaf index begin.
+func NewCompactRange(begin int) *CompactRange {
+	return &CompactRange{begin: begin, end: begin}
+}
+
+// Begin returns the first leaf index covered.
+func (r *CompactRange) Begin() int { return r.begin }
+
+// End returns one past the last leaf index covered.
+func (r *CompactRange) End() int { return r.end }
+
+// Len returns the number of leaves covered.
+func (r *CompactRange) Len() int { return r.end - r.begin }
+
+// AppendLeaf extends the range by one leaf hash at index End.
+func (r *CompactRange) AppendLeaf(h Hash) {
+	r.nodes = append(r.nodes, node{level: 0, start: r.end, hash: h})
+	r.end++
+	r.normalize()
+}
+
+// Merge absorbs an adjacent range (other.Begin == r.End) into r.
+func (r *CompactRange) Merge(other *CompactRange) error {
+	if other.begin != r.end {
+		return fmt.Errorf("ledger: merge [%d,%d) onto [%d,%d): not adjacent", other.begin, other.end, r.begin, r.end)
+	}
+	r.nodes = append(r.nodes, other.nodes...)
+	r.end = other.end
+	r.normalize()
+	return nil
+}
+
+// normalize repeatedly combines adjacent equal-level sibling subtrees whose
+// left half is aligned to the next level, restoring the canonical form. The
+// node count is O(log n), so the quadratic scan is trivial.
+func (r *CompactRange) normalize() {
+	for {
+		merged := false
+		for i := 0; i+1 < len(r.nodes); i++ {
+			a, b := r.nodes[i], r.nodes[i+1]
+			if a.level == b.level && b.start == a.start+1<<a.level && a.start%(1<<(a.level+1)) == 0 {
+				r.nodes[i] = node{level: a.level + 1, start: a.start, hash: NodeHash(a.hash, b.hash)}
+				r.nodes = append(r.nodes[:i+1], r.nodes[i+2:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// Root returns the Merkle tree hash of the covered leaves. It is only
+// meaningful for a complete range (Begin == 0): the RFC 6962 root is the
+// right-to-left fold of the canonical subtree roots.
+func (r *CompactRange) Root() (Hash, bool) {
+	if r.begin != 0 {
+		return Hash{}, false
+	}
+	if len(r.nodes) == 0 {
+		return EmptyRoot(), true
+	}
+	root := r.nodes[len(r.nodes)-1].hash
+	for i := len(r.nodes) - 2; i >= 0; i-- {
+		root = NodeHash(r.nodes[i].hash, root)
+	}
+	return root, true
+}
+
+// WireNode is one subtree root in transit (dist wire / JSON).
+type WireNode struct {
+	Level int    `json:"l"`
+	Start int    `json:"s"`
+	Hash  string `json:"h"`
+}
+
+// WireRange is a compact range in transit: the leaf span [Lo, Hi) of batch
+// Batch (leaf indices are batch-local) and its canonical subtree roots.
+type WireRange struct {
+	Batch int        `json:"batch"`
+	Lo    int        `json:"lo"`
+	Hi    int        `json:"hi"`
+	Nodes []WireNode `json:"nodes"`
+}
+
+// Wire serializes the range for transit.
+func (r *CompactRange) Wire(batch int) WireRange {
+	w := WireRange{Batch: batch, Lo: r.begin, Hi: r.end, Nodes: make([]WireNode, 0, len(r.nodes))}
+	for _, n := range r.nodes {
+		w.Nodes = append(w.Nodes, WireNode{Level: n.level, Start: n.start, Hash: HexHash(n.hash)})
+	}
+	return w
+}
+
+// FromWire deserializes a transported range, rejecting malformed node lists
+// (a worker bug or a corrupted wire must not silently anchor a bad root).
+func FromWire(w WireRange) (*CompactRange, error) {
+	r := &CompactRange{begin: w.Lo, end: w.Hi}
+	leaves := 0
+	for _, n := range w.Nodes {
+		h, ok := ParseHash(n.Hash)
+		if !ok {
+			return nil, fmt.Errorf("ledger: wire range batch %d: bad hash %q", w.Batch, n.Hash)
+		}
+		if n.Level < 0 || n.Level > 62 || n.Start%(1<<n.Level) != 0 {
+			return nil, fmt.Errorf("ledger: wire range batch %d: misaligned node (level %d, start %d)", w.Batch, n.Level, n.Start)
+		}
+		if n.Start != w.Lo+leaves {
+			return nil, fmt.Errorf("ledger: wire range batch %d: non-contiguous node at %d", w.Batch, n.Start)
+		}
+		leaves += 1 << n.Level
+		r.nodes = append(r.nodes, node{level: n.Level, start: n.Start, hash: h})
+	}
+	if leaves != w.Hi-w.Lo {
+		return nil, fmt.Errorf("ledger: wire range batch %d: nodes cover %d leaves, span is %d", w.Batch, leaves, w.Hi-w.Lo)
+	}
+	return r, nil
+}

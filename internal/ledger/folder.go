@@ -1,0 +1,240 @@
+// The folder: the coordinator's half of distributed ledgering. Workers hash
+// their leased lines locally and ship one compact range per (lease, batch)
+// span with the lease's completion message; the folder merges adjacent
+// segments — leases complete out of order, so segments of one batch arrive
+// out of order — and anchors each batch the moment its coverage closes, in
+// strict batch order. Because the merge is exactly the RFC 6962 tree
+// decomposition, the anchored root sequence is byte-identical to the one a
+// single-process Batcher over the same lines would emit.
+package ledger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Folder assembles batch roots from compact-range segments. Only meaningful
+// for dense sinks where rank == leaf index (the study); sparse sinks ledger
+// single-process. Not safe for concurrent use: the coordinator loop owns it.
+// All methods are no-ops on a nil receiver.
+type Folder struct {
+	// Size is the batch size in leaves; <= 0 means DefaultBatch. Must match
+	// the LedgerSize announced to workers in lease grants.
+	Size int
+	// Emit receives each completed batch's anchor, in batch order. Required.
+	Emit func(Anchor) error
+	// Known reports a previously anchored root for a batch (a resumed run);
+	// semantics as in Batcher.Known.
+	Known func(batch int) (Hash, bool)
+	// Sidecar, when non-nil, receives one hex leaf hash per line via
+	// SidecarLine/Append — the coordinator calls SidecarLine from its
+	// rank-ordered flush path, so sidecar order matches the output file.
+	Sidecar io.Writer
+
+	segs     map[int][]*CompactRange // pending disjoint segments per batch
+	roots    map[int]Hash            // verified/emitted batch roots
+	next     int                     // next batch to anchor
+	seq      int                     // leaves replayed via Append (resume)
+	sidecarW *bufio.Writer
+}
+
+func (f *Folder) size() int {
+	if f.Size <= 0 {
+		return DefaultBatch
+	}
+	return f.Size
+}
+
+func (f *Folder) init() {
+	if f.segs == nil {
+		f.segs = make(map[int][]*CompactRange)
+		f.roots = make(map[int]Hash)
+	}
+}
+
+// SidecarLine hashes one flushed record line (without its trailing newline)
+// into the sidecar. The coordinator calls it from the rank-ordered flush
+// path; it does not contribute to root folding.
+func (f *Folder) SidecarLine(line []byte) error {
+	if f == nil || f.Sidecar == nil {
+		return nil
+	}
+	if f.sidecarW == nil {
+		f.sidecarW = bufio.NewWriter(f.Sidecar)
+	}
+	if _, err := f.sidecarW.WriteString(HexHash(LeafHash(line)) + "\n"); err != nil {
+		return fmt.Errorf("ledger: sidecar: %w", err)
+	}
+	return nil
+}
+
+// Append replays one recovered record line (resume seeding): the line is
+// hashed into the sidecar and folded as the next leaf, so already-anchored
+// batches verify against Known and unanchored recovered batches re-emit.
+// Must precede any Add. Satisfies the same Appender shape as Batcher.Append,
+// so Replay drives both.
+func (f *Folder) Append(line []byte) error {
+	if f == nil {
+		return nil
+	}
+	f.init()
+	if err := f.SidecarLine(line); err != nil {
+		return err
+	}
+	size := f.size()
+	batch, local := f.seq/size, f.seq%size
+	r := NewCompactRange(local)
+	r.AppendLeaf(LeafHash(line))
+	if err := f.insert(batch, r); err != nil {
+		return err
+	}
+	f.seq++
+	return f.tryAnchor()
+}
+
+// Add folds one worker-shipped compact range into its batch.
+func (f *Folder) Add(w WireRange) error {
+	if f == nil {
+		return nil
+	}
+	f.init()
+	r, err := FromWire(w)
+	if err != nil {
+		return err
+	}
+	if r.Len() == 0 {
+		return nil
+	}
+	if w.Batch < f.next {
+		return fmt.Errorf("ledger: segment [%d,%d) for already-anchored batch %d", w.Lo, w.Hi, w.Batch)
+	}
+	if err := f.insert(w.Batch, r); err != nil {
+		return err
+	}
+	return f.tryAnchor()
+}
+
+// insert places a segment into its batch's sorted disjoint list, coalescing
+// with adjacent neighbors. Overlap means a leaf was folded twice — a
+// protocol violation, never a data race to paper over.
+func (f *Folder) insert(batch int, r *CompactRange) error {
+	segs := f.segs[batch]
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Begin() >= r.Begin() })
+	if i > 0 && segs[i-1].End() > r.Begin() {
+		return fmt.Errorf("ledger: batch %d: segment [%d,%d) overlaps [%d,%d)", batch, r.Begin(), r.End(), segs[i-1].Begin(), segs[i-1].End())
+	}
+	if i < len(segs) && r.End() > segs[i].Begin() {
+		return fmt.Errorf("ledger: batch %d: segment [%d,%d) overlaps [%d,%d)", batch, r.Begin(), r.End(), segs[i].Begin(), segs[i].End())
+	}
+	// Coalesce right, then left.
+	if i < len(segs) && segs[i].Begin() == r.End() {
+		if err := r.Merge(segs[i]); err != nil {
+			return err
+		}
+		segs = append(segs[:i], segs[i+1:]...)
+	}
+	if i > 0 && segs[i-1].End() == r.Begin() {
+		if err := segs[i-1].Merge(r); err != nil {
+			return err
+		}
+	} else {
+		segs = append(segs, nil)
+		copy(segs[i+1:], segs[i:])
+		segs[i] = r
+	}
+	f.segs[batch] = segs
+	return nil
+}
+
+// tryAnchor emits anchors for every batch, in order, whose coverage closed.
+func (f *Folder) tryAnchor() error {
+	size := f.size()
+	for {
+		segs := f.segs[f.next]
+		if len(segs) != 1 || segs[0].Begin() != 0 || segs[0].Len() != size {
+			return nil
+		}
+		if err := f.anchorBatch(f.next, segs[0]); err != nil {
+			return err
+		}
+		delete(f.segs, f.next)
+		f.next++
+	}
+}
+
+func (f *Folder) anchorBatch(batch int, r *CompactRange) error {
+	root, ok := r.Root()
+	if !ok {
+		return fmt.Errorf("ledger: batch %d: incomplete range [%d,%d)", batch, r.Begin(), r.End())
+	}
+	f.roots[batch] = root
+	if f.Known != nil {
+		if known, ok := f.Known(batch); ok {
+			if known != root {
+				return fmt.Errorf("ledger: batch %d re-anchored to %s but journal holds %s — output and journal diverged",
+					batch, HexHash(root), HexHash(known))
+			}
+			return nil
+		}
+	}
+	if f.Emit == nil {
+		return nil
+	}
+	lo := batch * f.size()
+	return f.Emit(Anchor{Batch: batch, Lo: lo, Hi: lo + r.Len(), Root: root})
+}
+
+// Close finalizes the fold for a run of total leaves: the short final batch
+// (if any) is anchored, full coverage is checked, and the sidecar flushed.
+// Returns the run root over all batch roots and the leaf count.
+func (f *Folder) Close(total int) (Hash, int, error) {
+	if f == nil {
+		return Hash{}, 0, nil
+	}
+	f.init()
+	size := f.size()
+	if total > f.next*size {
+		last := (total - 1) / size
+		want := total - last*size
+		segs := f.segs[last]
+		if f.next != last || len(segs) != 1 || segs[0].Begin() != 0 || segs[0].Len() != want {
+			return Hash{}, 0, fmt.Errorf("ledger: close: leaves [%d,%d) not fully folded", f.next*size, total)
+		}
+		if err := f.anchorBatch(last, segs[0]); err != nil {
+			return Hash{}, 0, err
+		}
+		delete(f.segs, last)
+		f.next = last + 1
+	}
+	if len(f.segs) != 0 {
+		return Hash{}, 0, fmt.Errorf("ledger: close: %d stray segment batches beyond %d leaves", len(f.segs), total)
+	}
+	if f.sidecarW != nil {
+		if err := f.sidecarW.Flush(); err != nil {
+			return Hash{}, 0, fmt.Errorf("ledger: sidecar: %w", err)
+		}
+	}
+	roots := make([]Hash, f.next)
+	for i := range roots {
+		r, ok := f.roots[i]
+		if !ok {
+			return Hash{}, 0, fmt.Errorf("ledger: close: batch %d never anchored", i)
+		}
+		roots[i] = r
+	}
+	return RunRoot(roots), total, nil
+}
+
+// Roots returns the anchored batch roots so far, in batch order.
+func (f *Folder) Roots() []Hash {
+	if f == nil {
+		return nil
+	}
+	roots := make([]Hash, 0, f.next)
+	for i := 0; i < f.next; i++ {
+		roots = append(roots, f.roots[i])
+	}
+	return roots
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 )
 
 // CLI owns the flag wiring the long-running commands used to copy-paste:
@@ -54,6 +55,17 @@ type CLI struct {
 	// when a worker dies.
 	DistLease int
 
+	// LedgerBatch is the -ledger-batch value: leaves per anchored Merkle
+	// batch in a checkpointed run (0 disables the ledger entirely).
+	LedgerBatch int
+	// LedgerLatency is the -ledger-latency value: how long appended records
+	// may sit without a (partial) anchor commitment; 0 anchors only at batch
+	// boundaries.
+	LedgerLatency time.Duration
+	// LedgerSidecar is the -ledger-sidecar value: the leaf-hash sidecar file
+	// letting ledgerverify name the exact tampered rank.
+	LedgerSidecar string
+
 	metricsFile string
 	pprofAddr   string
 }
@@ -91,6 +103,17 @@ func (c *CLI) BindDistribute() {
 	flag.IntVar(&c.DistLease, "dist-lease", 0, "ranks per lease in a distributed run (0 = auto; larger leases amortize per-lease setup, smaller ones bound the redo window)")
 }
 
+// BindLedger registers the tamper-evident ledger trio. The ledger is active
+// whenever the run checkpoints (-checkpoint) and -ledger-batch is non-zero:
+// every emitted record line becomes a Merkle leaf, batch roots anchor into
+// the checkpoint journal, and cmd/ledgerverify audits the output against
+// them afterwards.
+func (c *CLI) BindLedger() {
+	flag.IntVar(&c.LedgerBatch, "ledger-batch", 1024, "leaves per anchored Merkle batch in a checkpointed run (0 disables the ledger)")
+	flag.DurationVar(&c.LedgerLatency, "ledger-latency", 0, "flush a provisional anchor when records sit unanchored this long (0 = batch boundaries only)")
+	flag.StringVar(&c.LedgerSidecar, "ledger-sidecar", "", "write one leaf hash per record to this file so ledgerverify can name the exact tampered rank")
+}
+
 // BindObs registers the -metrics and -pprof pair.
 func (c *CLI) BindObs() {
 	flag.StringVar(&c.metricsFile, "metrics", "", "write the run's metrics snapshot as JSON to this file")
@@ -122,6 +145,15 @@ func (c *CLI) Validate() error {
 	}
 	if c.DistLease > 0 && c.Distribute == 0 {
 		return fmt.Errorf("-dist-lease %d requires -distribute (lease size is a coordinator knob)", c.DistLease)
+	}
+	if c.LedgerBatch < 0 {
+		return fmt.Errorf("-ledger-batch %d: batch size cannot be negative", c.LedgerBatch)
+	}
+	if c.LedgerLatency < 0 {
+		return fmt.Errorf("-ledger-latency %s: latency cannot be negative", c.LedgerLatency)
+	}
+	if c.LedgerSidecar != "" && c.LedgerBatch == 0 {
+		return errors.New("-ledger-sidecar requires -ledger-batch > 0 (the sidecar is part of the ledger)")
 	}
 	return nil
 }

@@ -23,8 +23,9 @@ import (
 )
 
 // journalEntry is one JSONL line of the shard journal. Stage watermarks use
-// only (Stage, Rank); lease records carry the extra fields and a non-empty
-// Event, which is what the watermark loader keys off to skip them.
+// only (Stage, Rank); lease and ledger-anchor records carry the extra fields
+// and a non-empty Event, which is what the watermark loader keys off to skip
+// them.
 type journalEntry struct {
 	Stage string `json:"stage"`
 	Rank  int    `json:"rank"`
@@ -34,6 +35,26 @@ type journalEntry struct {
 	Lo    int    `json:"lo,omitempty"`
 	Hi    int    `json:"hi,omitempty"`
 	Epoch int    `json:"epoch,omitempty"`
+
+	// Ledger anchor fields (Event "anchor" / "runroot"): Batch is the batch
+	// index (the batch count for a runroot), Root the Merkle root in hex,
+	// Partial marks a latency flush of an incomplete batch. Anchors reuse
+	// Lo/Hi for the leaf span and Rank for Hi-1.
+	Batch   int    `json:"batch,omitempty"`
+	Root    string `json:"root,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+}
+
+// AnchorRecord is one ledger commitment read back from a journal: the
+// Merkle root (hex) of leaves [Lo, Hi) of batch Batch for the stage's sink.
+// A "runroot" record carries the run-level root over all Batch batch roots.
+type AnchorRecord struct {
+	Stage   string
+	Event   string // "anchor" or "runroot"
+	Batch   int
+	Lo, Hi  int
+	Root    string
+	Partial bool
 }
 
 // LeaseRecord is one lease event of a distributed run, as read back from a
@@ -59,11 +80,13 @@ type Journal struct {
 	// is 64.
 	Every int
 
-	mu    sync.Mutex
-	f     *os.File
-	last  map[string]int // highest rank journaled per stage
-	since map[string]int // retirements since the stage's last written line
-	high  map[string]int // highest rank retired (in memory) per stage
+	mu      sync.Mutex
+	f       *os.File
+	last    map[string]int // highest rank journaled per stage
+	since   map[string]int // retirements since the stage's last written line
+	high    map[string]int // highest rank retired (in memory) per stage
+	anchors map[string]map[int]string // final anchor root per (stage, batch)
+	werr    error                     // first append error, surfaced by Flush/Close
 }
 
 // OpenJournal opens (or creates) the journal at path and loads every
@@ -74,11 +97,12 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("pipeline: open journal: %w", err)
 	}
 	j := &Journal{
-		Every: 64,
-		f:     f,
-		last:  make(map[string]int),
-		since: make(map[string]int),
-		high:  make(map[string]int),
+		Every:   64,
+		f:       f,
+		last:    make(map[string]int),
+		since:   make(map[string]int),
+		high:    make(map[string]int),
+		anchors: make(map[string]map[int]string),
 	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -93,8 +117,17 @@ func OpenJournal(path string) (*Journal, error) {
 			// still stand, so ignore it rather than refuse to resume.
 			continue
 		}
+		if e.Event == "anchor" && !e.Partial {
+			m := j.anchors[e.Stage]
+			if m == nil {
+				m = make(map[int]string)
+				j.anchors[e.Stage] = m
+			}
+			m[e.Batch] = e.Root
+			continue
+		}
 		if e.Event != "" {
-			continue // lease record, not a watermark
+			continue // lease or runroot record, not a watermark
 		}
 		if cur, ok := j.last[e.Stage]; !ok || e.Rank > cur {
 			j.last[e.Stage] = e.Rank
@@ -136,7 +169,7 @@ func ReadLeases(path string) ([]LeaseRecord, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		var e journalEntry
-		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Event == "" {
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Event == "" || e.Event == "anchor" || e.Event == "runroot" {
 			continue
 		}
 		out = append(out, LeaseRecord{Event: e.Event, Lease: e.Lease, Lo: e.Lo, Hi: e.Hi, Epoch: e.Epoch})
@@ -193,17 +226,108 @@ func (j *Journal) Lease(event string, lease, lo, hi, epoch int) {
 	j.writeLocked(journalEntry{Stage: "lease", Rank: hi - 1, Event: event, Lease: lease, Lo: lo, Hi: hi, Epoch: epoch})
 }
 
+// Anchor appends one ledger anchor record for the stage's sink: the Merkle
+// root (hex) of leaves [lo, hi) of batch. Anchors write through immediately
+// — they are the tamper-evidence trail — and a write failure is returned
+// here, not deferred: a run must not keep emitting records it cannot anchor.
+// Duplicate final anchors for a batch are dropped when the root matches and
+// rejected when it does not. No-op on a nil journal.
+func (j *Journal) Anchor(stage string, batch, lo, hi int, root string, partial bool) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !partial {
+		m := j.anchors[stage]
+		if prev, ok := m[batch]; ok {
+			if prev != root {
+				return fmt.Errorf("pipeline: anchor %s batch %d: root %s conflicts with journaled %s", stage, batch, root, prev)
+			}
+			return nil
+		}
+		if m == nil {
+			m = make(map[int]string)
+			j.anchors[stage] = m
+		}
+		m[batch] = root
+	}
+	j.writeLocked(journalEntry{Stage: stage, Rank: hi - 1, Event: "anchor", Batch: batch, Lo: lo, Hi: hi, Root: root, Partial: partial})
+	return j.werr
+}
+
+// RunRoot appends the run-level commitment: the Merkle root (hex) over the
+// batches batch roots, covering leaves [0, leaves). No-op on nil.
+func (j *Journal) RunRoot(stage string, batches, leaves int, root string) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeLocked(journalEntry{Stage: stage, Rank: leaves - 1, Event: "runroot", Batch: batches, Lo: 0, Hi: leaves, Root: root})
+	return j.werr
+}
+
+// AnchorRoot returns the journaled final anchor root (hex) for the stage's
+// batch, if any — the resume hook a rebuilt ledger batcher checks before
+// re-emitting. Returns "", false on a nil journal.
+func (j *Journal) AnchorRoot(stage string, batch int) (string, bool) {
+	if j == nil {
+		return "", false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	root, ok := j.anchors[stage][batch]
+	return root, ok
+}
+
+// ReadAnchors returns every ledger anchor and runroot record in the journal
+// at path, in append order. A missing file returns no records; torn lines
+// are skipped.
+func ReadAnchors(path string) ([]AnchorRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: read anchors: %w", err)
+	}
+	defer f.Close()
+	var out []AnchorRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var e journalEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || (e.Event != "anchor" && e.Event != "runroot") {
+			continue
+		}
+		out = append(out, AnchorRecord{Stage: e.Stage, Event: e.Event, Batch: e.Batch, Lo: e.Lo, Hi: e.Hi, Root: e.Root, Partial: e.Partial})
+	}
+	return out, sc.Err()
+}
+
 // writeLocked appends one journal line as a single O_APPEND write under the
-// file's advisory lock. Callers hold j.mu.
+// file's advisory lock. Callers hold j.mu. The first write or marshal error
+// is recorded and surfaced by Flush/Close (and by the write-through record
+// appenders): a journal on a full disk must not keep reporting success.
 func (j *Journal) writeLocked(e journalEntry) {
 	data, err := json.Marshal(e)
 	if err != nil {
+		if j.werr == nil {
+			j.werr = fmt.Errorf("pipeline: journal marshal: %w", err)
+		}
 		return
 	}
 	data = append(data, '\n')
 	lockFile(j.f)
-	j.f.Write(data) //nolint:errcheck // surfaced by Close's Sync
+	_, err = j.f.Write(data)
 	unlockFile(j.f)
+	if err != nil {
+		if j.werr == nil {
+			j.werr = fmt.Errorf("pipeline: journal append: %w", err)
+		}
+		return
+	}
 	if e.Event == "" {
 		j.last[e.Stage] = e.Rank
 		j.since[e.Stage] = 0
@@ -211,7 +335,9 @@ func (j *Journal) writeLocked(e journalEntry) {
 }
 
 // Flush writes the current in-memory watermark of every stage that advanced
-// past its last written line.
+// past its last written line, and reports the journal's first append error
+// — including errors from earlier cadence-batched Retire writes that had no
+// error path of their own.
 func (j *Journal) Flush() error {
 	if j == nil {
 		return nil
@@ -223,17 +349,19 @@ func (j *Journal) Flush() error {
 			j.writeLocked(journalEntry{Stage: stage, Rank: rank})
 		}
 	}
-	return nil
+	return j.werr
 }
 
-// Close flushes the final watermarks and closes the file. No-op on nil.
+// Close flushes the final watermarks and closes the file, reporting the
+// journal's first append error. No-op on nil.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	if err := j.Flush(); err != nil {
-		j.f.Close()
-		return err
+	ferr := j.Flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
 	}
-	return j.f.Close()
+	return cerr
 }

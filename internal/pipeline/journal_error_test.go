@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalSurfacesWriteErrors: a journal whose appends fail (disk full,
+// revoked fd) must report the failure from Flush/Close and from the
+// write-through record appenders — not keep returning nil while the resume
+// state silently stops advancing.
+func TestJournalSurfacesWriteErrors(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "ckpt.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the fd so every subsequent append fails.
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Retire("grade.sink", 99)
+	if err := j.Flush(); err == nil {
+		t.Fatal("Flush reported success after a failed append")
+	}
+	if err := j.Anchor("grade", 7, 70, 80, "dd44", false); err == nil {
+		t.Fatal("Anchor reported success after a failed append")
+	}
+	if err := j.RunRoot("grade", 8, 80, "ee55"); err == nil {
+		t.Fatal("RunRoot reported success after a failed append")
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("Close reported success after a failed append")
+	}
+}
+
+// TestJournalLeaseAndAnchorRecordsCoexist: lease readers must not surface
+// anchor records and vice versa — they share the journal file.
+func TestJournalLeaseAndAnchorRecordsCoexist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Lease("grant", 0, 0, 100, 0)
+	if err := j.Anchor("grade", 0, 0, 64, "aa", false); err != nil {
+		t.Fatal(err)
+	}
+	j.Lease("done", 0, 0, 100, 0)
+	if err := j.RunRoot("grade", 1, 64, "bb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leases, err := ReadLeases(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 2 || leases[0].Event != "grant" || leases[1].Event != "done" {
+		t.Fatalf("leases = %+v", leases)
+	}
+	anchors, err := ReadAnchors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) != 2 || anchors[0].Event != "anchor" || anchors[1].Event != "runroot" {
+		t.Fatalf("anchors = %+v", anchors)
+	}
+}

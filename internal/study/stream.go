@@ -21,6 +21,7 @@ import (
 	"chainchaos/internal/compliance"
 	"chainchaos/internal/faults"
 	"chainchaos/internal/httpserver"
+	"chainchaos/internal/ledger"
 	"chainchaos/internal/parallel"
 	"chainchaos/internal/pathbuild"
 	"chainchaos/internal/pipeline"
@@ -58,6 +59,11 @@ type Stream struct {
 	// trailing newline) in rank order — the distributed worker's tap. It
 	// runs in addition to Out, before it.
 	Record func(rank int, line []byte) error
+	// Ledger, when non-nil, receives each emitted record line as a Merkle
+	// leaf after it is written, so batch roots anchor into the checkpoint
+	// journal. The sink is dense — every rank emits exactly one line — so
+	// rank == leaf index. Nil is inert.
+	Ledger *ledger.Batcher
 	// Queue bounds each stage hop; <= 0 means 2× the stage's workers.
 	Queue int
 	// KeepSites retains every graded *Site in Report.Sites — the batch
@@ -645,6 +651,9 @@ func RunStream(ctx context.Context, cfg Config, st Stream) (*Report, error) {
 				if _, err := st.Out.Write(append(data, '\n')); err != nil {
 					return err
 				}
+			}
+			if err := st.Ledger.Append(data); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -1,306 +1,88 @@
 #!/usr/bin/env bash
 # bench_json.sh — emits BENCH_<pr>.json, the PR performance record.
 #
+# This is a thin wrapper over cmd/grid: each historical PR mode maps onto a
+# committed grid spec under scripts/grids/, and the env knobs below map onto
+# -set variable overrides. The grid runner builds the tools, sweeps the
+# spec's cells sequentially, audits ledgered outputs, enforces the
+# byte-identity and JSON gates the old shell encoded as cmp/jq pipelines,
+# and writes BENCH_<pr>.json plus a per-(cell, repeat, step) CSV beside it.
+#
 # Modes (env PR, default pr7):
 #
-#   PR=pr6  the PR 6 record:
-#     * differential-harness wall and allocs/op (Go benchmark, -benchmem)
-#     * 100k-site study wall, dedup off vs on, at paper-realistic chain reuse
-#       (the off run pays the full physical cost per site; the on run pays it
-#       per distinct chain) — the two JSONL outputs are verified byte-identical
-#     * 10M-site dedup study under GOMEMLIMIT=64MiB: wall, peak RSS, hit rate
+#   PR=pr6   harness benchmark + 100k-site dedup off/on study + 10M-site
+#            study under GOMEMLIMIT=64MiB       (knobs: STUDY_SITES,
+#            BIG_SITES, REUSE, POOL)
+#   PR=pr7   distributed scaling: single-process baseline, then auto/coarse
+#            lease modes x worker counts, outputs byte-identical to the
+#            baseline                           (knobs: STUDY_SITES, REUSE,
+#            POOL, WORKER_COUNTS)
+#   PR=pr8   chainserved daemon under sustained load, SIGTERM drain with
+#            admitted == completed              (knobs: LOAD_QPS,
+#            LOAD_SECONDS)
+#   PR=pr9   fixed-seed fuzz campaign with worker-invariance gate, ledgered
+#            divergence records, and scenario replay through a streamed
+#            study                              (knobs: FUZZ_GENS,
+#            FUZZ_MUTANTS, FUZZ_DOMAINS)
+#   PR=pr10  ledger overhead: the 100k-site dedup study with the Merkle
+#            ledger off vs on, audited roots, <5% wall gate
+#                                               (knobs: STUDY_SITES, REUSE,
+#            POOL)
 #
-#   PR=pr7  the PR 7 record: distributed coordinator/worker scaling —
-#     single-process 100k-site dedup study as the baseline, then the same
-#     study under -distribute 1/2/4/8, each output verified byte-identical
-#     to the baseline, with wall, fleet peak RSS, and lease counters per
-#     fleet size. Speedup is bounded by the host's core count: on a 1-core
-#     box the table measures distribution overhead, not parallelism.
-#
-#   PR=pr8  the PR 8 record: the chainserved daemon under sustained load —
-#     a real daemon process serving the exemplar fixture set is driven at
-#     LOAD_QPS for LOAD_SECONDS by scripts/loadtest.sh's Go driver (zero
-#     failed requests required), then SIGTERM-drained; the record carries
-#     the achieved qps, the verdict-endpoint p50/p95/p99 from the daemon's
-#     own histograms, the cache hit counts, and the drain accounting
-#     (admitted == completed, i.e. zero dropped in flight).
-#
-#   PR=pr9  the PR 9 record: the coverage-guided divergence fuzzer —
-#     a fixed-seed campaign (FUZZ_GENS generations × FUZZ_MUTANTS mutants
-#     over FUZZ_DOMAINS seed chains), with wall, mutants/s, corpus size,
-#     divergence bins, and the novel-scenario count; the manifest is
-#     verified byte-identical between -workers 1 and -workers 8, and the
-#     emitted scenarios are replayed through a streamed study run.
-#
-# Knobs (env): PR (default pr7), OUT (default BENCH_<pr>.json),
-# STUDY_SITES (default 100000), BIG_SITES (default 10000000, pr6 only),
-# REUSE (default 0.9995), POOL (default 3000),
-# WORKER_COUNTS (default "1 2 4 8", pr7 only),
-# LOAD_QPS (default 300) and LOAD_SECONDS (default 10, pr8 only),
-# FUZZ_GENS (default 8), FUZZ_MUTANTS (default 256) and
-# FUZZ_DOMAINS (default 48, pr9 only).
+# Shared knobs: OUT (default BENCH_<pr>.json), REPEATS, CELLS (regex over
+# cell names), GRID_WORK (keep the work tree at this path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PR=${PR:-pr7}
 OUT=${OUT:-BENCH_${PR}.json}
-REUSE=${REUSE:-0.9995}
-POOL=${POOL:-3000}
-STUDY_SITES=${STUDY_SITES:-100000}
-BIG_SITES=${BIG_SITES:-10000000}
-WORKER_COUNTS=${WORKER_COUNTS:-1 2 4 8}
+SPEC=scripts/grids/${PR}.json
+[ -f "$SPEC" ] || { echo "bench-json: unknown PR mode '$PR' (no $SPEC)" >&2; exit 1; }
 
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
-
-now_ms() { date +%s%3N; }
-
-go build -o "$TMP/study" ./cmd/study
-
-bench_pr6() {
-  echo "bench-json: harness benchmark" >&2
-  go test -run xxx -bench 'BenchmarkDifferentialHarness2k$' -benchtime 2x -benchmem . >"$TMP/bench.txt"
-  HARNESS_NS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $3; exit}' "$TMP/bench.txt")
-  HARNESS_ALLOCS=$(awk '/^BenchmarkDifferentialHarness2k/ {print $7; exit}' "$TMP/bench.txt")
-
-  echo "bench-json: ${STUDY_SITES}-site study, dedup off (full physical cost per site)" >&2
-  t0=$(now_ms)
-  GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream \
-    -reuse "$REUSE" -distinct "$POOL" \
-    -out "$TMP/off.jsonl" -metrics "$TMP/off.json" >/dev/null
-  OFF_MS=$(($(now_ms) - t0))
-
-  echo "bench-json: ${STUDY_SITES}-site study, dedup on" >&2
-  t0=$(now_ms)
-  GOMEMLIMIT=64MiB "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
-    -reuse "$REUSE" -distinct "$POOL" \
-    -out "$TMP/on.jsonl" -metrics "$TMP/on.json" >/dev/null
-  ON_MS=$(($(now_ms) - t0))
-
-  cmp -s "$TMP/off.jsonl" "$TMP/on.jsonl" || {
-    echo "bench-json: dedup on/off JSONL streams differ — determinism broken" >&2
-    exit 1
-  }
-
-  echo "bench-json: ${BIG_SITES}-site study, dedup on, GOMEMLIMIT=64MiB" >&2
-  t0=$(now_ms)
-  GOMEMLIMIT=64MiB "$TMP/study" -sites "$BIG_SITES" -vantages 1 -stream -dedup \
-    -reuse "$REUSE" -distinct "$POOL" \
-    -out /dev/null -metrics "$TMP/big.json" >/dev/null
-  BIG_MS=$(($(now_ms) - t0))
-
-  jq -e ".counters[\"study.grade.items\"] == $BIG_SITES" "$TMP/big.json" >/dev/null || {
-    echo "bench-json: 10M run graded fewer than $BIG_SITES sites" >&2
-    exit 1
-  }
-
-  jq -n \
-    --argjson harness_ns "${HARNESS_NS:-0}" \
-    --argjson harness_allocs "${HARNESS_ALLOCS:-0}" \
-    --argjson sites "$STUDY_SITES" --argjson big_sites "$BIG_SITES" \
-    --argjson reuse "$REUSE" --argjson pool "$POOL" \
-    --argjson off_ms "$OFF_MS" --argjson on_ms "$ON_MS" --argjson big_ms "$BIG_MS" \
-    --slurpfile on "$TMP/on.json" --slurpfile big "$TMP/big.json" \
-    '
-    def cache(m): {
-      hits: m.counters["study.vcache.hits"],
-      misses: m.counters["study.vcache.misses"],
-      hit_rate: (m.counters["study.vcache.hits"] /
-                 (m.counters["study.vcache.hits"] + m.counters["study.vcache.misses"]))
-    };
-    {
-      harness_2k: { ns_per_op: $harness_ns, allocs_per_op: $harness_allocs },
-      study_100k: {
-        sites: $sites, reuse: $reuse, pool: $pool, vantages: 1,
-        dedup_off_wall_ms: $off_ms,
-        dedup_on_wall_ms: $on_ms,
-        speedup: ($off_ms / $on_ms),
-        output_identical: true,
-        cache: cache($on[0]),
-        max_rss_kb: $on[0].gauges["proc.max_rss_kb"]
-      },
-      study_10m: {
-        sites: $big_sites, reuse: $reuse, pool: $pool, vantages: 1,
-        gomemlimit: "64MiB",
-        wall_ms: $big_ms,
-        cache: cache($big[0]),
-        max_rss_kb: $big[0].gauges["proc.max_rss_kb"]
-      }
-    }' >"$OUT"
-}
-
-bench_pr7() {
-  echo "bench-json: ${STUDY_SITES}-site dedup study, single-process baseline" >&2
-  t0=$(now_ms)
-  "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -stream -dedup \
-    -reuse "$REUSE" -distinct "$POOL" \
-    -out "$TMP/base.jsonl" -metrics "$TMP/base.json" >/dev/null
-  BASE_MS=$(($(now_ms) - t0))
-
-  # Two sweeps: default leases (span/(8·W) — fine-grained redo window, but
-  # under -dedup every lease re-deploys and re-scans the distinct-chain pool
-  # it encounters) and one-lease-per-worker (-dist-lease sites/W — the pool
-  # is paid once per worker, the redo unit is the whole range).
-  : >"$TMP/rows.jsonl"
-  for MODE in auto coarse; do
-    for W in $WORKER_COUNTS; do
-      LEASE=0
-      [ "$MODE" = coarse ] && LEASE=$((STUDY_SITES / W))
-      echo "bench-json: ${STUDY_SITES}-site dedup study, -distribute $W -dist-lease $LEASE" >&2
-      t0=$(now_ms)
-      "$TMP/study" -sites "$STUDY_SITES" -vantages 1 -dedup \
-        -reuse "$REUSE" -distinct "$POOL" -distribute "$W" -dist-lease "$LEASE" \
-        -out "$TMP/w$W.jsonl" -metrics "$TMP/w$W.json" >/dev/null
-      W_MS=$(($(now_ms) - t0))
-      cmp -s "$TMP/base.jsonl" "$TMP/w$W.jsonl" || {
-        echo "bench-json: -distribute $W JSONL differs from single-process — determinism broken" >&2
-        exit 1
-      }
-      jq -n --argjson w "$W" --argjson ms "$W_MS" --argjson base "$BASE_MS" \
-        --argjson lease "$LEASE" \
-        --slurpfile m "$TMP/w$W.json" '
-        {
-          workers: $w,
-          lease_size: (if $lease == 0 then "auto" else $lease end),
-          wall_ms: $ms,
-          speedup_vs_single: ($base / $ms),
-          output_identical: true,
-          lease_grants: $m[0].counters["dist.lease_grants"],
-          lease_reassigned: ($m[0].counters["dist.lease_reassigned"] // 0),
-          fleet_max_rss_kb: $m[0].gauges["proc.fleet_max_rss_kb"]
-        }' >>"$TMP/rows.jsonl"
-    done
-  done
-
-  jq -n \
-    --argjson sites "$STUDY_SITES" \
-    --argjson reuse "$REUSE" --argjson pool "$POOL" \
-    --argjson base_ms "$BASE_MS" --argjson cores "$(nproc)" \
-    --slurpfile rows "$TMP/rows.jsonl" \
-    '{
-      study_distributed: {
-        sites: $sites, reuse: $reuse, pool: $pool, vantages: 1, dedup: true,
-        host_cores: $cores,
-        single_process_wall_ms: $base_ms,
-        fleets: $rows
-      }
-    }' >"$OUT"
-}
-
-bench_pr8() {
-  LOAD_QPS=${LOAD_QPS:-300}
-  LOAD_SECONDS=${LOAD_SECONDS:-10}
-
-  go build -o "$TMP/chainserved" ./cmd/chainserved
-  "$TMP/chainserved" -exemplars "$TMP/fixtures" 2>/dev/null
-
-  echo "bench-json: starting chainserved daemon" >&2
-  "$TMP/chainserved" -listen 127.0.0.1:0 -roots "$TMP/fixtures/roots.pem" \
-    -reference-time -metrics "$TMP/served.json" 2>"$TMP/daemon.log" &
-  DAEMON=$!
-  ADDR=
-  for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's#.*serving on http://##p' "$TMP/daemon.log")
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || { echo "bench-json: daemon never came up" >&2; exit 1; }
-
-  echo "bench-json: sustaining ${LOAD_QPS} qps for ${LOAD_SECONDS}s against http://$ADDR" >&2
-  TARGET="http://$ADDR" PEM_DIR="$TMP/fixtures" \
-    QPS="$LOAD_QPS" DURATION="$LOAD_SECONDS" OUT="$TMP/load.json" \
-    scripts/loadtest.sh >&2
-
-  echo "bench-json: SIGTERM drain" >&2
-  kill -TERM "$DAEMON"
-  wait "$DAEMON" || { echo "bench-json: daemon exited non-zero" >&2; exit 1; }
-
-  jq -n --slurpfile load "$TMP/load.json" --slurpfile m "$TMP/served.json" '
-    {
-      chainserved_load: ($load[0] + {
-        drain: {
-          admitted: $m[0].counters["chainserved.verdict.admitted"],
-          completed: $m[0].counters["chainserved.verdict.completed"],
-          shed: ($m[0].counters["chainserved.verdict.shed"] // 0),
-          dropped_in_flight: ($m[0].counters["chainserved.verdict.admitted"]
-                            - $m[0].counters["chainserved.verdict.completed"])
-        }
-      })
-    }' >"$OUT"
-
-  jq -e '.chainserved_load.failed == 0
-     and .chainserved_load.drain.dropped_in_flight == 0
-     and .chainserved_load.verdict_latency_ns.count > 0' "$OUT" >/dev/null || {
-    echo "bench-json: load/drain contract violated (failed requests, dropped in-flight, or empty histograms)" >&2
-    exit 1
-  }
-}
-
-bench_pr9() {
-  FUZZ_GENS=${FUZZ_GENS:-8}
-  FUZZ_MUTANTS=${FUZZ_MUTANTS:-256}
-  FUZZ_DOMAINS=${FUZZ_DOMAINS:-48}
-
-  go build -o "$TMP/divfuzz" ./cmd/divfuzz
-
-  echo "bench-json: fuzz campaign, seed 1, ${FUZZ_GENS}x${FUZZ_MUTANTS} mutants over ${FUZZ_DOMAINS} chains" >&2
-  t0=$(now_ms)
-  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
-    -seed-domains "$FUZZ_DOMAINS" -manifest "$TMP/fuzz.json" -scenarios "$TMP/novel.json" >/dev/null
-  FUZZ_MS=$(($(now_ms) - t0))
-
-  echo "bench-json: worker-invariance gate (-workers 1 vs -workers 8)" >&2
-  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
-    -seed-domains "$FUZZ_DOMAINS" -workers 1 -manifest "$TMP/fuzz-w1.json" >/dev/null
-  "$TMP/divfuzz" -seed 1 -generations "$FUZZ_GENS" -mutants "$FUZZ_MUTANTS" \
-    -seed-domains "$FUZZ_DOMAINS" -workers 8 -manifest "$TMP/fuzz-w8.json" >/dev/null
-  cmp -s "$TMP/fuzz-w1.json" "$TMP/fuzz-w8.json" || {
-    echo "bench-json: fuzz manifests differ between worker counts — determinism broken" >&2
-    exit 1
-  }
-
-  echo "bench-json: replaying novel scenarios through a streamed study" >&2
-  t0=$(now_ms)
-  "$TMP/study" -sites 2000 -vantages 1 -stream \
-    -scenario-file "$TMP/novel.json" -scenario-rate 0.02 \
-    -out "$TMP/scen.jsonl" >/dev/null
-  REPLAY_MS=$(($(now_ms) - t0))
-  REPLAYED=$(jq -s '[.[] | select(.scenario != null)] | length' "$TMP/scen.jsonl")
-  [ "$REPLAYED" -ge 1 ] || {
-    echo "bench-json: study replayed no scenario sites" >&2
-    exit 1
-  }
-
-  jq -n \
-    --argjson wall_ms "$FUZZ_MS" --argjson replay_ms "$REPLAY_MS" \
-    --argjson replayed "$REPLAYED" \
-    --slurpfile m "$TMP/fuzz.json" --slurpfile novel "$TMP/novel.json" \
-    '{
-      divfuzz: {
-        seed: $m[0].seed,
-        generations: $m[0].generations,
-        per_generation: $m[0].per_gen,
-        seed_domains: $m[0].seed_domains,
-        mutants: $m[0].mutants,
-        wall_ms: $wall_ms,
-        mutants_per_s: (($m[0].mutants * 1000) / $wall_ms),
-        corpus_signatures: ($m[0].corpus | length),
-        divergences: ($m[0].divergences | length),
-        bins: $m[0].bins,
-        novel_scenarios: ($novel[0] | length),
-        manifest_worker_invariant: true,
-        study_replay: { sites: 2000, rate: 0.02, replayed: $replayed, wall_ms: $replay_ms }
-      }
-    }' >"$OUT"
+SETS=()
+map() { # map <spec-var> <env-name>: add -set when the env knob is set
+  local var=$1 env=$2
+  [ -n "${!env:-}" ] && SETS+=(-set "$var=${!env}")
+  return 0
 }
 
 case "$PR" in
-  pr6) bench_pr6 ;;
-  pr7) bench_pr7 ;;
-  pr8) bench_pr8 ;;
-  pr9) bench_pr9 ;;
-  *) echo "bench-json: unknown PR mode '$PR' (pr6|pr7|pr8|pr9)" >&2; exit 1 ;;
+  pr6)
+    map sites STUDY_SITES
+    map big_sites BIG_SITES
+    map reuse REUSE
+    map pool POOL
+    ;;
+  pr7)
+    map sites STUDY_SITES
+    map reuse REUSE
+    map pool POOL
+    # WORKER_COUNTS ("1 4") narrows the fixed 1/2/4/8 axis via a cell filter.
+    if [ -n "${WORKER_COUNTS:-}" ]; then
+      CELLS=${CELLS:-"workers=($(echo "$WORKER_COUNTS" | tr -s ' ' '|'))$"}
+    fi
+    ;;
+  pr8)
+    map qps LOAD_QPS
+    map seconds LOAD_SECONDS
+    ;;
+  pr9)
+    map gens FUZZ_GENS
+    map mutants FUZZ_MUTANTS
+    map domains FUZZ_DOMAINS
+    ;;
+  pr10)
+    map sites STUDY_SITES
+    map reuse REUSE
+    map pool POOL
+    ;;
 esac
 
+go run ./cmd/grid -spec "$SPEC" -out "$OUT" \
+  ${REPEATS:+-repeats "$REPEATS"} \
+  ${CELLS:+-cells "$CELLS"} \
+  ${GRID_WORK:+-work "$GRID_WORK"} \
+  ${SETS[@]+"${SETS[@]}"}
+
 echo "bench-json: wrote $OUT" >&2
-jq . "$OUT"
+if command -v jq >/dev/null 2>&1; then jq . "$OUT"; else cat "$OUT"; fi
